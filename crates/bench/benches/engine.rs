@@ -1,0 +1,81 @@
+//! Execution-engine benchmarks: record wire encoding, hash partitioning
+//! primitives, interpreter throughput and end-to-end plan execution.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion};
+use strato_exec::{execute_logical, Inputs};
+use strato_ir::interp::{Interp, Invocation, Layout};
+use strato_record::hash::fx_hash;
+use strato_record::{wire, Record, Value};
+use strato_workloads::{tpch, udfs};
+
+fn sample_record() -> Record {
+    Record::from_values([
+        Value::Int(42),
+        Value::str("GENE_0042 binding assay"),
+        Value::Float(3.25),
+        Value::Null,
+        Value::Bool(true),
+        Value::Int(19_950_101),
+    ])
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+
+    let rec = sample_record();
+    g.bench_function("wire_encode", |b| {
+        let mut buf = BytesMut::with_capacity(256);
+        b.iter(|| {
+            buf.clear();
+            wire::encode_record(&rec, &mut buf)
+        })
+    });
+    g.bench_function("wire_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = wire::encode_to_bytes(&rec);
+            wire::decode_record(&mut bytes.clone()).unwrap()
+        })
+    });
+    g.bench_function("fx_hash_key", |b| {
+        let key = vec![Value::Int(7), Value::str("FRANCE")];
+        b.iter(|| fx_hash(&key))
+    });
+
+    // Interpreter throughput on a filter UDF.
+    let filter = udfs::filter_range(6, 4, 19_950_101, 19_951_231);
+    let layout = Layout::local(&filter);
+    let interp = Interp::default();
+    g.bench_function("interp_filter_call", |b| {
+        let r = Record::from_values([
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(3),
+            Value::Int(4),
+            Value::Int(19_950_615),
+            Value::Int(5),
+        ]);
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            interp.run(&filter, Invocation::Record(&r), &layout, &mut out)
+        })
+    });
+
+    // End-to-end logical execution of Q15.
+    let scale = tpch::TpchScale::tiny();
+    let plan = tpch::q15_plan(scale);
+    let inputs: Inputs = tpch::generate(scale, 3).into_iter().collect();
+    let mut g2 = {
+        g.finish();
+        c.benchmark_group("engine_e2e")
+    };
+    g2.sample_size(10);
+    g2.bench_function("q15_logical_tiny", |b| {
+        b.iter(|| execute_logical(&plan, &inputs).unwrap().0.len())
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

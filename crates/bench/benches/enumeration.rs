@@ -1,0 +1,48 @@
+//! Plan-enumeration benchmarks — the paper's "Enumeration Time" claim
+//! (Section 7.3): *"For all queries presented so far … plan enumeration
+//! took less than 1654 ms using our naive implementation."*
+//!
+//! Each benchmark enumerates the full valid-reordering space of one
+//! workload (Table 1's plan counts) from already-derived properties.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strato_core::{enumerate_algorithm1, enumerate_all, PropTable};
+use strato_dataflow::PropertyMode;
+use strato_workloads::{clickstream, textmining, tpch};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumeration");
+    g.sample_size(10);
+
+    let q7 = tpch::q7_plan(tpch::TpchScale::small());
+    let q7_props = PropTable::build(&q7, PropertyMode::Sca);
+    g.bench_function("q7_full_space", |b| {
+        b.iter(|| enumerate_all(&q7, &q7_props, 100_000).len())
+    });
+
+    let q15 = tpch::q15_plan(tpch::TpchScale::small());
+    let q15_props = PropTable::build(&q15, PropertyMode::Sca);
+    g.bench_function("q15", |b| {
+        b.iter(|| enumerate_all(&q15, &q15_props, 1_000).len())
+    });
+
+    let cs = clickstream::plan(clickstream::ClickScale::small());
+    let cs_props = PropTable::build(&cs, PropertyMode::Manual);
+    g.bench_function("clickstream", |b| {
+        b.iter(|| enumerate_all(&cs, &cs_props, 1_000).len())
+    });
+
+    let tm = textmining::plan(textmining::TextScale::small());
+    let tm_props = PropTable::build(&tm, PropertyMode::Sca);
+    g.bench_function("textmining_closure", |b| {
+        b.iter(|| enumerate_all(&tm, &tm_props, 1_000).len())
+    });
+    g.bench_function("textmining_algorithm1", |b| {
+        b.iter(|| enumerate_algorithm1(&tm, &tm_props).unwrap().len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end optimizer benchmarks: property derivation + enumeration +
+//! physical costing for each evaluation workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strato_core::{cost::CostWeights, physical::best_physical, Optimizer, PropTable};
+use strato_dataflow::PropertyMode;
+use strato_workloads::{clickstream, textmining, tpch};
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer");
+    g.sample_size(10);
+
+    let q15 = tpch::q15_plan(tpch::TpchScale::small());
+    g.bench_function("optimize_q15", |b| {
+        let opt = Optimizer::new(PropertyMode::Sca);
+        b.iter(|| opt.optimize(&q15).n_enumerated)
+    });
+
+    let cs = clickstream::plan(clickstream::ClickScale::small());
+    g.bench_function("optimize_clickstream", |b| {
+        let opt = Optimizer::new(PropertyMode::Manual);
+        b.iter(|| opt.optimize(&cs).n_enumerated)
+    });
+
+    let tm = textmining::plan(textmining::TextScale::small());
+    g.bench_function("optimize_textmining", |b| {
+        let opt = Optimizer::new(PropertyMode::Sca);
+        b.iter(|| opt.optimize(&tm).n_enumerated)
+    });
+
+    // Physical optimization of one logical order (the inner loop of the
+    // full optimization; Q7 runs it 2860 times).
+    let q7 = tpch::q7_plan(tpch::TpchScale::small());
+    let props = PropTable::build(&q7, PropertyMode::Sca);
+    g.bench_function("physical_q7_single_order", |b| {
+        b.iter(|| best_physical(&q7, &props, &CostWeights::default(), 8).total_cost)
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Static-code-analysis benchmarks — the paper's claim that "the overhead
+//! of performing the static code analysis is virtually zero" (Section 7.3).
+//!
+//! `analyze_*` times one SCA pass over a single black-box UDF;
+//! `derive_properties_*` times lifting all of a plan's operators onto the
+//! global record (what the optimizer actually pays per optimization run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strato_core::PropTable;
+use strato_dataflow::PropertyMode;
+use strato_sca::analyze;
+use strato_workloads::udfs;
+use strato_workloads::{clickstream, textmining, tpch};
+
+fn bench_sca(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sca");
+
+    // Individual UDF shapes.
+    let filter = udfs::filter_range(17, 4, 10, 20);
+    g.bench_function("analyze_filter_map", |b| b.iter(|| analyze(&filter)));
+
+    let join = udfs::join_concat(15, 2);
+    g.bench_function("analyze_join_udf", |b| b.iter(|| analyze(&join)));
+
+    let agg = udfs::revenue_sum_group(17, 2, 3);
+    g.bench_function("analyze_group_udf", |b| b.iter(|| analyze(&agg)));
+
+    let extractor = udfs::tag_if_contains("gene", 9, 1, "GENE_", 100);
+    g.bench_function("analyze_extractor", |b| b.iter(|| analyze(&extractor)));
+
+    // Whole-plan property derivation (SCA already cached in the bound plan;
+    // this measures the lift onto global attributes).
+    let q7 = tpch::q7_plan(tpch::TpchScale::small());
+    g.bench_function("derive_properties_q7", |b| {
+        b.iter(|| PropTable::build(&q7, PropertyMode::Sca))
+    });
+    let cs = clickstream::plan(clickstream::ClickScale::small());
+    g.bench_function("derive_properties_clickstream", |b| {
+        b.iter(|| PropTable::build(&cs, PropertyMode::Sca))
+    });
+    let tm = textmining::plan(textmining::TextScale::small());
+    g.bench_function("derive_properties_textmining", |b| {
+        b.iter(|| PropTable::build(&tm, PropertyMode::Sca))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sca);
+criterion_main!(benches);

@@ -1,0 +1,383 @@
+//! Reordering conditions (Section 4 of the paper).
+//!
+//! Everything here is *attribute-set algebra over black-box properties*: no
+//! rule ever inspects UDF semantics, only the conservative read/write/
+//! control sets, emit bounds, key attributes and uniqueness constraints.
+//!
+//! | Rule | Paper source |
+//! |---|---|
+//! | [`roc`] | Definition 4 |
+//! | [`kgp`] | Definition 5 |
+//! | Map↔Map swap | Theorem 1 |
+//! | Map↔Reduce swap | Theorem 2 |
+//! | Reduce↔Reduce swap | Section 4.2.2 ("proof proceeds similarly"), implemented for equal keys |
+//! | unary ↔ binary exchange | Theorem 3 + Lemma 1 (`Match ≡ Map∘Cross`); the `CoGroup ≡ Reduce∘∪T` variant is conservatively rejected (see `can_exchange_unary_binary`) |
+//! | Reduce ↔ Match (invariant grouping) | Theorem 4 + Section 4.3.2, PK–FK gated |
+//! | binary rotation (join re-association) | Lemma 1 generalized to trees |
+
+use crate::constraints::subtree_unique_on;
+use crate::props::{OpProps, PropTable};
+use strato_dataflow::{Pact, Plan, PlanNode};
+use strato_record::AttrSet;
+
+/// The **read-only conflict** condition (Definition 4):
+/// `R_f ∩ W_g = W_f ∩ R_g = W_f ∩ W_g = ∅`.
+pub fn roc(f: &OpProps, g: &OpProps) -> bool {
+    f.read.is_disjoint(&g.write)
+        && f.write.is_disjoint(&g.read)
+        && f.write.is_disjoint(&g.write)
+}
+
+/// The **key group preservation** condition (Definition 5) for a
+/// record-at-a-time operator `f` against key set `K`:
+///
+/// 1. `∀r: |f(r)| = 1`, or
+/// 2. `|f(r)| ≤ 1` and the emit decision depends only on attributes
+///    `F ⊆ K` (approximated by the control-read set).
+pub fn kgp(f: &OpProps, key: &AttrSet) -> bool {
+    f.emits.exactly_one() || (f.emits.at_most_one() && f.control.is_subset(key))
+}
+
+/// Everything needed to evaluate a reordering at one tree junction.
+pub struct CondCtx<'a> {
+    /// The plan whose tree is being rearranged.
+    pub plan: &'a Plan,
+    /// Global properties of every operator.
+    pub props: &'a PropTable,
+}
+
+impl<'a> CondCtx<'a> {
+    /// Creates a context.
+    pub fn new(plan: &'a Plan, props: &'a PropTable) -> Self {
+        CondCtx { plan, props }
+    }
+
+    fn pact(&self, op: usize) -> &Pact {
+        &self.plan.ctx.ops[op].pact
+    }
+
+    fn key_set(&self, op: usize, input: usize) -> AttrSet {
+        self.plan.ctx.ops[op].key_set(input)
+    }
+
+    /// Can two adjacent **unary** operators swap? `upper` currently consumes
+    /// `lower`'s output (or vice versa — the condition is symmetric).
+    pub fn can_swap_unary_unary(&self, a: usize, b: usize) -> bool {
+        let (pa, pb) = (self.props.get(a), self.props.get(b));
+        if !roc(pa, pb) {
+            return false;
+        }
+        match (self.pact(a), self.pact(b)) {
+            // Theorem 1.
+            (Pact::Map, Pact::Map) => true,
+            // Theorem 2: the Map needs KGP w.r.t. the Reduce key.
+            (Pact::Map, Pact::Reduce { .. }) => kgp(pa, &self.key_set(b, 0)),
+            (Pact::Reduce { .. }, Pact::Map) => kgp(pb, &self.key_set(a, 0)),
+            // Section 4.2.2 final remark, implemented conservatively for
+            // *equal* keys: each key group is processed independently by
+            // both sides, both are at-most-one-per-group with key-determined
+            // decisions, and ROC makes the per-group applications commute.
+            (Pact::Reduce { .. }, Pact::Reduce { .. }) => {
+                let (ka, kb) = (self.key_set(a, 0), self.key_set(b, 0));
+                ka == kb
+                    && pa.emits.at_most_one()
+                    && pb.emits.at_most_one()
+                    && pa.control.is_subset(&ka)
+                    && pb.control.is_subset(&kb)
+            }
+            _ => false,
+        }
+    }
+
+    /// Can unary operator `u` sit **below** binary operator `b` on child
+    /// side `side` (equivalently: can it be pulled above from there)? The
+    /// equivalence is symmetric, so one predicate serves both directions.
+    ///
+    /// `subtrees` are `b`'s two input subtrees in the configuration where
+    /// `u` is *not* between them (i.e. the operand subtrees seen by `b`
+    /// excluding `u` itself).
+    pub fn can_exchange_unary_binary(
+        &self,
+        u: usize,
+        b: usize,
+        side: usize,
+        subtrees: [&PlanNode; 2],
+    ) -> bool {
+        let (pu, pb) = (self.props.get(u), self.props.get(b));
+        if !roc(pu, pb) {
+            return false;
+        }
+        // Theorem 3: the unary operator must not touch the other side.
+        let other = self.plan.attrs_of(subtrees[1 - side]);
+        if !pu.accessed().is_disjoint(&other) {
+            return false;
+        }
+        match (self.pact(u), self.pact(b)) {
+            (Pact::Map, Pact::Cross | Pact::Match { .. }) => true,
+            // CoGroup ≡ Reduce over the tagged union (Section 4.3.2): the
+            // push-down additionally requires the Map, rewritten as f_R, to
+            // act as the identity on the other input's records. A CoGroup
+            // group may be *one-sided*; above the CoGroup the Map processes
+            // that group's output (other-side attributes all null), below it
+            // never runs on it. Equivalence therefore needs the UDF's
+            // writes to be null-strict in its own side's attributes — a
+            // semantic property our conservative attribute sets cannot
+            // certify, so the exchange is rejected outright.
+            (Pact::Map, Pact::CoGroup { .. }) => false,
+            // Invariant grouping (Theorem 4 + §4.3.2): Reduce through Match.
+            (Pact::Reduce { .. }, Pact::Match { .. }) => {
+                let reduce_key = self.key_set(u, 0);
+                // F (the Match key on the Reduce's side) must be covered by
+                // the Reduce key: "the Reduce key is a superset of F".
+                if !self.key_set(b, side).is_subset(&reduce_key) {
+                    return false;
+                }
+                // The Match UDF must forward each matched pair exactly once;
+                // extra filtering or multiplication would alter key groups.
+                if !pb.emits.exactly_one() {
+                    return false;
+                }
+                // PK–FK: the other side must be unique on its join key, so
+                // the join neither splits nor duplicates key groups.
+                subtree_unique_on(
+                    self.plan,
+                    self.props,
+                    subtrees[1 - side],
+                    &self.key_set(b, 1 - side),
+                )
+            }
+            _ => false,
+        }
+    }
+
+    /// Can binary operator `p` (currently the parent) rotate with binary
+    /// operator `c` (currently its child), pulling the grandchild subtree
+    /// `keep` up to `p` and leaving `c` on top? This is join
+    /// re-association: from `p(c(X, Y), T)` to `c(p(X, T), Y)` (`keep = 0`)
+    /// or `c(X, p(Y, T))` (`keep = 1`); mirrored when `c` is `p`'s right
+    /// child.
+    ///
+    /// * `grandchildren` — `c`'s subtrees `[X, Y]`,
+    /// * `t_subtree` — `p`'s other subtree `T`.
+    pub fn can_rotate_binary(
+        &self,
+        p: usize,
+        c: usize,
+        keep: usize,
+        grandchildren: [&PlanNode; 2],
+        t_subtree: &PlanNode,
+    ) -> bool {
+        let (pp, pc) = (self.props.get(p), self.props.get(c));
+        // Both must be record-at-a-time binaries (Match/Cross): the rotation
+        // is derived from the Map∘Cross decomposition (Lemma 1).
+        if !matches!(self.pact(p), Pact::Match { .. } | Pact::Cross)
+            || !matches!(self.pact(c), Pact::Match { .. } | Pact::Cross)
+        {
+            return false;
+        }
+        if !roc(pp, pc) {
+            return false;
+        }
+        // p must not touch the displaced subtree or anything c creates.
+        let displaced = self
+            .plan
+            .attrs_of(grandchildren[1 - keep])
+            .union(&pc.added);
+        if !pp.accessed().is_disjoint(&displaced) {
+            return false;
+        }
+        // After rotation, T's records flow through c: c must not drop or
+        // clobber T attributes (relevant when c's UDF implicitly projects).
+        let t_attrs = self.plan.attrs_of(t_subtree);
+        pc.write.is_disjoint(&t_attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::PropTable;
+    use strato_dataflow::{CostHints, PropertyMode, ProgramBuilder, SourceDef};
+    use strato_ir::{BinOp, FuncBuilder, Function, UdfKind, UnOp};
+    use strato_record::AttrId;
+    use strato_sca::EmitBounds;
+
+    fn props(read: &[u32], write: &[u32], control: &[u32], emits: EmitBounds) -> OpProps {
+        OpProps {
+            read: read.iter().map(|&i| AttrId(i)).collect(),
+            write: write.iter().map(|&i| AttrId(i)).collect(),
+            control: control.iter().map(|&i| AttrId(i)).collect(),
+            emits,
+            added: AttrSet::new(),
+        }
+    }
+
+    const ONE: EmitBounds = EmitBounds { min: 1, max: Some(1) };
+    const FILTER: EmitBounds = EmitBounds { min: 0, max: Some(1) };
+
+    #[test]
+    fn roc_definition() {
+        // Section 3: f1 (R={B}, W={B}) and f2 (R={A}, W=∅) do not conflict.
+        let f1 = props(&[1], &[1], &[1], ONE);
+        let f2 = props(&[0], &[], &[0], FILTER);
+        assert!(roc(&f1, &f2));
+        assert!(roc(&f2, &f1), "ROC is symmetric");
+        // f2 (R={A}) conflicts with f3 (W={A}).
+        let f3 = props(&[0, 1], &[0], &[], ONE);
+        assert!(!roc(&f2, &f3));
+        // Write-write conflicts.
+        let g = props(&[], &[1], &[], ONE);
+        assert!(!roc(&f1, &g));
+    }
+
+    #[test]
+    fn kgp_definition() {
+        let key: AttrSet = [AttrId(0)].into_iter().collect();
+        // Case 1: always exactly one.
+        assert!(kgp(&props(&[1], &[1], &[], ONE), &key));
+        // Case 2: filter on the key.
+        assert!(kgp(&props(&[0], &[], &[0], FILTER), &key));
+        // Filter on a non-key attribute fails.
+        assert!(!kgp(&props(&[1], &[], &[1], FILTER), &key));
+        // Multi-emit fails.
+        assert!(!kgp(
+            &props(&[0], &[], &[0], EmitBounds { min: 0, max: None }),
+            &key
+        ));
+    }
+
+    // ---- End-to-end condition checks over small bound plans. ----
+
+    fn filter_map(w: usize, field: usize) -> Function {
+        let mut b = FuncBuilder::new("filter", UdfKind::Map, vec![w]);
+        let v = b.get_input(0, field);
+        let z = b.konst(0i64);
+        let c = b.bin(BinOp::Lt, v, z);
+        let end = b.new_label();
+        b.branch(c, end);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.place(end);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn abs_map(w: usize, field: usize) -> Function {
+        let mut b = FuncBuilder::new("abs", UdfKind::Map, vec![w]);
+        let v = b.get_input(0, field);
+        let or = b.copy_input(0);
+        let a = b.un(UnOp::Abs, v);
+        b.set(or, field, a);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn add_fields_map(w: usize, x: usize, y: usize, dst: usize) -> Function {
+        let mut b = FuncBuilder::new("add", UdfKind::Map, vec![w]);
+        let vx = b.get_input(0, x);
+        let vy = b.get_input(0, y);
+        let s = b.bin(BinOp::Add, vx, vy);
+        let or = b.copy_input(0);
+        b.set(or, dst, s);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    /// The Section 3 pipeline: f1 → f2 → f3 over ⟨A, B⟩.
+    fn section3_plan() -> (Plan, PropTable) {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("i", &["a", "b"], 10));
+        let m1 = p.map("f1", abs_map(2, 1), CostHints::default(), s);
+        let m2 = p.map("f2", filter_map(2, 0), CostHints::default(), m1);
+        let m3 = p.map("f3", add_fields_map(2, 0, 1, 0), CostHints::default(), m2);
+        let plan = p.finish(m3).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        (plan, t)
+    }
+
+    #[test]
+    fn section3_swap_matrix() {
+        let (plan, t) = section3_plan();
+        let ctx = CondCtx::new(&plan, &t);
+        let id = |name: &str| plan.ctx.ops.iter().position(|o| o.name == name).unwrap();
+        // f1 ↔ f2 reorderable; f2 ↔ f3 and f1 ↔ f3 are not.
+        assert!(ctx.can_swap_unary_unary(id("f1"), id("f2")));
+        assert!(!ctx.can_swap_unary_unary(id("f2"), id("f3")));
+        assert!(!ctx.can_swap_unary_unary(id("f1"), id("f3")));
+    }
+
+    #[test]
+    fn map_reduce_swap_requires_kgp() {
+        // §4.2.2 example: Map filters on odd values of A and B; Reduce sums
+        // B grouping by A. The Map's control reads {A, B} ⊄ {A} ⇒ blocked.
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("i", &["a", "b"], 10));
+        let m = p.map("odd", {
+            let mut b = FuncBuilder::new("odd", UdfKind::Map, vec![2]);
+            let a = b.get_input(0, 0);
+            let bb = b.get_input(0, 1);
+            let two = b.konst(2i64);
+            let ra = b.bin(BinOp::Rem, a, two);
+            let rb = b.bin(BinOp::Rem, bb, two);
+            let both = b.bin(BinOp::And, ra, rb);
+            let end = b.new_label();
+            b.branch_not(both, end);
+            let or = b.copy_input(0);
+            b.emit(or);
+            b.place(end);
+            b.ret();
+            b.finish().unwrap()
+        }, CostHints::default(), s);
+        let r = p.reduce("sum", &[0], {
+            let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![2]);
+            let sum = b.konst(0i64);
+            let it = b.iter_open(0);
+            let done = b.new_label();
+            let head = b.new_label();
+            b.place(head);
+            let rec = b.iter_next(it, done);
+            let v = b.get(rec, 1);
+            b.bin_into(sum, BinOp::Add, sum, v);
+            b.jump(head);
+            b.place(done);
+            let it2 = b.iter_open(0);
+            let nil = b.new_label();
+            let first = b.iter_next(it2, nil);
+            let or = b.copy(first);
+            b.set(or, 2, sum);
+            b.emit(or);
+            b.place(nil);
+            b.ret();
+            b.finish().unwrap()
+        }, CostHints::default(), m);
+        let plan = p.finish(r).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        let ctx = CondCtx::new(&plan, &t);
+        assert!(
+            !ctx.can_swap_unary_unary(0, 1),
+            "filter on non-key attribute must not cross the Reduce"
+        );
+
+        // A filter on the key alone may cross.
+        let mut p2 = ProgramBuilder::new();
+        let s2 = p2.source(SourceDef::new("i", &["a", "b"], 10));
+        let m2 = p2.map("keyfilter", filter_map(2, 0), CostHints::default(), s2);
+        let r2 = p2.reduce("sum", &[0], {
+            let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![2]);
+            let it = b.iter_open(0);
+            let nil = b.new_label();
+            let first = b.iter_next(it, nil);
+            let or = b.copy(first);
+            b.emit(or);
+            b.place(nil);
+            b.ret();
+            b.finish().unwrap()
+        }, CostHints::default(), m2);
+        let plan2 = p2.finish(r2).unwrap().bind().unwrap();
+        let t2 = PropTable::build(&plan2, PropertyMode::Sca);
+        let ctx2 = CondCtx::new(&plan2, &t2);
+        assert!(ctx2.can_swap_unary_unary(0, 1));
+    }
+}

@@ -1,0 +1,201 @@
+//! Uniqueness-constraint propagation.
+//!
+//! The invariant-grouping rewrite of Section 4.3.2 requires a PK–FK shape:
+//! "Assume that F is a foreign key to K" — i.e. the Match's *other* side is
+//! unique on its join key, so joining neither duplicates nor splits the
+//! reduce's key groups. Sources declare unique keys
+//! ([`strato_dataflow::SourceDef::with_unique_key`]); this module propagates
+//! them through operators:
+//!
+//! * a RAT operator that emits at most one record per invocation and does
+//!   not write the key preserves uniqueness,
+//! * a Reduce with ≤ 1 emit per group is unique on its grouping key (and
+//!   keeps its input's uniqueness),
+//! * a Match preserves a side's uniqueness when the opposite side is unique
+//!   on its join key (each record finds at most one partner) and the UDF
+//!   emits at most one record per pair,
+//! * Cross and multi-emit UDFs destroy uniqueness.
+
+use crate::props::PropTable;
+use strato_dataflow::{NodeKind, Pact, Plan, PlanNode};
+use strato_record::AttrSet;
+
+/// `true` if the records produced by `node` are provably unique on `key`
+/// (no two records share the same values of all `key` attributes).
+pub fn subtree_unique_on(plan: &Plan, props: &PropTable, node: &PlanNode, key: &AttrSet) -> bool {
+    if key.is_empty() {
+        return false;
+    }
+    match node.kind {
+        NodeKind::Source(s) => plan.ctx.sources[s]
+            .unique
+            .iter()
+            .any(|u| u.is_subset(key)),
+        NodeKind::Op(o) => {
+            let op = &plan.ctx.ops[o];
+            let p = props.get(o);
+            // Writing a key attribute destroys the constraint.
+            if !p.write.is_disjoint(key) {
+                return false;
+            }
+            match &op.pact {
+                Pact::Map => {
+                    p.emits.at_most_one()
+                        && subtree_unique_on(plan, props, &node.children[0], key)
+                }
+                Pact::Reduce { .. } => {
+                    if !p.emits.at_most_one() {
+                        return false;
+                    }
+                    // Unique on the grouping key (one emit per group), or
+                    // the input was already unique on `key` (filtering and
+                    // collapsing groups cannot introduce duplicates).
+                    op.key_set(0).is_subset(key)
+                        || subtree_unique_on(plan, props, &node.children[0], key)
+                }
+                Pact::Match { .. } => {
+                    if !p.emits.at_most_one() {
+                        return false;
+                    }
+                    let left_unique_side = subtree_unique_on(plan, props, &node.children[0], key)
+                        && subtree_unique_on(
+                            plan,
+                            props,
+                            &node.children[1],
+                            &op.key_set(1),
+                        );
+                    let right_unique_side = subtree_unique_on(plan, props, &node.children[1], key)
+                        && subtree_unique_on(
+                            plan,
+                            props,
+                            &node.children[0],
+                            &op.key_set(0),
+                        );
+                    left_unique_side || right_unique_side
+                }
+                Pact::Cross => false,
+                Pact::CoGroup { .. } => {
+                    p.emits.at_most_one() && op.key_set(0).is_subset(key)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_dataflow::{CostHints, ProgramBuilder, PropertyMode, SourceDef};
+    use strato_ir::{BinOp, FuncBuilder, Function, UdfKind};
+
+    fn identity_map(w: usize) -> Function {
+        let mut b = FuncBuilder::new("id", UdfKind::Map, vec![w]);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn filter_map(w: usize, field: usize) -> Function {
+        let mut b = FuncBuilder::new("filter", UdfKind::Map, vec![w]);
+        let v = b.get_input(0, field);
+        let z = b.konst(0i64);
+        let c = b.bin(BinOp::Lt, v, z);
+        let end = b.new_label();
+        b.branch(c, end);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.place(end);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn dup_map(w: usize) -> Function {
+        let mut b = FuncBuilder::new("dup", UdfKind::Map, vec![w]);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn join_udf(l: usize, r: usize) -> Function {
+        let mut b = FuncBuilder::new("join", UdfKind::Pair, vec![l, r]);
+        let or = b.concat_inputs();
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn key_set(plan: &Plan, name: &str) -> AttrSet {
+        AttrSet::singleton(plan.ctx.global.by_name(name).unwrap())
+    }
+
+    #[test]
+    fn source_unique_key_detected() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["a", "b"], 10).with_unique_key(&[0]));
+        let m = p.map("id", identity_map(2), CostHints::default(), s);
+        let plan = p.finish(m).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        assert!(subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "s.a")));
+        assert!(!subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "s.b")));
+    }
+
+    #[test]
+    fn filter_preserves_uniqueness() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["a", "b"], 10).with_unique_key(&[0]));
+        let m = p.map("f", filter_map(2, 1), CostHints::default(), s);
+        let plan = p.finish(m).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        assert!(subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "s.a")));
+    }
+
+    #[test]
+    fn duplicating_map_destroys_uniqueness() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["a"], 10).with_unique_key(&[0]));
+        let m = p.map("dup", dup_map(1), CostHints::default(), s);
+        let plan = p.finish(m).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        assert!(!subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "s.a")));
+    }
+
+    #[test]
+    fn pk_fk_match_preserves_fk_side_uniqueness() {
+        // orders (unique on o_id) ⋈ customer (unique on c_id) on
+        // orders.o_cust = customer.c_id: output still unique on o_id.
+        let mut p = ProgramBuilder::new();
+        let o = p.source(SourceDef::new("o", &["o_id", "o_cust"], 100).with_unique_key(&[0]));
+        let c = p.source(SourceDef::new("c", &["c_id"], 10).with_unique_key(&[0]));
+        let j = p.match_("j", &[1], &[0], join_udf(2, 1), CostHints::default(), o, c);
+        let plan = p.finish(j).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        assert!(subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "o.o_id")));
+        // Not unique on the customer key: many orders per customer.
+        assert!(!subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "c.c_id")));
+    }
+
+    #[test]
+    fn match_with_non_unique_other_side_loses_uniqueness() {
+        let mut p = ProgramBuilder::new();
+        let o = p.source(SourceDef::new("o", &["o_id", "o_cust"], 100).with_unique_key(&[0]));
+        // No unique key on the info table: one order may join many rows.
+        let c = p.source(SourceDef::new("info", &["user", "kv"], 10));
+        let j = p.match_("j", &[1], &[0], join_udf(2, 2), CostHints::default(), o, c);
+        let plan = p.finish(j).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        assert!(!subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "o.o_id")));
+    }
+
+    #[test]
+    fn empty_key_is_never_unique() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["a"], 10).with_unique_key(&[0]));
+        let m = p.map("id", identity_map(1), CostHints::default(), s);
+        let plan = p.finish(m).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        assert!(!subtree_unique_on(&plan, &t, &plan.root, &AttrSet::new()));
+    }
+}

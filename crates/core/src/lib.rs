@@ -1,0 +1,49 @@
+//! # strato-core — the black-box data flow optimizer
+//!
+//! The primary contribution of *"Opening the Black Boxes in Data Flow
+//! Optimization"* (Hueske et al., VLDB 2012), implemented from scratch:
+//!
+//! * [`props`] — per-operator **global** read/write/control attribute sets
+//!   derived from SCA results (or manual annotations) through the
+//!   redirection maps, including the paper's rules that Match/CoGroup keys
+//!   join the read set and that implicit projection writes *every*
+//!   attribute it does not explicitly preserve;
+//! * [`conditions`] — the reordering conditions of Section 4: the ROC
+//!   condition (Definition 4), the KGP condition (Definition 5), Map/Map
+//!   and Map/Reduce swaps (Theorems 1–2), pushing unary operators through
+//!   binary ones (Theorem 3, Lemma 1), the invariant-grouping rewrite
+//!   (Theorem 4 and Section 4.3.2) gated on PK–FK constraints, and binary
+//!   "rotations" (join re-association derived from the `Match ≡ Map∘Cross`
+//!   decomposition);
+//! * [`constraints`] — uniqueness propagation through operators (the
+//!   substrate for the PK–FK precondition);
+//! * [`enumerate`] — plan enumeration: a faithful port of the paper's
+//!   **Algorithm 1** for unary flows plus a closure enumerator (BFS over
+//!   single valid moves with canonical-form memoization) that handles
+//!   arbitrary tree-shaped flows and serves as the correctness oracle;
+//! * [`cost`] — the hint-driven cost model (network IO + disk IO + CPU per
+//!   UDF call);
+//! * [`physical`] — shipping strategies (forward / hash repartition /
+//!   broadcast) and local strategies (hash/sort grouping, hash join with
+//!   build-side choice, sort-merge join, block nested loops), selected
+//!   per logical order with partitioning-property reuse;
+//! * [`optimizer`] — the end-to-end [`Optimizer`](optimizer::Optimizer):
+//!   derive properties → enumerate orders → cost each physical alternative
+//!   → rank.
+
+#![warn(missing_docs)]
+
+pub mod conditions;
+pub mod constraints;
+pub mod cost;
+pub mod enumerate;
+pub mod physical;
+pub mod props;
+
+mod optimizer;
+
+pub use conditions::roc;
+pub use enumerate::{enumerate_all, enumerate_algorithm1, neighbors};
+pub use optimizer::{Optimizer, OptimizerReport, RankedPlan};
+pub use physical::{LocalStrategy, PhysNode, PhysPlan, Ship};
+pub use props::{OpProps, PropTable};

@@ -1,0 +1,613 @@
+//! Physical optimization: shipping and local strategies.
+//!
+//! For one logical operator order, this module plays the role of the
+//! "existing cost-based optimizer" of Section 7.1: it "selects data
+//! shipping and execution strategies such as broadcasting and hybrid-hash
+//! joins", reusing **interesting properties** (partitionings) during the
+//! recursive descent — e.g. the Q15 discussion in Section 7.3 where
+//! "since Match operates on the same key as Reduce, the partitioning
+//! property remains and can be reused".
+//!
+//! Strategies:
+//!
+//! * shipping: [`Ship::Forward`] (stay local), [`Ship::Partition`] (hash
+//!   repartition by key), [`Ship::Broadcast`] (replicate to all workers);
+//! * local: pipelined Map, hash or sort grouping, hash join with explicit
+//!   build side, sort-merge join, block-nested-loop cross, sort-merge
+//!   co-group.
+//!
+//! Selection keeps, per subtree, the cheapest candidate for every distinct
+//! output partitioning (a miniature Volcano with interesting properties),
+//! so a more expensive child plan that delivers a reusable partitioning can
+//! win globally.
+
+use crate::cost::{estimate, CostWeights, Est};
+use crate::props::PropTable;
+use std::sync::Arc;
+use strato_dataflow::{NodeKind, Pact, Plan, PlanNode};
+use strato_record::AttrId;
+
+/// A shipping strategy for one operator input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ship {
+    /// Keep records on their current worker.
+    Forward,
+    /// Hash-repartition by the given global attributes.
+    Partition(Vec<AttrId>),
+    /// Replicate every record to every worker.
+    Broadcast,
+}
+
+/// A local execution strategy for one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalStrategy {
+    /// Pipelined record-at-a-time execution (Map).
+    Pipe,
+    /// Build an in-memory hash table of groups.
+    HashGroup,
+    /// Sort by key, then group.
+    SortGroup,
+    /// Hash join building on the left input.
+    HashJoinBuildLeft,
+    /// Hash join building on the right input.
+    HashJoinBuildRight,
+    /// Sort both inputs and merge.
+    SortMergeJoin,
+    /// Block-nested-loop Cartesian product.
+    BlockNestedLoop,
+    /// Sort-merge co-grouping.
+    CoGroupSortMerge,
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone)]
+pub struct PhysNode {
+    /// The logical node this realizes.
+    pub logical: Arc<PlanNode>,
+    /// Ship strategy per input (empty for sources).
+    pub ships: Vec<Ship>,
+    /// Local strategy.
+    pub local: LocalStrategy,
+    /// Children.
+    pub children: Vec<PhysNode>,
+    /// Output estimate.
+    pub est: Est,
+    /// Cumulative cost of this subtree.
+    pub cost: f64,
+}
+
+impl PhysNode {
+    /// Renders the physical plan as an indented tree.
+    pub fn render(&self, plan: &Plan, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self.logical.kind {
+            NodeKind::Source(s) => {
+                out.push_str(&format!("scan {}\n", plan.ctx.sources[s].name));
+            }
+            NodeKind::Op(o) => {
+                let op = &plan.ctx.ops[o];
+                let ships: Vec<String> = self
+                    .ships
+                    .iter()
+                    .map(|s| match s {
+                        Ship::Forward => "fwd".to_string(),
+                        Ship::Partition(k) => format!("part({})", k.len()),
+                        Ship::Broadcast => "bcast".to_string(),
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{} [{} | {:?} | ships {}] rows≈{:.0}\n",
+                    op.name,
+                    op.pact.kind_name(),
+                    self.local,
+                    ships.join(","),
+                    self.est.rows
+                ));
+            }
+        }
+        for c in &self.children {
+            c.render(plan, depth + 1, out);
+        }
+    }
+}
+
+/// A fully costed physical plan for one logical order.
+#[derive(Debug, Clone)]
+pub struct PhysPlan {
+    /// Root of the physical tree.
+    pub root: PhysNode,
+    /// Total estimated cost.
+    pub total_cost: f64,
+}
+
+impl PhysPlan {
+    /// Renders the plan.
+    pub fn render(&self, plan: &Plan) -> String {
+        let mut s = String::new();
+        self.root.render(plan, 0, &mut s);
+        s
+    }
+}
+
+/// One candidate during selection: a physical subtree plus the partitioning
+/// property its output satisfies.
+#[derive(Debug, Clone)]
+struct Candidate {
+    phys: PhysNode,
+    partitioning: Option<Vec<AttrId>>,
+}
+
+/// Chooses the cheapest physical realization of a logical plan.
+pub fn best_physical(
+    plan: &Plan,
+    props: &PropTable,
+    weights: &CostWeights,
+    dop: usize,
+) -> PhysPlan {
+    let cands = candidates(plan, props, weights, dop, &plan.root);
+    let best = cands
+        .into_iter()
+        .min_by(|a, b| a.phys.cost.total_cmp(&b.phys.cost))
+        .expect("at least one candidate");
+    PhysPlan {
+        total_cost: best.phys.cost,
+        root: best.phys,
+    }
+}
+
+/// Spill charge: bytes beyond the memory budget cost disk IO (write+read).
+fn spill(bytes: f64, w: &CostWeights) -> f64 {
+    if bytes > w.mem_budget {
+        2.0 * (bytes - w.mem_budget) * w.disk
+    } else {
+        0.0
+    }
+}
+
+fn sort_cost(e: &Est, w: &CostWeights) -> f64 {
+    let n = e.rows.max(2.0);
+    0.3 * n * n.log2() * w.cpu + spill(e.bytes(), w)
+}
+
+fn hash_build_cost(e: &Est, w: &CostWeights) -> f64 {
+    1.2 * e.rows * w.cpu + spill(e.bytes(), w)
+}
+
+fn ship_cost(ship: &Ship, e: &Est, w: &CostWeights, dop: usize) -> f64 {
+    match ship {
+        Ship::Forward => 0.0,
+        // (dop-1)/dop of the data crosses the wire; approximate with 1.
+        Ship::Partition(_) => e.bytes() * w.net,
+        Ship::Broadcast => e.bytes() * w.net * dop as f64,
+    }
+}
+
+/// Keeps only the cheapest candidate per distinct partitioning plus the
+/// globally cheapest.
+fn prune(mut cands: Vec<Candidate>) -> Vec<Candidate> {
+    cands.sort_by(|a, b| a.phys.cost.total_cmp(&b.phys.cost));
+    let mut seen: Vec<Option<Vec<AttrId>>> = Vec::new();
+    let mut out = Vec::new();
+    for c in cands {
+        if !seen.contains(&c.partitioning) {
+            seen.push(c.partitioning.clone());
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Does the child partitioning satisfy a required key (non-empty subset)?
+fn satisfies(part: &Option<Vec<AttrId>>, key: &[AttrId]) -> bool {
+    match part {
+        Some(p) => !p.is_empty() && p.iter().all(|a| key.contains(a)),
+        None => false,
+    }
+}
+
+fn candidates(
+    plan: &Plan,
+    props: &PropTable,
+    w: &CostWeights,
+    dop: usize,
+    node: &Arc<PlanNode>,
+) -> Vec<Candidate> {
+    match node.kind {
+        NodeKind::Source(_) => {
+            let est = estimate(plan, node);
+            // Scan cost: every plan reads every source once (the paper notes
+            // all plans do full scans), charged as disk IO.
+            let cost = est.bytes() * w.disk;
+            vec![Candidate {
+                phys: PhysNode {
+                    logical: node.clone(),
+                    ships: vec![],
+                    local: LocalStrategy::Pipe,
+                    children: vec![],
+                    est,
+                    cost,
+                },
+                partitioning: None,
+            }]
+        }
+        NodeKind::Op(o) => {
+            let op = &plan.ctx.ops[o];
+            let est = estimate(plan, node);
+            let udf_cpu = est.calls * op.hints.cpu_per_call * w.cpu;
+            let mut out: Vec<Candidate> = Vec::new();
+            match &op.pact {
+                Pact::Map => {
+                    for c in candidates(plan, props, w, dop, &node.children[0]) {
+                        // A Map that writes partition attributes destroys
+                        // the property.
+                        let part = match &c.partitioning {
+                            Some(p)
+                                if p.iter()
+                                    .all(|a| !props.get(o).write.contains(*a)) =>
+                            {
+                                c.partitioning.clone()
+                            }
+                            _ => None,
+                        };
+                        let cost = c.phys.cost + udf_cpu;
+                        out.push(Candidate {
+                            phys: PhysNode {
+                                logical: node.clone(),
+                                ships: vec![Ship::Forward],
+                                local: LocalStrategy::Pipe,
+                                children: vec![c.phys],
+                                est,
+                                cost,
+                            },
+                            partitioning: part,
+                        });
+                    }
+                }
+                Pact::Reduce { .. } => {
+                    let key = op.key_attrs[0].clone();
+                    for c in candidates(plan, props, w, dop, &node.children[0]) {
+                        let reuse = satisfies(&c.partitioning, &key);
+                        let ship = if reuse {
+                            Ship::Forward
+                        } else {
+                            Ship::Partition(key.clone())
+                        };
+                        let in_est = c.phys.est;
+                        let base = c.phys.cost + ship_cost(&ship, &in_est, w, dop) + udf_cpu;
+                        for (local, lcost) in [
+                            (LocalStrategy::HashGroup, hash_build_cost(&in_est, w)),
+                            (LocalStrategy::SortGroup, sort_cost(&in_est, w)),
+                        ] {
+                            out.push(Candidate {
+                                phys: PhysNode {
+                                    logical: node.clone(),
+                                    ships: vec![ship.clone()],
+                                    local,
+                                    children: vec![c.phys.clone()],
+                                    est,
+                                    cost: base + lcost,
+                                },
+                                partitioning: Some(key.clone()),
+                            });
+                        }
+                    }
+                }
+                Pact::Match { .. } => {
+                    let (kl, kr) = (op.key_attrs[0].clone(), op.key_attrs[1].clone());
+                    let lcands = candidates(plan, props, w, dop, &node.children[0]);
+                    let rcands = candidates(plan, props, w, dop, &node.children[1]);
+                    for lc in &lcands {
+                        for rc in &rcands {
+                            let (le, re) = (lc.phys.est, rc.phys.est);
+                            // (a) Repartition both (with reuse).
+                            let ship_l = if satisfies(&lc.partitioning, &kl) {
+                                Ship::Forward
+                            } else {
+                                Ship::Partition(kl.clone())
+                            };
+                            let ship_r = if satisfies(&rc.partitioning, &kr) {
+                                Ship::Forward
+                            } else {
+                                Ship::Partition(kr.clone())
+                            };
+                            // Reuse is only sound if both sides end up
+                            // co-partitioned; forwarding both requires that
+                            // their partitionings correspond — we only reuse
+                            // when the other side is repartitioned on the
+                            // full key or both were partitioned identically
+                            // by position. Conservative: if both would
+                            // forward, repartition the bigger-keyed side.
+                            let (ship_l, ship_r) = match (&ship_l, &ship_r) {
+                                (Ship::Forward, Ship::Forward) => {
+                                    // Require exact correspondence of the
+                                    // partition keys to the join keys.
+                                    let exact_l = lc.partitioning.as_deref() == Some(&kl[..]);
+                                    let exact_r = rc.partitioning.as_deref() == Some(&kr[..]);
+                                    if exact_l && exact_r {
+                                        (Ship::Forward, Ship::Forward)
+                                    } else if exact_l {
+                                        (Ship::Forward, Ship::Partition(kr.clone()))
+                                    } else {
+                                        (Ship::Partition(kl.clone()), ship_r)
+                                    }
+                                }
+                                _ => (ship_l, ship_r),
+                            };
+                            let ship_cost_ab = ship_cost(&ship_l, &le, w, dop)
+                                + ship_cost(&ship_r, &re, w, dop);
+                            let (build, bcost) = if le.bytes() <= re.bytes() {
+                                (LocalStrategy::HashJoinBuildLeft, hash_build_cost(&le, w))
+                            } else {
+                                (LocalStrategy::HashJoinBuildRight, hash_build_cost(&re, w))
+                            };
+                            let smj = sort_cost(&le, w) + sort_cost(&re, w);
+                            let base = lc.phys.cost + rc.phys.cost + udf_cpu;
+                            for (local, lcost2) in [(build, bcost), (LocalStrategy::SortMergeJoin, smj)]
+                            {
+                                for part_out in [Some(kl.clone()), Some(kr.clone())] {
+                                    out.push(Candidate {
+                                        phys: PhysNode {
+                                            logical: node.clone(),
+                                            ships: vec![ship_l.clone(), ship_r.clone()],
+                                            local,
+                                            children: vec![lc.phys.clone(), rc.phys.clone()],
+                                            est,
+                                            cost: base + ship_cost_ab + lcost2,
+                                        },
+                                        partitioning: part_out,
+                                    });
+                                }
+                            }
+                            // (b) Broadcast the smaller side; the larger
+                            // side's partitioning survives.
+                            let (bc_side, fw_side, bc_est, fw_cand) = if le.bytes() <= re.bytes()
+                            {
+                                (0usize, 1usize, le, rc)
+                            } else {
+                                (1, 0, re, lc)
+                            };
+                            let mut ships = vec![Ship::Forward, Ship::Forward];
+                            ships[bc_side] = Ship::Broadcast;
+                            let bcost2 = ship_cost(&Ship::Broadcast, &bc_est, w, dop)
+                                + hash_build_cost(&bc_est, w) * dop as f64;
+                            let local = if bc_side == 0 {
+                                LocalStrategy::HashJoinBuildLeft
+                            } else {
+                                LocalStrategy::HashJoinBuildRight
+                            };
+                            let _ = fw_side;
+                            out.push(Candidate {
+                                phys: PhysNode {
+                                    logical: node.clone(),
+                                    ships,
+                                    local,
+                                    children: vec![lc.phys.clone(), rc.phys.clone()],
+                                    est,
+                                    cost: lc.phys.cost + rc.phys.cost + udf_cpu + bcost2,
+                                },
+                                partitioning: fw_cand.partitioning.clone(),
+                            });
+                        }
+                    }
+                }
+                Pact::Cross => {
+                    let lcands = candidates(plan, props, w, dop, &node.children[0]);
+                    let rcands = candidates(plan, props, w, dop, &node.children[1]);
+                    for lc in &lcands {
+                        for rc in &rcands {
+                            let (le, re) = (lc.phys.est, rc.phys.est);
+                            let (bc_side, bc_est, keep) = if le.bytes() <= re.bytes() {
+                                (0usize, le, rc)
+                            } else {
+                                (1, re, lc)
+                            };
+                            let mut ships = vec![Ship::Forward, Ship::Forward];
+                            ships[bc_side] = Ship::Broadcast;
+                            let cost = lc.phys.cost
+                                + rc.phys.cost
+                                + udf_cpu
+                                + ship_cost(&Ship::Broadcast, &bc_est, w, dop)
+                                + est.calls * w.cpu * 0.1;
+                            out.push(Candidate {
+                                phys: PhysNode {
+                                    logical: node.clone(),
+                                    ships,
+                                    local: LocalStrategy::BlockNestedLoop,
+                                    children: vec![lc.phys.clone(), rc.phys.clone()],
+                                    est,
+                                    cost,
+                                },
+                                partitioning: keep.partitioning.clone(),
+                            });
+                        }
+                    }
+                }
+                Pact::CoGroup { .. } => {
+                    let (kl, kr) = (op.key_attrs[0].clone(), op.key_attrs[1].clone());
+                    let lcands = candidates(plan, props, w, dop, &node.children[0]);
+                    let rcands = candidates(plan, props, w, dop, &node.children[1]);
+                    for lc in &lcands {
+                        for rc in &rcands {
+                            let (le, re) = (lc.phys.est, rc.phys.est);
+                            let ship_l = Ship::Partition(kl.clone());
+                            let ship_r = Ship::Partition(kr.clone());
+                            let cost = lc.phys.cost
+                                + rc.phys.cost
+                                + udf_cpu
+                                + ship_cost(&ship_l, &le, w, dop)
+                                + ship_cost(&ship_r, &re, w, dop)
+                                + sort_cost(&le, w)
+                                + sort_cost(&re, w);
+                            out.push(Candidate {
+                                phys: PhysNode {
+                                    logical: node.clone(),
+                                    ships: vec![ship_l, ship_r],
+                                    local: LocalStrategy::CoGroupSortMerge,
+                                    children: vec![lc.phys.clone(), rc.phys.clone()],
+                                    est,
+                                    cost,
+                                },
+                                partitioning: Some(kl.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+            prune(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_dataflow::{CostHints, PropertyMode, ProgramBuilder, SourceDef};
+    use strato_ir::{FuncBuilder, Function, UdfKind};
+
+    fn identity_map(w: usize) -> Function {
+        let mut b = FuncBuilder::new("id", UdfKind::Map, vec![w]);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn group_first(w: usize) -> Function {
+        let mut b = FuncBuilder::new("first", UdfKind::Group, vec![w]);
+        let it = b.iter_open(0);
+        let nil = b.new_label();
+        let first = b.iter_next(it, nil);
+        let or = b.copy(first);
+        b.emit(or);
+        b.place(nil);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn join_udf(l: usize, r: usize) -> Function {
+        let mut b = FuncBuilder::new("join", UdfKind::Pair, vec![l, r]);
+        let or = b.concat_inputs();
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn phys_of(plan: &Plan) -> PhysPlan {
+        let props = PropTable::build(plan, PropertyMode::Sca);
+        best_physical(plan, &props, &CostWeights::default(), 8)
+    }
+
+    #[test]
+    fn broadcast_wins_for_tiny_build_side() {
+        let mut p = ProgramBuilder::new();
+        let big = p.source(SourceDef::new("big", &["k", "v"], 1_000_000).with_bytes_per_row(64));
+        let tiny = p.source(SourceDef::new("tiny", &["k"], 10).with_bytes_per_row(8));
+        let j = p.match_(
+            "j",
+            &[0],
+            &[0],
+            join_udf(2, 1),
+            CostHints::default().with_distinct_keys(10),
+            big,
+            tiny,
+        );
+        let plan = p.finish(j).unwrap().bind().unwrap();
+        let phys = phys_of(&plan);
+        assert_eq!(phys.root.ships[1], Ship::Broadcast);
+        assert_eq!(phys.root.ships[0], Ship::Forward);
+        assert_eq!(phys.root.local, LocalStrategy::HashJoinBuildRight);
+    }
+
+    #[test]
+    fn repartition_wins_for_balanced_sides() {
+        let mut p = ProgramBuilder::new();
+        let l = p.source(SourceDef::new("l", &["k", "v"], 500_000).with_bytes_per_row(64));
+        let r = p.source(SourceDef::new("r", &["k", "w"], 500_000).with_bytes_per_row(64));
+        let j = p.match_(
+            "j",
+            &[0],
+            &[0],
+            join_udf(2, 2),
+            CostHints::default().with_distinct_keys(100_000),
+            l,
+            r,
+        );
+        let plan = p.finish(j).unwrap().bind().unwrap();
+        let phys = phys_of(&plan);
+        assert!(matches!(phys.root.ships[0], Ship::Partition(_)));
+        assert!(matches!(phys.root.ships[1], Ship::Partition(_)));
+    }
+
+    #[test]
+    fn reduce_reuses_match_partitioning() {
+        // Section 7.3 / Q15 flavour: Match on k, then Reduce on the same k:
+        // the reduce's input must be Forward (partitioning reuse).
+        let mut p = ProgramBuilder::new();
+        let l = p.source(SourceDef::new("l", &["k", "v"], 400_000).with_bytes_per_row(64));
+        let r = p.source(SourceDef::new("r", &["k2"], 300_000).with_bytes_per_row(64));
+        let j = p.match_(
+            "j",
+            &[0],
+            &[0],
+            join_udf(2, 1),
+            CostHints::default().with_distinct_keys(50_000),
+            l,
+            r,
+        );
+        let g = p.reduce(
+            "g",
+            &[0],
+            group_first(3),
+            CostHints::default().with_distinct_keys(50_000),
+            j,
+        );
+        let plan = p.finish(g).unwrap().bind().unwrap();
+        let phys = phys_of(&plan);
+        assert_eq!(
+            phys.root.ships[0],
+            Ship::Forward,
+            "reduce must reuse the join's partitioning:\n{}",
+            phys.render(&plan)
+        );
+    }
+
+    #[test]
+    fn map_is_pipelined_for_free() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["a"], 100));
+        let m = p.map("id", identity_map(1), CostHints::default(), s);
+        let plan = p.finish(m).unwrap().bind().unwrap();
+        let phys = phys_of(&plan);
+        assert_eq!(phys.root.ships[0], Ship::Forward);
+        assert_eq!(phys.root.local, LocalStrategy::Pipe);
+    }
+
+    #[test]
+    fn costs_are_positive_and_monotone_with_size(){
+        let cost_for = |rows: u64| {
+            let mut p = ProgramBuilder::new();
+            let s = p.source(SourceDef::new("s", &["k"], rows).with_bytes_per_row(32));
+            let g = p.reduce("g", &[0], group_first(1), CostHints::default(), s);
+            let plan = p.finish(g).unwrap().bind().unwrap();
+            phys_of(&plan).total_cost
+        };
+        let small = cost_for(1_000);
+        let big = cost_for(1_000_000);
+        assert!(small > 0.0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn render_mentions_strategies() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k"], 1000));
+        let g = p.reduce("g", &[0], group_first(1), CostHints::default(), s);
+        let plan = p.finish(g).unwrap().bind().unwrap();
+        let phys = phys_of(&plan);
+        let txt = phys.render(&plan);
+        assert!(txt.contains("g [Reduce"), "{txt}");
+        assert!(txt.contains("scan s"), "{txt}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Global operator properties.
+//!
+//! Lifts the local (field-index-level) properties produced by SCA or manual
+//! annotation onto the **global record** through the redirection maps α,
+//! applying the paper's operator-level rules:
+//!
+//! * key attributes of Match/CoGroup/Reduce join the read set (the
+//!   `f → f'` transformation of Section 4.3.1 "simply means that the
+//!   attributes used as keys … are added to the read set");
+//! * an implicit-projection UDF (default output constructor) *writes* every
+//!   global attribute it does not explicitly preserve — including
+//!   attributes outside its local schema that other operators or sources
+//!   contribute, because any such attribute flowing through the operator
+//!   after a reorder would be dropped;
+//! * a UDF whose copy constructor covers all inputs preserves unknown
+//!   attributes, so its write set is exactly its modified + added fields.
+
+use std::fmt;
+use strato_dataflow::{BoundOp, Plan, PropertyMode};
+use strato_record::{AttrSet, GlobalRecord};
+use strato_sca::EmitBounds;
+
+/// Global-attribute-level properties of one operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProps {
+    /// Global read set `R_f` (Definition 3), including key attributes.
+    pub read: AttrSet,
+    /// Global write set `W_f` (Definition 2).
+    pub write: AttrSet,
+    /// Attributes that may influence the emit decision (KGP, Definition 5).
+    pub control: AttrSet,
+    /// Emit-cardinality bounds per invocation.
+    pub emits: EmitBounds,
+    /// Attributes the operator newly creates.
+    pub added: AttrSet,
+}
+
+impl OpProps {
+    /// `R_f ∪ W_f` — the attributes the operator touches at all.
+    pub fn accessed(&self) -> AttrSet {
+        self.read.union(&self.write)
+    }
+
+    /// Renders the property sets with attribute names for diagnostics.
+    pub fn render(&self, g: &GlobalRecord) -> String {
+        format!(
+            "R={} W={} C={} emits={}",
+            g.render(&self.read),
+            g.render(&self.write),
+            g.render(&self.control),
+            self.emits
+        )
+    }
+}
+
+/// Derives the global properties of a bound operator.
+pub fn derive(op: &BoundOp, mode: PropertyMode, all_attrs: &AttrSet) -> OpProps {
+    let local = op.props(mode);
+    let layout = &op.layout;
+
+    // Read set: α(local reads) ∪ dynamic inputs ∪ keys.
+    let mut read = AttrSet::new();
+    for &(inp, field) in &local.reads {
+        if let Some(a) = layout.inputs.get(inp as usize).and_then(|r| r.get(field)) {
+            read.insert(a);
+        }
+    }
+    for &inp in &local.dynamic_read_inputs {
+        if let Some(r) = layout.inputs.get(inp as usize) {
+            read.union_with(&r.attr_set());
+        }
+    }
+    for keys in &op.key_attrs {
+        for &k in keys {
+            read.insert(k);
+        }
+    }
+
+    // Control set: α(control reads) ∪ dynamic control inputs.
+    let mut control = AttrSet::new();
+    for &(inp, field) in &local.control_reads {
+        if let Some(a) = layout.inputs.get(inp as usize).and_then(|r| r.get(field)) {
+            control.insert(a);
+        }
+    }
+    for &inp in &local.dynamic_control_inputs {
+        if let Some(r) = layout.inputs.get(inp as usize) {
+            control.union_with(&r.attr_set());
+        }
+    }
+
+    // Added attributes.
+    let added: AttrSet = op.added_attrs.iter().copied().collect();
+
+    // Write set: α_out(written base fields) ∪ added.
+    let mut write = added.clone();
+    for &field in &local.written_base {
+        if let Some(a) = layout.output.get(field) {
+            write.insert(a);
+        }
+    }
+    if local.dynamic_write {
+        // Every output field may change.
+        write.union_with(&layout.output.attr_set());
+    }
+    // Foreign attributes: if some input is not implicitly copied on every
+    // emit path, any attribute that might flow through that input after a
+    // reorder is dropped — conservatively, all attributes outside the
+    // operator's schema and its additions.
+    let n_inputs = layout.inputs.len();
+    let copies_all = (0..n_inputs as u8).all(|i| local.copies_input(i));
+    if !copies_all {
+        let mut schema = AttrSet::new();
+        for r in &layout.inputs {
+            schema.union_with(&r.attr_set());
+        }
+        schema.union_with(&added);
+        write.union_with(&all_attrs.difference(&schema));
+    }
+
+    OpProps {
+        read,
+        write,
+        control,
+        emits: local.emits,
+        added,
+    }
+}
+
+/// Properties of every operator in a plan, under one property mode.
+#[derive(Debug, Clone)]
+pub struct PropTable {
+    props: Vec<OpProps>,
+    /// The mode the table was derived under.
+    pub mode: PropertyMode,
+}
+
+impl PropTable {
+    /// Derives properties for all operators of a plan.
+    pub fn build(plan: &Plan, mode: PropertyMode) -> PropTable {
+        let all = plan.ctx.global.all();
+        PropTable {
+            props: plan.ctx.ops.iter().map(|op| derive(op, mode, &all)).collect(),
+            mode,
+        }
+    }
+
+    /// Properties of operator `op_id`.
+    pub fn get(&self, op_id: usize) -> &OpProps {
+        &self.props[op_id]
+    }
+
+    /// Number of operators covered.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// `true` when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+}
+
+impl fmt::Display for OpProps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "R={} W={} C={} emits={}",
+            self.read, self.write, self.control, self.emits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_dataflow::{CostHints, ProgramBuilder};
+    use strato_ir::{BinOp, FuncBuilder, Function, UdfKind};
+
+    fn filter_map(width: usize, field: usize) -> Function {
+        let mut b = FuncBuilder::new("filter", UdfKind::Map, vec![width]);
+        let v = b.get_input(0, field);
+        let z = b.konst(0i64);
+        let neg = b.bin(BinOp::Lt, v, z);
+        let end = b.new_label();
+        b.branch(neg, end);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.place(end);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn project_map(width: usize, keep: usize) -> Function {
+        // new OutputRecord(); or[keep] := getField(ir, keep); emit.
+        let mut b = FuncBuilder::new("proj", UdfKind::Map, vec![width]);
+        let v = b.get_input(0, keep);
+        let or = b.new_rec();
+        b.set(or, keep, v);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn join_udf(l: usize, r: usize) -> Function {
+        let mut b = FuncBuilder::new("join", UdfKind::Pair, vec![l, r]);
+        let or = b.concat_inputs();
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn filter_props_read_only() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(strato_dataflow::SourceDef::new("s", &["a", "b"], 10));
+        let m = p.map("f", filter_map(2, 0), CostHints::default(), s);
+        let plan = p.finish(m).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        let props = t.get(0);
+        let a = plan.ctx.global.by_name("s.a").unwrap();
+        assert_eq!(props.read, AttrSet::singleton(a));
+        assert!(props.write.is_empty());
+        assert_eq!(props.control, AttrSet::singleton(a));
+        assert!(props.emits.at_most_one());
+    }
+
+    #[test]
+    fn implicit_projection_writes_foreign_attrs() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(strato_dataflow::SourceDef::new("s", &["a", "b"], 10));
+        let other = p.source(strato_dataflow::SourceDef::new("t", &["c"], 10));
+        let m = p.map("proj", project_map(2, 0), CostHints::default(), s);
+        let j = p.match_("j", &[0], &[0], join_udf(2, 1), CostHints::default(), m, other);
+        let plan = p.finish(j).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        let proj = plan.ctx.ops.iter().position(|o| o.name == "proj").unwrap();
+        let props = t.get(proj);
+        let b = plan.ctx.global.by_name("s.b").unwrap();
+        let c = plan.ctx.global.by_name("t.c").unwrap();
+        // Projects away s.b (own schema) AND would drop t.c if it flowed
+        // through after a reorder.
+        assert!(props.write.contains(b));
+        assert!(props.write.contains(c));
+        let a = plan.ctx.global.by_name("s.a").unwrap();
+        assert!(!props.write.contains(a));
+    }
+
+    #[test]
+    fn match_keys_join_the_read_set() {
+        let mut p = ProgramBuilder::new();
+        let l = p.source(strato_dataflow::SourceDef::new("l", &["a", "b"], 10));
+        let r = p.source(strato_dataflow::SourceDef::new("r", &["c"], 10));
+        let j = p.match_("j", &[1], &[0], join_udf(2, 1), CostHints::default(), l, r);
+        let plan = p.finish(j).unwrap().bind().unwrap();
+        let t = PropTable::build(&plan, PropertyMode::Sca);
+        let props = t.get(0);
+        let b = plan.ctx.global.by_name("l.b").unwrap();
+        let c = plan.ctx.global.by_name("r.c").unwrap();
+        assert!(props.read.contains(b), "left key must be read");
+        assert!(props.read.contains(c), "right key must be read");
+        // Concat copies both sides: no writes at all.
+        assert!(props.write.is_empty());
+    }
+
+    #[test]
+    fn copy_all_inputs_preserves_foreign_attrs() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(strato_dataflow::SourceDef::new("s", &["a"], 10));
+        let t2 = p.source(strato_dataflow::SourceDef::new("t", &["c"], 10));
+        let m = p.map("id", {
+            let mut b = FuncBuilder::new("id", UdfKind::Map, vec![1]);
+            let or = b.copy_input(0);
+            b.emit(or);
+            b.ret();
+            b.finish().unwrap()
+        }, CostHints::default(), s);
+        let j = p.match_("j", &[0], &[0], join_udf(1, 1), CostHints::default(), m, t2);
+        let plan = p.finish(j).unwrap().bind().unwrap();
+        let table = PropTable::build(&plan, PropertyMode::Sca);
+        let id = plan.ctx.ops.iter().position(|o| o.name == "id").unwrap();
+        assert!(table.get(id).write.is_empty());
+    }
+
+    #[test]
+    fn accessed_is_union() {
+        let p = OpProps {
+            read: AttrSet::from_iter_ids([strato_record::AttrId(1)]),
+            write: AttrSet::from_iter_ids([strato_record::AttrId(2)]),
+            control: AttrSet::new(),
+            emits: EmitBounds { min: 1, max: Some(1) },
+            added: AttrSet::new(),
+        };
+        assert_eq!(p.accessed().len(), 2);
+    }
+}

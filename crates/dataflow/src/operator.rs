@@ -1,0 +1,151 @@
+//! Operators: PACT + UDF + annotations + cost hints.
+
+use crate::pact::Pact;
+use std::sync::Arc;
+use strato_ir::Function;
+use strato_sca::LocalProps;
+
+/// Cost-model hints, mirroring Section 7.1 of the paper: "the optimizer
+/// relies on hints such as 'Average Number of Records Emitted per UDF
+/// Call', 'CPU Cost per UDF Call', and 'Number of Distinct Values per
+/// Key-Set'. These can be provided by the user, a language compiler, or
+/// obtained by runtime profiling."
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostHints {
+    /// Average number of records emitted per UDF call (selectivity).
+    pub avg_emits_per_call: f64,
+    /// CPU cost units per UDF call.
+    pub cpu_per_call: f64,
+    /// Number of distinct values of the key set (Reduce/CoGroup inputs);
+    /// `None` = unknown, the cost model falls back to a default ratio.
+    pub distinct_keys: Option<u64>,
+    /// Average bytes per output record; `None` = derive from input width.
+    pub avg_record_bytes: Option<u64>,
+}
+
+impl Default for CostHints {
+    fn default() -> Self {
+        CostHints {
+            avg_emits_per_call: 1.0,
+            cpu_per_call: 1.0,
+            distinct_keys: None,
+            avg_record_bytes: None,
+        }
+    }
+}
+
+impl CostHints {
+    /// Hint with a given selectivity (records out per call).
+    pub fn selectivity(sel: f64) -> Self {
+        CostHints {
+            avg_emits_per_call: sel,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the CPU cost per call.
+    pub fn with_cpu(mut self, cpu: f64) -> Self {
+        self.cpu_per_call = cpu;
+        self
+    }
+
+    /// Sets the distinct-keys hint.
+    pub fn with_distinct_keys(mut self, k: u64) -> Self {
+        self.distinct_keys = Some(k);
+        self
+    }
+
+    /// Sets the average output record width in bytes.
+    pub fn with_record_bytes(mut self, b: u64) -> Self {
+        self.avg_record_bytes = Some(b);
+        self
+    }
+}
+
+/// A data flow operator: a second-order function with an attached
+/// first-order black-box UDF.
+///
+/// `manual_props` optionally carries hand-written property annotations — the
+/// alternative property source the paper compares against SCA in Table 1.
+#[derive(Debug, Clone)]
+pub struct Operator {
+    /// Diagnostic name, e.g. `"filter_shipdate"`.
+    pub name: String,
+    /// The second-order function and its key fields.
+    pub pact: Pact,
+    /// The first-order UDF (three-address code).
+    pub udf: Arc<Function>,
+    /// Optional manual property annotations (local field indices).
+    pub manual_props: Option<LocalProps>,
+    /// Cost-model hints.
+    pub hints: CostHints,
+}
+
+impl Operator {
+    /// Creates an operator; panics if the UDF kind does not fit the PACT
+    /// (programming error at workload-construction time).
+    pub fn new(name: impl Into<String>, pact: Pact, udf: Function, hints: CostHints) -> Self {
+        assert_eq!(
+            udf.kind(),
+            pact.udf_kind(),
+            "UDF kind must match the PACT's invocation shape"
+        );
+        Operator {
+            name: name.into(),
+            pact,
+            udf: Arc::new(udf),
+            manual_props: None,
+            hints,
+        }
+    }
+
+    /// Attaches manual property annotations.
+    pub fn with_manual_props(mut self, props: LocalProps) -> Self {
+        self.manual_props = Some(props);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_ir::{FuncBuilder, UdfKind};
+
+    fn identity_map(width: usize) -> Function {
+        let mut b = FuncBuilder::new("id", UdfKind::Map, vec![width]);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn hints_builders() {
+        let h = CostHints::selectivity(0.25)
+            .with_cpu(10.0)
+            .with_distinct_keys(100)
+            .with_record_bytes(64);
+        assert_eq!(h.avg_emits_per_call, 0.25);
+        assert_eq!(h.cpu_per_call, 10.0);
+        assert_eq!(h.distinct_keys, Some(100));
+        assert_eq!(h.avg_record_bytes, Some(64));
+    }
+
+    #[test]
+    fn operator_construction() {
+        let op = Operator::new("m", Pact::Map, identity_map(2), CostHints::default());
+        assert_eq!(op.name, "m");
+        assert!(op.manual_props.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "UDF kind must match")]
+    fn wrong_udf_kind_panics() {
+        let _ = Operator::new(
+            "bad",
+            Pact::Reduce { key: vec![0] },
+            identity_map(2),
+            CostHints::default(),
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The five second-order functions (PACTs) of Section 2.3.
+
+use strato_ir::UdfKind;
+
+/// A second-order function: how the input data set(s) are partitioned into
+/// groups before the first-order UDF is applied (Figure 1 of the paper).
+///
+/// Key fields are **local field indices** into the respective input's
+/// schema; binding maps them to global attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pact {
+    /// Every input record forms its own group.
+    Map,
+    /// One group per distinct value of the key attributes.
+    Reduce {
+        /// Key fields of the single input.
+        key: Vec<usize>,
+    },
+    /// One group per *pair* of records from the two inputs (Cartesian
+    /// product).
+    Cross,
+    /// One group per pair of records agreeing on the key (equi-join).
+    Match {
+        /// Key fields of the left input.
+        key_left: Vec<usize>,
+        /// Key fields of the right input.
+        key_right: Vec<usize>,
+    },
+    /// One group per key value over the combined active domains; each group
+    /// holds the matching records of both inputs.
+    CoGroup {
+        /// Key fields of the left input.
+        key_left: Vec<usize>,
+        /// Key fields of the right input.
+        key_right: Vec<usize>,
+    },
+}
+
+impl Pact {
+    /// Number of inputs this PACT consumes.
+    pub fn n_inputs(&self) -> usize {
+        match self {
+            Pact::Map | Pact::Reduce { .. } => 1,
+            Pact::Cross | Pact::Match { .. } | Pact::CoGroup { .. } => 2,
+        }
+    }
+
+    /// The UDF invocation shape this PACT requires.
+    pub fn udf_kind(&self) -> UdfKind {
+        match self {
+            Pact::Map => UdfKind::Map,
+            Pact::Reduce { .. } => UdfKind::Group,
+            Pact::Cross | Pact::Match { .. } => UdfKind::Pair,
+            Pact::CoGroup { .. } => UdfKind::CoGroup,
+        }
+    }
+
+    /// Record-at-a-time (UDF sees single records) vs. key-at-a-time (UDF
+    /// sees record lists) — Section 2.3.
+    pub fn is_rat(&self) -> bool {
+        self.udf_kind().is_rat()
+    }
+
+    /// `true` for key-at-a-time PACTs (Reduce, CoGroup).
+    pub fn is_kat(&self) -> bool {
+        !self.is_rat()
+    }
+
+    /// Key fields of input `i`, if this PACT has keys.
+    pub fn key_of_input(&self, i: usize) -> Option<&[usize]> {
+        match (self, i) {
+            (Pact::Reduce { key }, 0) => Some(key),
+            (Pact::Match { key_left, .. }, 0) | (Pact::CoGroup { key_left, .. }, 0) => {
+                Some(key_left)
+            }
+            (Pact::Match { key_right, .. }, 1) | (Pact::CoGroup { key_right, .. }, 1) => {
+                Some(key_right)
+            }
+            _ => None,
+        }
+    }
+
+    /// A short name for diagnostics ("Map", "Reduce", …).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Pact::Map => "Map",
+            Pact::Reduce { .. } => "Reduce",
+            Pact::Cross => "Cross",
+            Pact::Match { .. } => "Match",
+            Pact::CoGroup { .. } => "CoGroup",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(Pact::Map.n_inputs(), 1);
+        assert_eq!(Pact::Reduce { key: vec![0] }.n_inputs(), 1);
+        assert_eq!(Pact::Cross.n_inputs(), 2);
+        assert_eq!(
+            Pact::Match {
+                key_left: vec![0],
+                key_right: vec![1]
+            }
+            .n_inputs(),
+            2
+        );
+    }
+
+    #[test]
+    fn udf_kinds() {
+        assert_eq!(Pact::Map.udf_kind(), UdfKind::Map);
+        assert_eq!(Pact::Reduce { key: vec![0] }.udf_kind(), UdfKind::Group);
+        assert_eq!(Pact::Cross.udf_kind(), UdfKind::Pair);
+        assert_eq!(
+            Pact::CoGroup {
+                key_left: vec![0],
+                key_right: vec![0]
+            }
+            .udf_kind(),
+            UdfKind::CoGroup
+        );
+    }
+
+    #[test]
+    fn rat_vs_kat() {
+        assert!(Pact::Map.is_rat());
+        assert!(Pact::Cross.is_rat());
+        assert!(Pact::Reduce { key: vec![] }.is_kat());
+        assert!(Pact::CoGroup {
+            key_left: vec![],
+            key_right: vec![]
+        }
+        .is_kat());
+    }
+
+    #[test]
+    fn keys_per_input() {
+        let m = Pact::Match {
+            key_left: vec![2],
+            key_right: vec![0],
+        };
+        assert_eq!(m.key_of_input(0), Some(&[2usize][..]));
+        assert_eq!(m.key_of_input(1), Some(&[0usize][..]));
+        assert_eq!(Pact::Map.key_of_input(0), None);
+        assert_eq!(Pact::Cross.key_of_input(1), None);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Pact::Map.kind_name(), "Map");
+        assert_eq!(Pact::Cross.kind_name(), "Cross");
+    }
+}

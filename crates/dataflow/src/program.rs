@@ -1,0 +1,417 @@
+//! Program construction: an ownership-based builder for tree-shaped flows.
+
+use crate::operator::{CostHints, Operator};
+use crate::pact::Pact;
+use crate::plan::Plan;
+use strato_ir::Function;
+
+/// Definition of a data source: a named schema plus optional uniqueness
+/// constraints and cardinality hints for the cost model.
+#[derive(Debug, Clone)]
+pub struct SourceDef {
+    /// Source name (used to name global attributes, e.g. `lineitem.l_qty`).
+    pub name: String,
+    /// Field names, in schema order.
+    pub fields: Vec<String>,
+    /// Field-index sets that are unique keys of this source (e.g. a primary
+    /// key). The optimizer uses these for the PK–FK precondition of the
+    /// invariant-grouping rewrite (Section 4.3.2).
+    pub unique_keys: Vec<Vec<usize>>,
+    /// Estimated row count (cost model input).
+    pub est_rows: u64,
+    /// Estimated bytes per row (cost model input).
+    pub est_bytes_per_row: u64,
+}
+
+impl SourceDef {
+    /// Creates a source definition with no uniqueness constraints.
+    pub fn new(name: impl Into<String>, fields: &[&str], est_rows: u64) -> Self {
+        SourceDef {
+            name: name.into(),
+            fields: fields.iter().map(|s| s.to_string()).collect(),
+            unique_keys: Vec::new(),
+            est_rows,
+            est_bytes_per_row: 16 * fields.len() as u64,
+        }
+    }
+
+    /// Declares a unique key (set of field indices).
+    pub fn with_unique_key(mut self, key: &[usize]) -> Self {
+        self.unique_keys.push(key.to_vec());
+        self
+    }
+
+    /// Sets the bytes-per-row estimate.
+    pub fn with_bytes_per_row(mut self, b: u64) -> Self {
+        self.est_bytes_per_row = b;
+        self
+    }
+}
+
+/// A handle to a node under construction. Deliberately neither `Copy` nor
+/// `Clone`: every node is consumed exactly once, so only tree-shaped flows
+/// can be expressed (the restriction Section 6 of the paper places on the
+/// enumeration algorithm).
+#[derive(Debug)]
+pub struct NodeHandle(pub(crate) usize);
+
+/// Internal node representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum BNode {
+    Source(usize),
+    Op { op: usize, children: Vec<usize> },
+}
+
+/// Errors detected while finishing or binding a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// An operator's UDF input width disagrees with its child's schema.
+    WidthMismatch {
+        /// Operator name.
+        op: String,
+        /// Input index.
+        input: usize,
+        /// Width the UDF declares.
+        declared: usize,
+        /// Width the child produces.
+        actual: usize,
+    },
+    /// A key field index is outside the child's schema.
+    KeyOutOfRange {
+        /// Operator name.
+        op: String,
+        /// Offending field index.
+        field: usize,
+    },
+    /// The number of children does not match the PACT arity.
+    ArityMismatch {
+        /// Operator name.
+        op: String,
+    },
+    /// A built node was never connected to the flow.
+    UnusedNode(usize),
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::WidthMismatch {
+                op,
+                input,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "operator {op}: input {input} declares width {declared} but child produces {actual}"
+            ),
+            ProgramError::KeyOutOfRange { op, field } => {
+                write!(f, "operator {op}: key field {field} out of range")
+            }
+            ProgramError::ArityMismatch { op } => {
+                write!(f, "operator {op}: child count does not match PACT arity")
+            }
+            ProgramError::UnusedNode(n) => write!(f, "node {n} was never used in the flow"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Builder for [`Program`]s.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    pub(crate) sources: Vec<SourceDef>,
+    pub(crate) ops: Vec<Operator>,
+    pub(crate) nodes: Vec<BNode>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a data source.
+    pub fn source(&mut self, def: SourceDef) -> NodeHandle {
+        let sid = self.sources.len();
+        self.sources.push(def);
+        self.nodes.push(BNode::Source(sid));
+        NodeHandle(self.nodes.len() - 1)
+    }
+
+    /// Adds an arbitrary operator over child nodes.
+    pub fn op(&mut self, operator: Operator, children: Vec<NodeHandle>) -> NodeHandle {
+        let oid = self.ops.len();
+        self.ops.push(operator);
+        let kids = children.into_iter().map(|h| h.0).collect();
+        self.nodes.push(BNode::Op {
+            op: oid,
+            children: kids,
+        });
+        NodeHandle(self.nodes.len() - 1)
+    }
+
+    /// Adds a Map operator.
+    pub fn map(
+        &mut self,
+        name: &str,
+        udf: Function,
+        hints: CostHints,
+        input: NodeHandle,
+    ) -> NodeHandle {
+        self.op(Operator::new(name, Pact::Map, udf, hints), vec![input])
+    }
+
+    /// Adds a Reduce operator grouping on `key` (local field indices).
+    pub fn reduce(
+        &mut self,
+        name: &str,
+        key: &[usize],
+        udf: Function,
+        hints: CostHints,
+        input: NodeHandle,
+    ) -> NodeHandle {
+        self.op(
+            Operator::new(name, Pact::Reduce { key: key.to_vec() }, udf, hints),
+            vec![input],
+        )
+    }
+
+    /// Adds a Match (equi-join) operator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn match_(
+        &mut self,
+        name: &str,
+        key_left: &[usize],
+        key_right: &[usize],
+        udf: Function,
+        hints: CostHints,
+        left: NodeHandle,
+        right: NodeHandle,
+    ) -> NodeHandle {
+        self.op(
+            Operator::new(
+                name,
+                Pact::Match {
+                    key_left: key_left.to_vec(),
+                    key_right: key_right.to_vec(),
+                },
+                udf,
+                hints,
+            ),
+            vec![left, right],
+        )
+    }
+
+    /// Adds a Cross (Cartesian product) operator.
+    pub fn cross(
+        &mut self,
+        name: &str,
+        udf: Function,
+        hints: CostHints,
+        left: NodeHandle,
+        right: NodeHandle,
+    ) -> NodeHandle {
+        self.op(Operator::new(name, Pact::Cross, udf, hints), vec![left, right])
+    }
+
+    /// Adds a CoGroup operator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cogroup(
+        &mut self,
+        name: &str,
+        key_left: &[usize],
+        key_right: &[usize],
+        udf: Function,
+        hints: CostHints,
+        left: NodeHandle,
+        right: NodeHandle,
+    ) -> NodeHandle {
+        self.op(
+            Operator::new(
+                name,
+                Pact::CoGroup {
+                    key_left: key_left.to_vec(),
+                    key_right: key_right.to_vec(),
+                },
+                udf,
+                hints,
+            ),
+            vec![left, right],
+        )
+    }
+
+    /// Finishes the program with `root` as the sink's input and validates
+    /// structure, widths and keys.
+    pub fn finish(self, root: NodeHandle) -> Result<Program, ProgramError> {
+        let p = Program {
+            sources: self.sources,
+            ops: self.ops,
+            nodes: self.nodes,
+            root: root.0,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+/// A validated (but unbound) tree-shaped data flow program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) sources: Vec<SourceDef>,
+    pub(crate) ops: Vec<Operator>,
+    pub(crate) nodes: Vec<BNode>,
+    pub(crate) root: usize,
+}
+
+impl Program {
+    /// Output schema width of a node.
+    pub(crate) fn node_width(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            BNode::Source(s) => self.sources[*s].fields.len(),
+            BNode::Op { op, .. } => self.ops[*op].udf.output_width(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), ProgramError> {
+        let mut used = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            used[n] = true;
+            if let BNode::Op { op, children } = &self.nodes[n] {
+                let o = &self.ops[*op];
+                if children.len() != o.pact.n_inputs() {
+                    return Err(ProgramError::ArityMismatch {
+                        op: o.name.clone(),
+                    });
+                }
+                for (i, &c) in children.iter().enumerate() {
+                    let actual = self.node_width(c);
+                    let declared = o.udf.input_widths()[i];
+                    if actual != declared {
+                        return Err(ProgramError::WidthMismatch {
+                            op: o.name.clone(),
+                            input: i,
+                            declared,
+                            actual,
+                        });
+                    }
+                    if let Some(key) = o.pact.key_of_input(i) {
+                        for &k in key {
+                            if k >= actual {
+                                return Err(ProgramError::KeyOutOfRange {
+                                    op: o.name.clone(),
+                                    field: k,
+                                });
+                            }
+                        }
+                    }
+                    stack.push(c);
+                }
+            }
+        }
+        if let Some(unused) = used.iter().position(|u| !u) {
+            return Err(ProgramError::UnusedNode(unused));
+        }
+        Ok(())
+    }
+
+    /// Binds the program: builds the global record, redirection maps, key
+    /// attribute sets and per-operator SCA properties. See [`Plan`].
+    pub fn bind(&self) -> Result<Plan, ProgramError> {
+        Plan::bind(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_ir::{FuncBuilder, UdfKind};
+
+    fn identity_map(width: usize) -> Function {
+        let mut b = FuncBuilder::new("id", UdfKind::Map, vec![width]);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn join_udf(l: usize, r: usize) -> Function {
+        let mut b = FuncBuilder::new("join", UdfKind::Pair, vec![l, r]);
+        let or = b.concat_inputs();
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn linear_flow_builds() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["a", "b"], 100));
+        let m = p.map("m1", identity_map(2), CostHints::default(), s);
+        let prog = p.finish(m).unwrap();
+        assert_eq!(prog.node_width(prog.root), 2);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["a", "b", "c"], 100));
+        let m = p.map("m1", identity_map(2), CostHints::default(), s);
+        let err = p.finish(m).unwrap_err();
+        assert!(matches!(err, ProgramError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn key_out_of_range_rejected() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["a"], 100));
+        let udf = {
+            let mut b = FuncBuilder::new("g", UdfKind::Group, vec![1]);
+            let or = b.new_rec();
+            b.emit(or);
+            b.ret();
+            b.finish().unwrap()
+        };
+        let r = p.reduce("r", &[5], udf, CostHints::default(), s);
+        let err = p.finish(r).unwrap_err();
+        assert!(matches!(err, ProgramError::KeyOutOfRange { .. }));
+    }
+
+    #[test]
+    fn unused_node_rejected() {
+        let mut p = ProgramBuilder::new();
+        let s1 = p.source(SourceDef::new("s1", &["a"], 100));
+        let _s2 = p.source(SourceDef::new("s2", &["b"], 100));
+        let m = p.map("m", identity_map(1), CostHints::default(), s1);
+        let err = p.finish(m).unwrap_err();
+        assert!(matches!(err, ProgramError::UnusedNode(_)));
+    }
+
+    #[test]
+    fn binary_flow_builds() {
+        let mut p = ProgramBuilder::new();
+        let l = p.source(SourceDef::new("l", &["a", "b"], 100).with_unique_key(&[0]));
+        let r = p.source(SourceDef::new("r", &["c"], 10));
+        let j = p.match_(
+            "j",
+            &[0],
+            &[0],
+            join_udf(2, 1),
+            CostHints::default(),
+            l,
+            r,
+        );
+        let prog = p.finish(j).unwrap();
+        assert_eq!(prog.node_width(prog.root), 3);
+    }
+
+    #[test]
+    fn source_def_builders() {
+        let s = SourceDef::new("t", &["x", "y"], 5)
+            .with_unique_key(&[0])
+            .with_bytes_per_row(99);
+        assert_eq!(s.unique_keys, vec![vec![0]]);
+        assert_eq!(s.est_bytes_per_row, 99);
+    }
+}

@@ -1,0 +1,770 @@
+//! The executor: logical (single-partition) and physical (parallel).
+
+use crate::stats::ExecStats;
+use bytes::BytesMut;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use strato_core::{LocalStrategy, PhysNode, PhysPlan, Ship};
+use strato_dataflow::{BoundOp, NodeKind, Pact, Plan, PlanNode};
+use strato_ir::interp::{Interp, InterpError, Invocation};
+use strato_record::hash::fx_hash;
+use strato_record::{wire, AttrId, DataSet, Record, Value};
+
+/// Input data sets, keyed by source name. Records are given in the
+/// source's *local* schema (arity = number of source fields); the engine
+/// widens them into global layout.
+pub type Inputs = HashMap<String, DataSet>;
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// No input data set was supplied for a source.
+    MissingInput(String),
+    /// A UDF failed to execute (step limit or binding bug).
+    Udf(String, InterpError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MissingInput(s) => write!(f, "no input data for source {s}"),
+            ExecError::Udf(op, e) => write!(f, "UDF of operator {op} failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Key of a record: the values of the key attributes, in order.
+fn key_of(rec: &Record, key: &[AttrId]) -> Vec<Value> {
+    key.iter().map(|a| rec.field(a.index()).clone()).collect()
+}
+
+fn has_null(key: &[Value]) -> bool {
+    key.iter().any(Value::is_null)
+}
+
+/// Widens source records to global layout: field `i` of the source goes to
+/// its global attribute position.
+fn widen(ds: &DataSet, attrs: &[AttrId], width: usize) -> Vec<Record> {
+    ds.iter()
+        .map(|r| {
+            let mut out = Record::nulls(width);
+            for (i, &a) in attrs.iter().enumerate() {
+                out.set_field(a.index(), r.field(i).clone());
+            }
+            out
+        })
+        .collect()
+}
+
+/// Groups records by key. Both the group order (`BTreeMap`) and the record
+/// order *within* each group (sorted) are canonical: key-at-a-time UDFs see
+/// a deterministic list regardless of partitioning or arrival order, so
+/// their output is a function of the input **bag** — the property the
+/// paper's equivalence results assume ("the execution path of a UDF is
+/// uniquely determined by its input data").
+fn group_by(records: Vec<Record>, key: &[AttrId]) -> BTreeMap<Vec<Value>, Vec<Record>> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<Record>> = BTreeMap::new();
+    for r in records {
+        groups.entry(key_of(&r, key)).or_default().push(r);
+    }
+    for g in groups.values_mut() {
+        g.sort_unstable();
+    }
+    groups
+}
+
+// ---------------------------------------------------------------------------
+// Operator application (shared by logical and physical execution).
+// ---------------------------------------------------------------------------
+
+struct OpRunner<'a> {
+    interp: Interp,
+    stats: &'a ExecStats,
+}
+
+impl OpRunner<'_> {
+    fn call(
+        &self,
+        op: &BoundOp,
+        inv: Invocation<'_>,
+        out: &mut Vec<Record>,
+    ) -> Result<(), ExecError> {
+        let st = self
+            .interp
+            .run(&op.udf, inv, &op.layout, out)
+            .map_err(|e| ExecError::Udf(op.name.clone(), e))?;
+        self.stats.add_call(st.steps, st.emits);
+        Ok(())
+    }
+
+    fn run_map(&self, op: &BoundOp, input: Vec<Record>) -> Result<Vec<Record>, ExecError> {
+        let mut out = Vec::new();
+        for r in &input {
+            self.call(op, Invocation::Record(r), &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn run_reduce(
+        &self,
+        op: &BoundOp,
+        input: Vec<Record>,
+        strategy: LocalStrategy,
+    ) -> Result<Vec<Record>, ExecError> {
+        let key = &op.key_attrs[0];
+        let mut out = Vec::new();
+        match strategy {
+            LocalStrategy::SortGroup => {
+                // Sort by (key, record) — full-record order keeps group
+                // contents canonical (see `group_by`).
+                let mut recs = input;
+                recs.sort_by(|a, b| key_of(a, key).cmp(&key_of(b, key)).then_with(|| a.cmp(b)));
+                let mut i = 0;
+                while i < recs.len() {
+                    let k = key_of(&recs[i], key);
+                    let mut j = i + 1;
+                    while j < recs.len() && key_of(&recs[j], key) == k {
+                        j += 1;
+                    }
+                    self.call(op, Invocation::Group(&recs[i..j]), &mut out)?;
+                    i = j;
+                }
+            }
+            _ => {
+                for (_, group) in group_by(input, key) {
+                    self.call(op, Invocation::Group(&group), &mut out)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn run_match(
+        &self,
+        op: &BoundOp,
+        left: Vec<Record>,
+        right: Vec<Record>,
+        strategy: LocalStrategy,
+    ) -> Result<Vec<Record>, ExecError> {
+        let (kl, kr) = (&op.key_attrs[0], &op.key_attrs[1]);
+        let mut out = Vec::new();
+        match strategy {
+            LocalStrategy::SortMergeJoin => {
+                let mut l = left;
+                let mut r = right;
+                l.retain(|rec| !has_null(&key_of(rec, kl)));
+                r.retain(|rec| !has_null(&key_of(rec, kr)));
+                l.sort_by_key(|a| key_of(a, kl));
+                r.sort_by_key(|a| key_of(a, kr));
+                let (mut i, mut j) = (0, 0);
+                while i < l.len() && j < r.len() {
+                    let ki = key_of(&l[i], kl);
+                    let kj = key_of(&r[j], kr);
+                    match ki.cmp(&kj) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            let mut i2 = i;
+                            while i2 < l.len() && key_of(&l[i2], kl) == ki {
+                                i2 += 1;
+                            }
+                            let mut j2 = j;
+                            while j2 < r.len() && key_of(&r[j2], kr) == ki {
+                                j2 += 1;
+                            }
+                            for a in &l[i..i2] {
+                                for b in &r[j..j2] {
+                                    self.call(op, Invocation::Pair(a, b), &mut out)?;
+                                }
+                            }
+                            i = i2;
+                            j = j2;
+                        }
+                    }
+                }
+            }
+            LocalStrategy::HashJoinBuildRight => {
+                let mut table: BTreeMap<Vec<Value>, Vec<Record>> = BTreeMap::new();
+                for r in right {
+                    let k = key_of(&r, kr);
+                    if !has_null(&k) {
+                        table.entry(k).or_default().push(r);
+                    }
+                }
+                for l in &left {
+                    let k = key_of(l, kl);
+                    if has_null(&k) {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(&k) {
+                        for r in matches {
+                            self.call(op, Invocation::Pair(l, r), &mut out)?;
+                        }
+                    }
+                }
+            }
+            // Build-left (also the default for logical execution).
+            _ => {
+                let mut table: BTreeMap<Vec<Value>, Vec<Record>> = BTreeMap::new();
+                for l in left {
+                    let k = key_of(&l, kl);
+                    if !has_null(&k) {
+                        table.entry(k).or_default().push(l);
+                    }
+                }
+                for r in &right {
+                    let k = key_of(r, kr);
+                    if has_null(&k) {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(&k) {
+                        for l in matches {
+                            self.call(op, Invocation::Pair(l, r), &mut out)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn run_cross(
+        &self,
+        op: &BoundOp,
+        left: Vec<Record>,
+        right: Vec<Record>,
+    ) -> Result<Vec<Record>, ExecError> {
+        let mut out = Vec::new();
+        for l in &left {
+            for r in &right {
+                self.call(op, Invocation::Pair(l, r), &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn run_cogroup(
+        &self,
+        op: &BoundOp,
+        left: Vec<Record>,
+        right: Vec<Record>,
+    ) -> Result<Vec<Record>, ExecError> {
+        let (kl, kr) = (&op.key_attrs[0], &op.key_attrs[1]);
+        let lgroups = group_by(left, kl);
+        let rgroups = group_by(right, kr);
+        let mut keys: Vec<&Vec<Value>> = lgroups.keys().chain(rgroups.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        let empty: Vec<Record> = Vec::new();
+        let mut out = Vec::new();
+        for k in keys {
+            let lg = lgroups.get(k).unwrap_or(&empty);
+            let rg = rgroups.get(k).unwrap_or(&empty);
+            self.call(op, Invocation::CoGroup(lg, rg), &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn apply(
+        &self,
+        op: &BoundOp,
+        strategy: LocalStrategy,
+        mut inputs: Vec<Vec<Record>>,
+    ) -> Result<Vec<Record>, ExecError> {
+        match &op.pact {
+            Pact::Map => self.run_map(op, inputs.swap_remove(0)),
+            Pact::Reduce { .. } => self.run_reduce(op, inputs.swap_remove(0), strategy),
+            Pact::Match { .. } => {
+                let right = inputs.pop().expect("two inputs");
+                let left = inputs.pop().expect("two inputs");
+                self.run_match(op, left, right, strategy)
+            }
+            Pact::Cross => {
+                let right = inputs.pop().expect("two inputs");
+                let left = inputs.pop().expect("two inputs");
+                self.run_cross(op, left, right)
+            }
+            Pact::CoGroup { .. } => {
+                let right = inputs.pop().expect("two inputs");
+                let left = inputs.pop().expect("two inputs");
+                self.run_cogroup(op, left, right)
+            }
+        }
+    }
+}
+
+/// Profiler shim: applies one operator over materialized single-partition
+/// inputs with the default local strategy, charging the shared stats.
+pub(crate) fn apply_for_profiler(
+    op: &BoundOp,
+    interp: &Interp,
+    strategy: LocalStrategy,
+    inputs: Vec<Vec<Record>>,
+    stats: &ExecStats,
+) -> Result<Vec<Record>, ExecError> {
+    let runner = OpRunner {
+        interp: *interp,
+        stats,
+    };
+    runner.apply(op, strategy, inputs)
+}
+
+// ---------------------------------------------------------------------------
+// Logical execution (single partition) — the equivalence oracle.
+// ---------------------------------------------------------------------------
+
+/// Executes a logical plan on one partition, with default local strategies
+/// and no shipping. Deterministic; used as the semantics oracle by the
+/// plan-equivalence test harness.
+pub fn execute_logical(plan: &Plan, inputs: &Inputs) -> Result<(DataSet, ExecStats), ExecError> {
+    let stats = ExecStats::new();
+    let runner = OpRunner {
+        interp: Interp::default(),
+        stats: &stats,
+    };
+    let out = exec_node_logical(plan, &plan.root, inputs, &runner)?;
+    Ok((DataSet::from_records(out), stats))
+}
+
+fn exec_node_logical(
+    plan: &Plan,
+    node: &PlanNode,
+    inputs: &Inputs,
+    runner: &OpRunner<'_>,
+) -> Result<Vec<Record>, ExecError> {
+    match node.kind {
+        NodeKind::Source(s) => {
+            let src = &plan.ctx.sources[s];
+            let ds = inputs
+                .get(&src.name)
+                .ok_or_else(|| ExecError::MissingInput(src.name.clone()))?;
+            Ok(widen(ds, &src.attrs, plan.ctx.width()))
+        }
+        NodeKind::Op(o) => {
+            let op = &plan.ctx.ops[o];
+            let child_outs: Result<Vec<Vec<Record>>, ExecError> = node
+                .children
+                .iter()
+                .map(|c| exec_node_logical(plan, c, inputs, runner))
+                .collect();
+            runner.apply(op, LocalStrategy::Pipe, child_outs?)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical execution (dop partitions, one worker thread each).
+// ---------------------------------------------------------------------------
+
+/// Executes a physical plan with `dop` partitions. Local operator work runs
+/// on one thread per partition (crossbeam scoped threads); ship strategies
+/// move serialized records between partitions and account their bytes.
+pub fn execute(
+    plan: &Plan,
+    phys: &PhysPlan,
+    inputs: &Inputs,
+    dop: usize,
+) -> Result<(DataSet, ExecStats), ExecError> {
+    let stats = ExecStats::new();
+    let parts = exec_phys(plan, &phys.root, inputs, dop.max(1), &stats)?;
+    let mut all = Vec::new();
+    for p in parts {
+        all.extend(p);
+    }
+    Ok((DataSet::from_records(all), stats))
+}
+
+/// Applies a ship strategy to partitioned data.
+fn ship(
+    parts: Vec<Vec<Record>>,
+    strategy: &Ship,
+    dop: usize,
+    stats: &ExecStats,
+) -> Vec<Vec<Record>> {
+    match strategy {
+        Ship::Forward => parts,
+        Ship::Partition(key) => {
+            let mut out: Vec<Vec<Record>> = (0..dop).map(|_| Vec::new()).collect();
+            let mut buf = BytesMut::new();
+            for p in parts {
+                for r in p {
+                    // Serialize across the "wire" and account the bytes.
+                    buf.clear();
+                    let n = wire::encode_record(&r, &mut buf) as u64;
+                    stats.add_shipped(1, n);
+                    let k = key_of(&r, key);
+                    let h = fx_hash(&k) as usize;
+                    let decoded =
+                        wire::decode_record(&mut buf.split().freeze()).expect("roundtrip");
+                    out[h % dop].push(decoded);
+                }
+            }
+            out
+        }
+        Ship::Broadcast => {
+            let mut all = Vec::new();
+            let mut bytes = 0u64;
+            for p in parts {
+                for r in p {
+                    bytes += r.encoded_len() as u64;
+                    all.push(r);
+                }
+            }
+            stats.add_shipped(all.len() as u64 * dop as u64, bytes * dop as u64);
+            (0..dop).map(|_| all.clone()).collect()
+        }
+    }
+}
+
+fn exec_phys(
+    plan: &Plan,
+    node: &PhysNode,
+    inputs: &Inputs,
+    dop: usize,
+    stats: &ExecStats,
+) -> Result<Vec<Vec<Record>>, ExecError> {
+    match node.logical.kind {
+        NodeKind::Source(s) => {
+            let src = &plan.ctx.sources[s];
+            let ds = inputs
+                .get(&src.name)
+                .ok_or_else(|| ExecError::MissingInput(src.name.clone()))?;
+            let wide = widen(ds, &src.attrs, plan.ctx.width());
+            // Round-robin initial placement, as a scan over splits would.
+            let mut parts: Vec<Vec<Record>> = (0..dop).map(|_| Vec::new()).collect();
+            for (i, r) in wide.into_iter().enumerate() {
+                parts[i % dop].push(r);
+            }
+            Ok(parts)
+        }
+        NodeKind::Op(o) => {
+            let op = &plan.ctx.ops[o];
+            // Execute children, then ship.
+            let mut shipped: Vec<Vec<Vec<Record>>> = Vec::new();
+            for (i, c) in node.children.iter().enumerate() {
+                let parts = exec_phys(plan, c, inputs, dop, stats)?;
+                shipped.push(ship(parts, &node.ships[i], dop, stats));
+            }
+            // Local work: one thread per partition.
+            let mut results: Vec<Result<Vec<Record>, ExecError>> =
+                (0..dop).map(|_| Ok(Vec::new())).collect();
+            // Pull each partition's inputs out (consume `shipped`).
+            let mut per_part: Vec<Vec<Vec<Record>>> = (0..dop).map(|_| Vec::new()).collect();
+            for input_parts in shipped {
+                for (pi, recs) in input_parts.into_iter().enumerate() {
+                    per_part[pi].push(recs);
+                }
+            }
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (pi, part_inputs) in per_part.into_iter().enumerate() {
+                    let local = node.local;
+                    handles.push((
+                        pi,
+                        scope.spawn(move |_| {
+                            let runner = OpRunner {
+                                interp: Interp::default(),
+                                stats,
+                            };
+                            runner.apply(op, local, part_inputs)
+                        }),
+                    ));
+                }
+                for (pi, h) in handles {
+                    results[pi] = h.join().expect("worker panicked");
+                }
+            })
+            .expect("scope");
+            results.into_iter().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_core::{cost::CostWeights, physical::best_physical, PropTable};
+    use strato_dataflow::{CostHints, ProgramBuilder, PropertyMode, SourceDef};
+    use strato_ir::{BinOp, FuncBuilder, Function, UdfKind};
+
+    fn filter_map(w: usize, field: usize) -> Function {
+        let mut b = FuncBuilder::new("filter", UdfKind::Map, vec![w]);
+        let v = b.get_input(0, field);
+        let z = b.konst(0i64);
+        let c = b.bin(BinOp::Lt, v, z);
+        let end = b.new_label();
+        b.branch(c, end);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.place(end);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn sum_reduce(w: usize) -> Function {
+        // Copy first record of the group, append sum of field 1.
+        let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![w]);
+        let sum = b.konst(0i64);
+        let it = b.iter_open(0);
+        let done = b.new_label();
+        let head = b.new_label();
+        b.place(head);
+        let r = b.iter_next(it, done);
+        let v = b.get(r, 1);
+        b.bin_into(sum, BinOp::Add, sum, v);
+        b.jump(head);
+        b.place(done);
+        let it2 = b.iter_open(0);
+        let nil = b.new_label();
+        let first = b.iter_next(it2, nil);
+        let or = b.copy(first);
+        b.set(or, w, sum);
+        b.emit(or);
+        b.place(nil);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn join_udf(l: usize, r: usize) -> Function {
+        let mut b = FuncBuilder::new("join", UdfKind::Pair, vec![l, r]);
+        let or = b.concat_inputs();
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn ds(rows: &[&[i64]]) -> DataSet {
+        rows.iter()
+            .map(|r| Record::from_values(r.iter().map(|&v| Value::Int(v))))
+            .collect()
+    }
+
+    fn sum_plan() -> Plan {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], 6));
+        let m = p.map("f", filter_map(2, 1), CostHints::default(), s);
+        let r = p.reduce("sum", &[0], sum_reduce(2), CostHints::default(), m);
+        p.finish(r).unwrap().bind().unwrap()
+    }
+
+    #[test]
+    fn logical_execution_end_to_end() {
+        let plan = sum_plan();
+        let mut inputs = Inputs::new();
+        inputs.insert(
+            "s".into(),
+            ds(&[&[1, 10], &[1, 20], &[2, 5], &[2, -7], &[3, -1]]),
+        );
+        let (out, stats) = execute_logical(&plan, &inputs).unwrap();
+        // Filter drops negatives; groups: k=1 sum 30, k=2 sum 5; k=3 gone.
+        assert_eq!(out.len(), 2);
+        let sums: Vec<(i64, i64)> = out
+            .sorted()
+            .iter()
+            .map(|r| {
+                (
+                    r.field(0).as_int().unwrap(),
+                    r.field(2).as_int().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(sums, vec![(1, 30), (2, 5)]);
+        let (calls, ..) = stats.snapshot();
+        // 5 map calls + 2 reduce groups.
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn physical_execution_matches_logical() {
+        let plan = sum_plan();
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let phys = best_physical(&plan, &props, &CostWeights::default(), 4);
+        let mut inputs = Inputs::new();
+        inputs.insert(
+            "s".into(),
+            ds(&[
+                &[1, 10],
+                &[1, 20],
+                &[2, 5],
+                &[2, -7],
+                &[3, -1],
+                &[7, 2],
+                &[7, 3],
+                &[9, 4],
+            ]),
+        );
+        let (logical, _) = execute_logical(&plan, &inputs).unwrap();
+        let (physical, stats) = execute(&plan, &phys, &inputs, 4).unwrap();
+        assert_eq!(logical, physical, "physical must agree with logical");
+        let (_, _, shipped, bytes, _) = stats.snapshot();
+        assert!(shipped > 0, "reduce must repartition");
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn match_join_logical_and_physical_agree() {
+        let mut p = ProgramBuilder::new();
+        let l = p.source(SourceDef::new("l", &["k", "v"], 10));
+        let r = p.source(SourceDef::new("r", &["k2", "w"], 4).with_unique_key(&[0]));
+        let j = p.match_("j", &[0], &[0], join_udf(2, 2), CostHints::default(), l, r);
+        let plan = p.finish(j).unwrap().bind().unwrap();
+        let mut inputs = Inputs::new();
+        inputs.insert("l".into(), ds(&[&[1, 100], &[2, 200], &[2, 201], &[5, 500]]));
+        inputs.insert("r".into(), ds(&[&[1, -1], &[2, -2], &[3, -3]]));
+        let (logical, _) = execute_logical(&plan, &inputs).unwrap();
+        // k=1: 1 pair; k=2: 2 pairs; k=5 no match → 3 records.
+        assert_eq!(logical.len(), 3);
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let phys = best_physical(&plan, &props, &CostWeights::default(), 3);
+        let (physical, _) = execute(&plan, &phys, &inputs, 3).unwrap();
+        assert_eq!(logical, physical);
+    }
+
+    #[test]
+    fn null_join_keys_match_nothing() {
+        let mut p = ProgramBuilder::new();
+        let l = p.source(SourceDef::new("l", &["k"], 2));
+        let r = p.source(SourceDef::new("r", &["k2"], 2));
+        let j = p.match_("j", &[0], &[0], join_udf(1, 1), CostHints::default(), l, r);
+        let plan = p.finish(j).unwrap().bind().unwrap();
+        let mut inputs = Inputs::new();
+        let mut left = DataSet::new();
+        left.push(Record::from_values([Value::Null]));
+        left.push(Record::from_values([Value::Int(1)]));
+        inputs.insert("l".into(), left);
+        let mut right = DataSet::new();
+        right.push(Record::from_values([Value::Null]));
+        right.push(Record::from_values([Value::Int(1)]));
+        inputs.insert("r".into(), right);
+        let (out, _) = execute_logical(&plan, &inputs).unwrap();
+        assert_eq!(out.len(), 1, "only the non-null key matches");
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let plan = sum_plan();
+        let inputs = Inputs::new();
+        assert_eq!(
+            execute_logical(&plan, &inputs).unwrap_err(),
+            ExecError::MissingInput("s".into())
+        );
+    }
+
+    #[test]
+    fn cross_product_execution() {
+        let mut p = ProgramBuilder::new();
+        let l = p.source(SourceDef::new("l", &["a"], 3));
+        let r = p.source(SourceDef::new("r", &["b"], 2));
+        let c = p.cross("x", join_udf(1, 1), CostHints::default(), l, r);
+        let plan = p.finish(c).unwrap().bind().unwrap();
+        let mut inputs = Inputs::new();
+        inputs.insert("l".into(), ds(&[&[1], &[2], &[3]]));
+        inputs.insert("r".into(), ds(&[&[10], &[20]]));
+        let (out, _) = execute_logical(&plan, &inputs).unwrap();
+        assert_eq!(out.len(), 6);
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let phys = best_physical(&plan, &props, &CostWeights::default(), 2);
+        let (out2, _) = execute(&plan, &phys, &inputs, 2).unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn cogroup_execution_covers_both_domains() {
+        // CoGroup UDF: emit one record with key-side count difference.
+        let mut b = FuncBuilder::new("cg", UdfKind::CoGroup, vec![1, 1]);
+        let nl = b.group_count(0);
+        let nr = b.group_count(1);
+        let d = b.bin(BinOp::Sub, nl, nr);
+        let or = b.new_rec();
+        b.set(or, 2, d);
+        b.emit(or);
+        b.ret();
+        let udf = b.finish().unwrap();
+        let mut p = ProgramBuilder::new();
+        let l = p.source(SourceDef::new("l", &["k"], 3));
+        let r = p.source(SourceDef::new("r", &["k2"], 3));
+        let cg = p.cogroup("cg", &[0], &[0], udf, CostHints::default(), l, r);
+        let plan = p.finish(cg).unwrap().bind().unwrap();
+        let mut inputs = Inputs::new();
+        inputs.insert("l".into(), ds(&[&[1], &[1], &[2]]));
+        inputs.insert("r".into(), ds(&[&[2], &[3]]));
+        let (out, _) = execute_logical(&plan, &inputs).unwrap();
+        // Keys 1, 2, 3 → three groups.
+        assert_eq!(out.len(), 3);
+        let diffs: Vec<i64> = out
+            .sorted()
+            .iter()
+            .map(|r| r.field(2).as_int().unwrap())
+            .collect();
+        // key1: 2-0; key2: 1-1; key3: 0-1.
+        assert_eq!(diffs, vec![-1, 0, 2]);
+    }
+
+    #[test]
+    fn sort_strategies_agree_with_hash() {
+        let plan = sum_plan();
+        let mut inputs = Inputs::new();
+        inputs.insert("s".into(), ds(&[&[5, 1], &[5, 2], &[4, 3], &[4, 4], &[1, 9]]));
+        let stats = ExecStats::new();
+        let runner = OpRunner {
+            interp: Interp::default(),
+            stats: &stats,
+        };
+        let wide = widen(
+            inputs.get("s").unwrap(),
+            &plan.ctx.sources[0].attrs,
+            plan.ctx.width(),
+        );
+        let op = plan.ctx.ops.iter().find(|o| o.name == "sum").unwrap();
+        let hash = runner
+            .run_reduce(op, wide.clone(), LocalStrategy::HashGroup)
+            .unwrap();
+        let sort = runner
+            .run_reduce(op, wide, LocalStrategy::SortGroup)
+            .unwrap();
+        assert_eq!(
+            DataSet::from_records(hash),
+            DataSet::from_records(sort)
+        );
+    }
+
+    #[test]
+    fn sort_merge_join_agrees_with_hash_join() {
+        let mut p = ProgramBuilder::new();
+        let l = p.source(SourceDef::new("l", &["k", "v"], 10));
+        let r = p.source(SourceDef::new("r", &["k2"], 5));
+        let j = p.match_("j", &[0], &[0], join_udf(2, 1), CostHints::default(), l, r);
+        let plan = p.finish(j).unwrap().bind().unwrap();
+        let op = &plan.ctx.ops[0];
+        let stats = ExecStats::new();
+        let runner = OpRunner {
+            interp: Interp::default(),
+            stats: &stats,
+        };
+        let left = widen(
+            &ds(&[&[1, 10], &[2, 20], &[2, 21], &[3, 30]]),
+            &plan.ctx.sources[0].attrs,
+            plan.ctx.width(),
+        );
+        let right = widen(
+            &ds(&[&[2], &[2], &[3]]),
+            &plan.ctx.sources[1].attrs,
+            plan.ctx.width(),
+        );
+        let h = runner
+            .run_match(op, left.clone(), right.clone(), LocalStrategy::HashJoinBuildLeft)
+            .unwrap();
+        let hr = runner
+            .run_match(op, left.clone(), right.clone(), LocalStrategy::HashJoinBuildRight)
+            .unwrap();
+        let smj = runner
+            .run_match(op, left, right, LocalStrategy::SortMergeJoin)
+            .unwrap();
+        let hd = DataSet::from_records(h);
+        assert_eq!(hd, DataSet::from_records(hr));
+        assert_eq!(hd, DataSet::from_records(smj));
+        assert_eq!(hd.len(), 5); // k2: 2×2 pairs, k3: 1 pair.
+    }
+}

@@ -1,0 +1,35 @@
+//! # strato-exec — parallel in-process execution engine
+//!
+//! The substitute for the paper's Nephele engine (see `DESIGN.md`): a
+//! partitioned, multi-threaded, in-process executor that runs bound plans
+//! by interpreting their UDFs' three-address code. It implements the ship
+//! strategies (forward / hash repartition / broadcast) and local strategies
+//! (pipelined map, hash/sort grouping, hash join with build side,
+//! sort-merge join, block nested loops, sort-merge co-group) chosen by the
+//! physical optimizer, and accounts network bytes by actually serializing
+//! shipped records with the wire format.
+//!
+//! Two entry points:
+//!
+//! * [`execute_logical`] — single-partition reference execution of a
+//!   *logical* plan (no strategies). Deterministic and simple; this is the
+//!   oracle the plan-equivalence test harness uses.
+//! * [`execute`] — full physical execution of a [`strato_core::PhysPlan`]
+//!   with `dop` worker partitions (one thread each for local work).
+//!
+//! ## Semantics notes
+//!
+//! * Records cross operator boundaries in **global record layout**; the
+//!   engine widens source records into global layout at scan time.
+//! * Match joins follow SQL flavour: records with null key components match
+//!   nothing. Reduce/CoGroup group null keys together.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod profile;
+pub mod stats;
+
+pub use engine::{execute, execute_logical, ExecError, Inputs};
+pub use profile::{profile, profile_hints, sample_inputs, OpProfile};
+pub use stats::ExecStats;

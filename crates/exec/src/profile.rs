@@ -1,0 +1,254 @@
+//! Runtime profiling of black-box operators.
+//!
+//! The paper's optimizer consumes hints that "can be provided by the user,
+//! a language compiler (e.g., Hive or Pig), or obtained by **runtime
+//! profiling**" (Section 7.1), and names "estimating the selectivity and
+//! execution cost of black box operators" as future work (Section 9).
+//! This module implements the profiling path: execute the data flow once
+//! over a *sample* of the inputs, observe every operator's call count,
+//! emit count, key cardinality and CPU time, and turn the observations
+//! into [`CostHints`] — no user input, no semantics, just measurement of
+//! the black boxes.
+
+use crate::engine::{ExecError, Inputs};
+use crate::stats::ExecStats;
+use std::collections::BTreeSet;
+use std::time::Instant;
+use strato_core::LocalStrategy;
+use strato_dataflow::{CostHints, NodeKind, Pact, Plan, PlanNode};
+use strato_ir::interp::Interp;
+use strato_record::{DataSet, Record, Value};
+
+/// Raw per-operator observations from one profiled run.
+#[derive(Debug, Clone, Default)]
+pub struct OpProfile {
+    /// UDF invocations.
+    pub calls: u64,
+    /// Records emitted.
+    pub emits: u64,
+    /// Distinct key values seen on input 0 (keyed PACTs only).
+    pub distinct_keys: u64,
+    /// Nanoseconds spent inside the UDF (interpreter time).
+    pub udf_nanos: u64,
+    /// Average emitted-record width in bytes.
+    pub avg_record_bytes: u64,
+}
+
+impl OpProfile {
+    /// Observed selectivity (records emitted per call).
+    pub fn selectivity(&self) -> f64 {
+        if self.calls == 0 {
+            1.0
+        } else {
+            self.emits as f64 / self.calls as f64
+        }
+    }
+
+    /// Converts the observations into cost hints. `scale` is the factor by
+    /// which the sample undercounts the full input (e.g. 10 for a 10%
+    /// sample); it extrapolates the distinct-keys estimate, which unlike
+    /// selectivity does not concentrate on small samples.
+    pub fn to_hints(&self, scale: f64, nanos_per_cpu_unit: f64) -> CostHints {
+        let mut h = CostHints::selectivity(self.selectivity());
+        if self.calls > 0 {
+            h = h.with_cpu(
+                (self.udf_nanos as f64 / self.calls as f64 / nanos_per_cpu_unit).max(0.1),
+            );
+        }
+        if self.distinct_keys > 0 {
+            h = h.with_distinct_keys(((self.distinct_keys as f64) * scale).ceil() as u64);
+        }
+        if self.avg_record_bytes > 0 {
+            h = h.with_record_bytes(self.avg_record_bytes);
+        }
+        h
+    }
+}
+
+/// Takes a deterministic 1-in-`step` sample of each input data set.
+pub fn sample_inputs(inputs: &Inputs, step: usize) -> Inputs {
+    let step = step.max(1);
+    inputs
+        .iter()
+        .map(|(name, ds)| {
+            let sampled: DataSet = ds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % step == 0)
+                .map(|(_, r)| r.clone())
+                .collect();
+            (name.clone(), sampled)
+        })
+        .collect()
+}
+
+/// Executes `plan` once (logically, single partition) on `inputs`,
+/// recording per-operator observations. Returns one [`OpProfile`] per
+/// operator id of `plan.ctx`.
+pub fn profile(plan: &Plan, inputs: &Inputs) -> Result<Vec<OpProfile>, ExecError> {
+    let mut profiles = vec![OpProfile::default(); plan.ctx.ops.len()];
+    let stats = ExecStats::new();
+    exec_profiled(plan, &plan.root, inputs, &mut profiles, &stats)?;
+    Ok(profiles)
+}
+
+/// Profiles a sampled run and converts to hints in one step.
+///
+/// `sample_step` = N keeps every N-th input record. `nanos_per_cpu_unit`
+/// calibrates observed CPU time into cost-model units (the default of the
+/// companion `repro` harness is 50 ns ≈ one `Burn` unit).
+pub fn profile_hints(
+    plan: &Plan,
+    inputs: &Inputs,
+    sample_step: usize,
+    nanos_per_cpu_unit: f64,
+) -> Result<Vec<CostHints>, ExecError> {
+    let sampled = sample_inputs(inputs, sample_step);
+    let profiles = profile(plan, &sampled)?;
+    Ok(profiles
+        .iter()
+        .map(|p| p.to_hints(sample_step as f64, nanos_per_cpu_unit))
+        .collect())
+}
+
+fn key_of(rec: &Record, key: &[strato_record::AttrId]) -> Vec<Value> {
+    key.iter().map(|a| rec.field(a.index()).clone()).collect()
+}
+
+fn exec_profiled(
+    plan: &Plan,
+    node: &PlanNode,
+    inputs: &Inputs,
+    profiles: &mut Vec<OpProfile>,
+    stats: &ExecStats,
+) -> Result<Vec<Record>, ExecError> {
+    match node.kind {
+        NodeKind::Source(s) => {
+            let src = &plan.ctx.sources[s];
+            let ds = inputs
+                .get(&src.name)
+                .ok_or_else(|| ExecError::MissingInput(src.name.clone()))?;
+            // Widen to global layout (same as the engine's scan).
+            Ok(ds
+                .iter()
+                .map(|r| {
+                    let mut out = Record::nulls(plan.ctx.width());
+                    for (i, &a) in src.attrs.iter().enumerate() {
+                        out.set_field(a.index(), r.field(i).clone());
+                    }
+                    out
+                })
+                .collect())
+        }
+        NodeKind::Op(o) => {
+            let op = &plan.ctx.ops[o];
+            let child_outs: Result<Vec<Vec<Record>>, ExecError> = node
+                .children
+                .iter()
+                .map(|c| exec_profiled(plan, c, inputs, profiles, stats))
+                .collect();
+            let mut child_outs = child_outs?;
+
+            // Observe input-0 key cardinality for keyed PACTs.
+            if matches!(
+                op.pact,
+                Pact::Reduce { .. } | Pact::Match { .. } | Pact::CoGroup { .. }
+            ) {
+                let keys: BTreeSet<Vec<Value>> = child_outs[0]
+                    .iter()
+                    .map(|r| key_of(r, &op.key_attrs[0]))
+                    .collect();
+                profiles[o].distinct_keys = keys.len() as u64;
+            }
+
+            // Run the operator through an instrumented runner; the shared
+            // counters are delta-ed around the call.
+            let interp = Interp::default();
+            let (c0, e0, ..) = stats.snapshot();
+            let t0 = Instant::now();
+            let out = run_op(plan, o, &interp, &mut child_outs, stats)?;
+            let nanos = t0.elapsed().as_nanos() as u64;
+            let (c1, e1, ..) = stats.snapshot();
+            let p = &mut profiles[o];
+            p.calls = c1 - c0;
+            p.emits = e1 - e0;
+            p.udf_nanos = nanos;
+            if !out.is_empty() {
+                p.avg_record_bytes = (out.iter().map(Record::encoded_len).sum::<usize>()
+                    / out.len()) as u64;
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Applies one operator over materialized inputs (single partition),
+/// mirroring the engine's default strategies.
+fn run_op(
+    plan: &Plan,
+    op_id: usize,
+    interp: &Interp,
+    inputs: &mut Vec<Vec<Record>>,
+    stats: &ExecStats,
+) -> Result<Vec<Record>, ExecError> {
+    let op = &plan.ctx.ops[op_id];
+    // Reuse the engine's operator application by constructing a one-off
+    // runner. The engine's OpRunner is private; replicate the thin shim.
+    crate::engine::apply_for_profiler(op, interp, LocalStrategy::Pipe, std::mem::take(inputs), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_keeps_every_nth_record() {
+        let mut inputs = Inputs::new();
+        let ds: DataSet = (0..10i64)
+            .map(|i| Record::from_values([Value::Int(i)]))
+            .collect();
+        inputs.insert("s".into(), ds);
+        let sampled = sample_inputs(&inputs, 3);
+        assert_eq!(sampled["s"].len(), 4); // 0, 3, 6, 9
+    }
+
+    #[test]
+    fn sampling_step_one_is_identity() {
+        let mut inputs = Inputs::new();
+        let ds: DataSet = (0..5i64)
+            .map(|i| Record::from_values([Value::Int(i)]))
+            .collect();
+        inputs.insert("s".into(), ds.clone());
+        let sampled = sample_inputs(&inputs, 1);
+        assert_eq!(sampled["s"], ds);
+        // Step 0 is clamped to 1.
+        let sampled0 = sample_inputs(&inputs, 0);
+        assert_eq!(sampled0["s"], ds);
+    }
+
+    #[test]
+    fn op_profile_hint_conversion() {
+        let p = OpProfile {
+            calls: 100,
+            emits: 25,
+            distinct_keys: 10,
+            udf_nanos: 100 * 500,
+            avg_record_bytes: 64,
+        };
+        assert_eq!(p.selectivity(), 0.25);
+        let h = p.to_hints(4.0, 50.0);
+        assert_eq!(h.avg_emits_per_call, 0.25);
+        assert_eq!(h.cpu_per_call, 10.0);
+        assert_eq!(h.distinct_keys, Some(40));
+        assert_eq!(h.avg_record_bytes, Some(64));
+    }
+
+    #[test]
+    fn zero_call_profile_defaults() {
+        let p = OpProfile::default();
+        assert_eq!(p.selectivity(), 1.0);
+        let h = p.to_hints(1.0, 50.0);
+        assert_eq!(h.avg_emits_per_call, 1.0);
+        assert_eq!(h.distinct_keys, None);
+    }
+}

@@ -1,0 +1,86 @@
+//! Execution statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters collected during one plan execution. Thread-safe; workers
+/// update them concurrently.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// UDF invocations across all operators.
+    pub udf_calls: AtomicU64,
+    /// Records emitted by UDFs.
+    pub records_emitted: AtomicU64,
+    /// Records moved by Partition/Broadcast ship strategies.
+    pub records_shipped: AtomicU64,
+    /// Serialized bytes moved by Partition/Broadcast ship strategies.
+    pub bytes_shipped: AtomicU64,
+    /// IR interpreter steps executed.
+    pub interp_steps: AtomicU64,
+}
+
+impl ExecStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_call(&self, steps: u64, emits: u64) {
+        self.udf_calls.fetch_add(1, Ordering::Relaxed);
+        self.interp_steps.fetch_add(steps, Ordering::Relaxed);
+        self.records_emitted.fetch_add(emits, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_shipped(&self, records: u64, bytes: u64) {
+        self.records_shipped.fetch_add(records, Ordering::Relaxed);
+        self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters as plain integers
+    /// `(udf_calls, records_emitted, records_shipped, bytes_shipped,
+    /// interp_steps)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.udf_calls.load(Ordering::Relaxed),
+            self.records_emitted.load(Ordering::Relaxed),
+            self.records_shipped.load(Ordering::Relaxed),
+            self.bytes_shipped.load(Ordering::Relaxed),
+            self.interp_steps.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (calls, emitted, shipped, bytes, steps) = self.snapshot();
+        write!(
+            f,
+            "udf_calls={calls} emitted={emitted} shipped={shipped} net_bytes={bytes} steps={steps}"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ExecStats::new();
+        s.add_call(100, 2);
+        s.add_call(50, 0);
+        s.add_shipped(10, 640);
+        let (calls, emitted, shipped, bytes, steps) = s.snapshot();
+        assert_eq!(calls, 2);
+        assert_eq!(emitted, 2);
+        assert_eq!(shipped, 10);
+        assert_eq!(bytes, 640);
+        assert_eq!(steps, 150);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = ExecStats::new();
+        s.add_call(1, 1);
+        assert!(format!("{s}").contains("udf_calls=1"));
+    }
+}

@@ -1,0 +1,450 @@
+//! Ergonomic construction of IR functions.
+//!
+//! [`FuncBuilder`] allocates registers, resolves forward labels and infers
+//! the number of *added* output fields (`setField` indices beyond the input
+//! schemas create new global attributes when the program is bound).
+
+use crate::func::{Function, UdfKind, VerifyError};
+use crate::inst::{BinOp, Inst, IterReg, Label, RReg, UnOp, VReg};
+use crate::intrinsics::Intrinsic;
+use strato_record::Value;
+
+/// A forward-referencable label. Create with [`FuncBuilder::new_label`],
+/// bind with [`FuncBuilder::place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelRef(usize);
+
+/// Errors produced by [`FuncBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was used in a branch but never placed.
+    UnplacedLabel(usize),
+    /// The function failed verification.
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnplacedLabel(l) => write!(f, "label {l} was never placed"),
+            BuildError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<VerifyError> for BuildError {
+    fn from(e: VerifyError) -> Self {
+        BuildError::Verify(e)
+    }
+}
+
+/// Builder for [`Function`]s.
+///
+/// ```
+/// use strato_ir::{FuncBuilder, UdfKind, BinOp};
+///
+/// // f2 from Section 3 of the paper: emit records with field 0 >= 0.
+/// let mut b = FuncBuilder::new("f2", UdfKind::Map, vec![2]);
+/// let a = b.get_input(0, 0);
+/// let zero = b.konst(0i64);
+/// let neg = b.bin(BinOp::Lt, a, zero);
+/// let end = b.new_label();
+/// b.branch(neg, end);
+/// let out = b.copy_input(0);
+/// b.emit(out);
+/// b.place(end);
+/// b.ret();
+/// let f = b.finish().unwrap();
+/// assert_eq!(f.output_width(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    name: String,
+    kind: UdfKind,
+    input_widths: Vec<usize>,
+    insts: Vec<Inst>,
+    next_v: u16,
+    next_r: u16,
+    next_i: u16,
+    /// Resolved position per label id (`None` = not yet placed).
+    labels: Vec<Option<u32>>,
+    /// Cached `LoadInput` registers.
+    input_regs: [Option<RReg>; 2],
+    max_set_field: Option<usize>,
+}
+
+impl FuncBuilder {
+    /// Starts building a UDF of the given kind and input schema widths.
+    pub fn new(name: impl Into<String>, kind: UdfKind, input_widths: Vec<usize>) -> Self {
+        assert_eq!(
+            input_widths.len(),
+            kind.n_inputs(),
+            "input width count must match UDF kind"
+        );
+        FuncBuilder {
+            name: name.into(),
+            kind,
+            input_widths,
+            insts: Vec::new(),
+            next_v: 0,
+            next_r: 0,
+            next_i: 0,
+            labels: Vec::new(),
+            input_regs: [None, None],
+            max_set_field: None,
+        }
+    }
+
+    fn vreg(&mut self) -> VReg {
+        let r = VReg(self.next_v);
+        self.next_v += 1;
+        r
+    }
+
+    fn rreg(&mut self) -> RReg {
+        let r = RReg(self.next_r);
+        self.next_r += 1;
+        r
+    }
+
+    /// Creates a fresh, not-yet-placed label.
+    pub fn new_label(&mut self) -> LabelRef {
+        self.labels.push(None);
+        LabelRef(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next instruction position.
+    pub fn place(&mut self, label: LabelRef) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label placed twice"
+        );
+        self.labels[label.0] = Some(self.insts.len() as u32);
+    }
+
+    /// `$t := const`.
+    pub fn konst(&mut self, v: impl Into<Value>) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(Inst::Const {
+            dst,
+            value: v.into(),
+        });
+        dst
+    }
+
+    /// Binds input record `i` (RAT UDFs); cached across calls.
+    pub fn input(&mut self, i: u8) -> RReg {
+        if let Some(r) = self.input_regs[i as usize] {
+            return r;
+        }
+        let dst = self.rreg();
+        self.insts.push(Inst::LoadInput { dst, input: i });
+        self.input_regs[i as usize] = Some(dst);
+        dst
+    }
+
+    /// `$t := getField($r, n)`.
+    pub fn get(&mut self, rec: RReg, field: usize) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(Inst::GetField { dst, rec, field });
+        dst
+    }
+
+    /// `getField(input[i], n)` — sugar for [`Self::input`] + [`Self::get`].
+    pub fn get_input(&mut self, input: u8, field: usize) -> VReg {
+        let rec = self.input(input);
+        self.get(rec, field)
+    }
+
+    /// `$t := $a <op> $b`.
+    pub fn bin(&mut self, op: BinOp, a: VReg, b: VReg) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(Inst::Bin { dst, op, a, b });
+        dst
+    }
+
+    /// `$dst := $a <op> $b` into an existing register — the accumulator
+    /// form needed for loop-carried values (the IR has no phi nodes).
+    pub fn bin_into(&mut self, dst: VReg, op: BinOp, a: VReg, b: VReg) {
+        self.insts.push(Inst::Bin { dst, op, a, b });
+    }
+
+    /// `$dst := $src` — plain assignment into an existing register.
+    pub fn mov(&mut self, dst: VReg, src: VReg) {
+        self.insts.push(Inst::Move { dst, src });
+    }
+
+    /// `$t := <op> $a`.
+    pub fn un(&mut self, op: UnOp, a: VReg) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(Inst::Un { dst, op, a });
+        dst
+    }
+
+    /// `$t := intrinsic(args…)`.
+    pub fn call(&mut self, f: Intrinsic, args: Vec<VReg>) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(Inst::Call { dst, f, args });
+        dst
+    }
+
+    /// `$r := new OutputRecord()` — implicit projection.
+    pub fn new_rec(&mut self) -> RReg {
+        let dst = self.rreg();
+        self.insts.push(Inst::NewRecord { dst });
+        dst
+    }
+
+    /// `$r := new OutputRecord($src)` — implicit copy.
+    pub fn copy(&mut self, src: RReg) -> RReg {
+        let dst = self.rreg();
+        self.insts.push(Inst::CopyRecord { dst, src });
+        dst
+    }
+
+    /// Copy constructor applied to input `i`.
+    pub fn copy_input(&mut self, input: u8) -> RReg {
+        let src = self.input(input);
+        self.copy(src)
+    }
+
+    /// `$r := new OutputRecord($a, $b)` — concatenation of both inputs.
+    pub fn concat(&mut self, a: RReg, b: RReg) -> RReg {
+        let dst = self.rreg();
+        self.insts.push(Inst::ConcatRecords { dst, a, b });
+        dst
+    }
+
+    /// Concatenation constructor applied to both input records.
+    pub fn concat_inputs(&mut self) -> RReg {
+        let a = self.input(0);
+        let b = self.input(1);
+        self.concat(a, b)
+    }
+
+    /// `$t := getField($r, $i)` — dynamic field access.
+    pub fn get_dyn(&mut self, rec: RReg, idx: VReg) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(Inst::GetFieldDyn { dst, rec, idx });
+        dst
+    }
+
+    /// `setField($r, $i, $t)` — dynamic field write.
+    pub fn set_dyn(&mut self, rec: RReg, idx: VReg, src: VReg) {
+        self.insts.push(Inst::SetFieldDyn { rec, idx, src });
+    }
+
+    /// `setField($r, n, $t)`.
+    pub fn set(&mut self, rec: RReg, field: usize, src: VReg) {
+        self.max_set_field = Some(self.max_set_field.map_or(field, |m| m.max(field)));
+        self.insts.push(Inst::SetField { rec, field, src });
+    }
+
+    /// `setField($r, n, null)` — explicit projection.
+    pub fn set_null(&mut self, rec: RReg, field: usize) {
+        self.max_set_field = Some(self.max_set_field.map_or(field, |m| m.max(field)));
+        self.insts.push(Inst::SetNull { rec, field });
+    }
+
+    /// `emit($r)`.
+    pub fn emit(&mut self, rec: RReg) {
+        self.insts.push(Inst::Emit { rec });
+    }
+
+    /// `if ($t) goto label`.
+    pub fn branch(&mut self, cond: VReg, label: LabelRef) {
+        self.insts.push(Inst::Branch {
+            cond,
+            target: Label(label.0 as u32),
+        });
+    }
+
+    /// `if (!$t) goto label` — sugar for `Not` + branch.
+    pub fn branch_not(&mut self, cond: VReg, label: LabelRef) {
+        let n = self.un(UnOp::Not, cond);
+        self.branch(n, label);
+    }
+
+    /// `goto label`.
+    pub fn jump(&mut self, label: LabelRef) {
+        self.insts.push(Inst::Jump {
+            target: Label(label.0 as u32),
+        });
+    }
+
+    /// `return`.
+    pub fn ret(&mut self) {
+        self.insts.push(Inst::Return);
+    }
+
+    /// `$it := iterator(input[i])` (KAT UDFs).
+    pub fn iter_open(&mut self, input: u8) -> IterReg {
+        let dst = IterReg(self.next_i);
+        self.next_i += 1;
+        self.insts.push(Inst::IterOpen { dst, input });
+        dst
+    }
+
+    /// `$r := next($it) else goto label` (KAT UDFs).
+    pub fn iter_next(&mut self, iter: IterReg, exhausted: LabelRef) -> RReg {
+        let dst = self.rreg();
+        self.insts.push(Inst::IterNext {
+            dst,
+            iter,
+            exhausted: Label(exhausted.0 as u32),
+        });
+        dst
+    }
+
+    /// `$t := groupSize(input[i])` (KAT UDFs).
+    pub fn group_count(&mut self, input: u8) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(Inst::GroupCount { dst, input });
+        dst
+    }
+
+    /// Resolves labels, infers added output fields and verifies.
+    pub fn finish(mut self) -> Result<Function, BuildError> {
+        // Resolve label ids to instruction positions.
+        for (i, inst) in self.insts.iter_mut().enumerate() {
+            let fix = |l: &mut Label, labels: &[Option<u32>]| -> Result<(), BuildError> {
+                let pos = labels
+                    .get(l.0 as usize)
+                    .copied()
+                    .flatten()
+                    .ok_or(BuildError::UnplacedLabel(l.0 as usize))?;
+                *l = Label(pos);
+                Ok(())
+            };
+            let _ = i;
+            match inst {
+                Inst::Branch { target, .. } | Inst::Jump { target } => {
+                    fix(target, &self.labels)?
+                }
+                Inst::IterNext { exhausted, .. } => fix(exhausted, &self.labels)?,
+                _ => {}
+            }
+        }
+        let base: usize = self.input_widths.iter().sum();
+        let added = self
+            .max_set_field
+            .map_or(0, |m| (m + 1).saturating_sub(base));
+        Ok(Function::new(
+            self.name,
+            self.kind,
+            self.input_widths,
+            added,
+            self.insts,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_papers_f1() {
+        // f1: replace B (field 1) with |B|.
+        let mut b = FuncBuilder::new("f1", UdfKind::Map, vec![2]);
+        let bv = b.get_input(0, 1);
+        let or = b.copy_input(0);
+        let zero = b.konst(0i64);
+        let nonneg = b.bin(BinOp::Ge, bv, zero);
+        let done = b.new_label();
+        b.branch(nonneg, done);
+        let abs = b.un(UnOp::Abs, bv);
+        b.set(or, 1, abs);
+        b.place(done);
+        b.emit(or);
+        b.ret();
+        let f = b.finish().unwrap();
+        assert_eq!(f.added_fields(), 0);
+        assert_eq!(f.output_width(), 2);
+    }
+
+    #[test]
+    fn added_fields_inferred_from_set_field() {
+        let mut b = FuncBuilder::new("g", UdfKind::Map, vec![2]);
+        let or = b.copy_input(0);
+        let v = b.konst(1i64);
+        b.set(or, 3, v); // fields 2 and 3 are new ⇒ added = 2
+        b.emit(or);
+        b.ret();
+        let f = b.finish().unwrap();
+        assert_eq!(f.added_fields(), 2);
+        assert_eq!(f.output_width(), 4);
+    }
+
+    #[test]
+    fn unplaced_label_is_an_error() {
+        let mut b = FuncBuilder::new("g", UdfKind::Map, vec![1]);
+        let l = b.new_label();
+        let c = b.konst(true);
+        b.branch(c, l);
+        b.ret();
+        assert!(matches!(b.finish(), Err(BuildError::UnplacedLabel(0))));
+    }
+
+    #[test]
+    fn input_register_is_cached() {
+        let mut b = FuncBuilder::new("g", UdfKind::Map, vec![2]);
+        let r1 = b.input(0);
+        let r2 = b.input(0);
+        assert_eq!(r1, r2);
+        b.ret();
+        let f = b.finish().unwrap();
+        let loads = f
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, Inst::LoadInput { .. }))
+            .count();
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn verify_failure_propagates() {
+        let mut b = FuncBuilder::new("g", UdfKind::Map, vec![1]);
+        b.konst(1i64);
+        // no return → falls off end
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::Verify(VerifyError::FallsOffEnd))
+        ));
+    }
+
+    #[test]
+    fn kat_loop_with_accumulator_builds_and_verifies() {
+        // Sum field 0 of a group, emit one record with the sum appended.
+        let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![2]);
+        let sum = b.konst(0i64);
+        let it = b.iter_open(0);
+        let done = b.new_label();
+        let head = b.new_label();
+        b.place(head);
+        let r = b.iter_next(it, done);
+        let v = b.get(r, 0);
+        b.bin_into(sum, BinOp::Add, sum, v);
+        b.jump(head);
+        b.place(done);
+        let or = b.new_rec();
+        b.set(or, 2, sum);
+        b.emit(or);
+        b.ret();
+        let f = b.finish().expect("verifies");
+        assert_eq!(f.added_fields(), 1);
+        assert!(f.kind().is_kat());
+    }
+
+    #[test]
+    fn mov_supports_loop_carried_copies() {
+        let mut b = FuncBuilder::new("m", UdfKind::Map, vec![1]);
+        let a = b.konst(1i64);
+        let c = b.konst(2i64);
+        b.mov(a, c);
+        b.ret();
+        assert!(b.finish().is_ok());
+    }
+}

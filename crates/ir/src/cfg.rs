@@ -1,0 +1,319 @@
+//! Control-flow graph over IR instructions.
+//!
+//! The SCA framework of the paper assumes "a control flow graph and two data
+//! structures obtained by a data flow analysis" (Section 5). This module
+//! provides the CFG at instruction granularity: successor/predecessor edges,
+//! reachability from entry, and cycle membership (needed by the emit-
+//! cardinality analysis: an `emit` on a cycle has unbounded maximum).
+
+use crate::func::Function;
+use crate::inst::Inst;
+
+/// Instruction-granularity control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor edges per instruction. The `bool` marks the *exhausted*
+    /// edge of an `IterNext` (on which its destination register is NOT
+    /// defined).
+    succs: Vec<Vec<(usize, bool)>>,
+    preds: Vec<Vec<usize>>,
+    reachable: Vec<bool>,
+    in_cycle: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function body.
+    pub fn build(f: &Function) -> Cfg {
+        let insts = f.insts();
+        let n = insts.len();
+        let mut succs: Vec<Vec<(usize, bool)>> = vec![vec![]; n];
+        for (i, inst) in insts.iter().enumerate() {
+            match inst {
+                Inst::Jump { target } => succs[i].push((target.0 as usize, false)),
+                Inst::Return => {}
+                Inst::Branch { target, .. } => {
+                    succs[i].push((target.0 as usize, false));
+                    if i + 1 < n {
+                        succs[i].push((i + 1, false));
+                    }
+                }
+                Inst::IterNext { exhausted, .. } => {
+                    succs[i].push((exhausted.0 as usize, true));
+                    if i + 1 < n {
+                        succs[i].push((i + 1, false));
+                    }
+                }
+                _ => {
+                    if i + 1 < n {
+                        succs[i].push((i + 1, false));
+                    }
+                }
+            }
+        }
+        let mut preds: Vec<Vec<usize>> = vec![vec![]; n];
+        for (i, ss) in succs.iter().enumerate() {
+            for &(s, _) in ss {
+                preds[s].push(i);
+            }
+        }
+        let mut reachable = vec![false; n];
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut reachable[i], true) {
+                continue;
+            }
+            for &(s, _) in &succs[i] {
+                if !reachable[s] {
+                    stack.push(s);
+                }
+            }
+        }
+        let in_cycle = Self::cycles(&succs, &reachable);
+        Cfg {
+            succs,
+            preds,
+            reachable,
+            in_cycle,
+        }
+    }
+
+    /// Marks instructions lying on a cycle, via Tarjan SCCs: an instruction
+    /// is cyclic iff its SCC has size > 1 or it has a self-edge.
+    fn cycles(succs: &[Vec<(usize, bool)>], reachable: &[bool]) -> Vec<bool> {
+        let n = succs.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut in_cycle = vec![false; n];
+        let mut counter = 0usize;
+
+        // Iterative Tarjan to avoid recursion depth issues.
+        enum Frame {
+            Enter(usize),
+            Post(usize, usize),
+        }
+        for start in 0..n {
+            if !reachable[start] || index[start] != usize::MAX {
+                continue;
+            }
+            let mut call = vec![Frame::Enter(start)];
+            while let Some(frame) = call.pop() {
+                match frame {
+                    Frame::Enter(v) => {
+                        if index[v] != usize::MAX {
+                            continue;
+                        }
+                        index[v] = counter;
+                        low[v] = counter;
+                        counter += 1;
+                        stack.push(v);
+                        on_stack[v] = true;
+                        call.push(Frame::Post(v, usize::MAX));
+                        for &(w, _) in &succs[v] {
+                            if index[w] == usize::MAX {
+                                call.push(Frame::Post(v, w));
+                                call.push(Frame::Enter(w));
+                            } else if on_stack[w] {
+                                low[v] = low[v].min(index[w]);
+                            }
+                        }
+                    }
+                    Frame::Post(v, w) => {
+                        if w != usize::MAX {
+                            low[v] = low[v].min(low[w]);
+                            continue;
+                        }
+                        if low[v] == index[v] {
+                            // Root of an SCC: pop it.
+                            let mut comp = Vec::new();
+                            while let Some(x) = stack.pop() {
+                                on_stack[x] = false;
+                                comp.push(x);
+                                if x == v {
+                                    break;
+                                }
+                            }
+                            let cyclic = comp.len() > 1
+                                || succs[v].iter().any(|&(s, _)| s == v);
+                            if cyclic {
+                                for x in comp {
+                                    in_cycle[x] = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        in_cycle
+    }
+
+    /// Successor instruction indices of `i` (edge kind dropped).
+    pub fn succs(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succs[i].iter().map(|&(s, _)| s)
+    }
+
+    /// Successor edges of `i`; the flag marks the exhausted edge of an
+    /// `IterNext`.
+    pub fn succ_edges(&self, i: usize) -> &[(usize, bool)] {
+        &self.succs[i]
+    }
+
+    /// Predecessors of instruction `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// `true` iff instruction `i` is reachable from entry.
+    pub fn reachable(&self, i: usize) -> bool {
+        self.reachable[i]
+    }
+
+    /// `true` iff instruction `i` lies on a control-flow cycle.
+    pub fn in_cycle(&self, i: usize) -> bool {
+        self.in_cycle[i]
+    }
+
+    /// Number of instructions covered.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// `true` when the CFG covers no instructions (cannot occur for
+    /// verified functions, which have non-empty bodies).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::UdfKind;
+    use crate::inst::{Inst, IterReg, Label, RReg, VReg};
+    use strato_record::Value;
+
+    fn f(kind: UdfKind, widths: Vec<usize>, insts: Vec<Inst>) -> Function {
+        Function::new("t", kind, widths, 0, insts).expect("verify")
+    }
+
+    #[test]
+    fn straight_line_edges() {
+        let func = f(
+            UdfKind::Map,
+            vec![1],
+            vec![
+                Inst::Const {
+                    dst: VReg(0),
+                    value: Value::Int(1),
+                },
+                Inst::Return,
+            ],
+        );
+        let cfg = Cfg::build(&func);
+        assert_eq!(cfg.succs(0).collect::<Vec<_>>(), vec![1]);
+        assert!(cfg.succs(1).next().is_none());
+        assert_eq!(cfg.preds(1), &[0]);
+        assert!(cfg.reachable(0) && cfg.reachable(1));
+        assert!(!cfg.in_cycle(0) && !cfg.in_cycle(1));
+        assert_eq!(cfg.len(), 2);
+        assert!(!cfg.is_empty());
+    }
+
+    #[test]
+    fn branch_has_two_successors() {
+        let func = f(
+            UdfKind::Map,
+            vec![1],
+            vec![
+                Inst::Const {
+                    dst: VReg(0),
+                    value: Value::Bool(true),
+                },
+                Inst::Branch {
+                    cond: VReg(0),
+                    target: Label(3),
+                },
+                Inst::Return,
+                Inst::Return,
+            ],
+        );
+        let cfg = Cfg::build(&func);
+        let mut ss: Vec<usize> = cfg.succs(1).collect();
+        ss.sort_unstable();
+        assert_eq!(ss, vec![2, 3]);
+    }
+
+    #[test]
+    fn loop_detected_as_cycle() {
+        let func = f(
+            UdfKind::Group,
+            vec![1],
+            vec![
+                Inst::IterOpen {
+                    dst: IterReg(0),
+                    input: 0,
+                },
+                Inst::IterNext {
+                    dst: RReg(0),
+                    iter: IterReg(0),
+                    exhausted: Label(3),
+                },
+                Inst::Jump { target: Label(1) },
+                Inst::Return,
+            ],
+        );
+        let cfg = Cfg::build(&func);
+        assert!(!cfg.in_cycle(0));
+        assert!(cfg.in_cycle(1));
+        assert!(cfg.in_cycle(2));
+        assert!(!cfg.in_cycle(3));
+        // Exhausted edge flagged.
+        let edges = cfg.succ_edges(1);
+        assert!(edges.contains(&(3, true)));
+        assert!(edges.contains(&(2, false)));
+    }
+
+    #[test]
+    fn unreachable_code_detected() {
+        let func = f(
+            UdfKind::Map,
+            vec![1],
+            vec![
+                Inst::Jump { target: Label(2) },
+                Inst::Return, // unreachable
+                Inst::Return,
+            ],
+        );
+        let cfg = Cfg::build(&func);
+        assert!(cfg.reachable(0));
+        assert!(!cfg.reachable(1));
+        assert!(cfg.reachable(2));
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let func = Function::new(
+            "t",
+            UdfKind::Map,
+            vec![1],
+            0,
+            vec![
+                Inst::Const {
+                    dst: VReg(0),
+                    value: Value::Bool(true),
+                },
+                Inst::Branch {
+                    cond: VReg(0),
+                    target: Label(1),
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap();
+        let cfg = Cfg::build(&func);
+        assert!(cfg.in_cycle(1));
+        assert!(!cfg.in_cycle(0));
+    }
+}

@@ -1,0 +1,356 @@
+//! Classic dataflow analyses: reaching definitions and the `USE-DEF` /
+//! `DEF-USE` chains the paper's SCA algorithm consumes (Section 5).
+//!
+//! Every IR instruction defines at most one register, so a *definition site*
+//! is simply an instruction index and reaching-definition sets are bitsets
+//! over instruction indices. The analysis is edge-sensitive for `IterNext`:
+//! the destination record's definition does not flow along the exhausted
+//! edge.
+
+use crate::cfg::Cfg;
+use crate::func::Function;
+use crate::inst::{Inst, Reg};
+
+/// A bitset over instruction indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bits {
+    words: Vec<u64>,
+}
+
+impl Bits {
+    fn new(n: usize) -> Self {
+        Bits {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+    /// `self |= other`; returns `true` when `self` changed.
+    fn union_in(&mut self, other: &Bits) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// Reaching definitions, with `USE-DEF` and `DEF-USE` chain queries.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// `in[i]`: definition sites reaching instruction `i`.
+    ins: Vec<Bits>,
+    /// The register defined by each instruction (if any).
+    def_reg: Vec<Option<Reg>>,
+    /// Registers used by each instruction.
+    use_regs: Vec<Vec<Reg>>,
+    /// `use_def[(i, reg)]` materialized lazily per query.
+    n: usize,
+}
+
+impl ReachingDefs {
+    /// Runs the analysis over a function.
+    pub fn compute(f: &Function, cfg: &Cfg) -> ReachingDefs {
+        let insts = f.insts();
+        let n = insts.len();
+        let def_reg: Vec<Option<Reg>> = insts.iter().map(|i| i.defs().first().copied()).collect();
+        let use_regs: Vec<Vec<Reg>> = insts.iter().map(|i| i.uses()).collect();
+
+        // kill[i] = other definition sites of the same register.
+        let mut sites_of: std::collections::HashMap<Reg, Vec<usize>> = Default::default();
+        for (i, d) in def_reg.iter().enumerate() {
+            if let Some(r) = d {
+                sites_of.entry(*r).or_default().push(i);
+            }
+        }
+
+        let mut ins: Vec<Bits> = (0..n).map(|_| Bits::new(n)).collect();
+        let mut work: Vec<usize> = (0..n).filter(|&i| cfg.reachable(i)).collect();
+        while let Some(i) = work.pop() {
+            // out[i] = gen[i] ∪ (in[i] \ kill[i]), computed on the fly.
+            let mut out = ins[i].clone();
+            if let Some(r) = def_reg[i] {
+                for &s in &sites_of[&r] {
+                    out.clear(s);
+                }
+                out.set(i);
+            }
+            for &(succ, exhausted) in cfg.succ_edges(i) {
+                let changed = if exhausted && matches!(insts[i], Inst::IterNext { .. }) {
+                    // dst is NOT defined along the exhausted edge.
+                    let mut edge_out = out.clone();
+                    edge_out.clear(i);
+                    // The killed prior defs stay killed only if the def
+                    // actually happened; on the exhausted edge it did not,
+                    // so prior defs of dst still reach. Re-add them.
+                    if let Some(r) = def_reg[i] {
+                        for &s in &sites_of[&r] {
+                            if s != i && ins[i].get(s) {
+                                edge_out.set(s);
+                            }
+                        }
+                    }
+                    ins[succ].union_in(&edge_out)
+                } else {
+                    ins[succ].union_in(&out)
+                };
+                if changed {
+                    work.push(succ);
+                }
+            }
+        }
+        ReachingDefs {
+            ins,
+            def_reg,
+            use_regs,
+            n,
+        }
+    }
+
+    /// `USE-DEF(l, reg)`: all definition sites of `reg` that reach
+    /// instruction `l`.
+    pub fn use_def(&self, l: usize, reg: Reg) -> Vec<usize> {
+        self.ins[l]
+            .iter()
+            .filter(|&d| self.def_reg[d] == Some(reg))
+            .collect()
+    }
+
+    /// `DEF-USE(l)`: all instructions that use the register defined at `l`
+    /// and are reached by that definition.
+    pub fn def_use(&self, l: usize) -> Vec<usize> {
+        let Some(reg) = self.def_reg[l] else {
+            return vec![];
+        };
+        (0..self.n)
+            .filter(|&s| self.ins[s].get(l) && self.use_regs[s].contains(&reg))
+            .collect()
+    }
+
+    /// The register defined by instruction `l`, if any.
+    pub fn def_of(&self, l: usize) -> Option<Reg> {
+        self.def_reg[l]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::UdfKind;
+    use crate::inst::{BinOp, Inst, Label, RReg, VReg};
+    use strato_record::Value;
+
+    fn analyze(f: &Function) -> (ReachingDefs, Cfg) {
+        let cfg = Cfg::build(f);
+        (ReachingDefs::compute(f, &cfg), cfg)
+    }
+
+    #[test]
+    fn straight_line_chains() {
+        // 0: $t0 := 1
+        // 1: $t1 := $t0 + $t0
+        // 2: return
+        let f = Function::new(
+            "t",
+            UdfKind::Map,
+            vec![1],
+            0,
+            vec![
+                Inst::Const {
+                    dst: VReg(0),
+                    value: Value::Int(1),
+                },
+                Inst::Bin {
+                    dst: VReg(1),
+                    op: BinOp::Add,
+                    a: VReg(0),
+                    b: VReg(0),
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap();
+        let (rd, _) = analyze(&f);
+        assert_eq!(rd.use_def(1, Reg::Val(VReg(0))), vec![0]);
+        assert_eq!(rd.def_use(0), vec![1]);
+        assert_eq!(rd.def_use(1), Vec::<usize>::new());
+        assert_eq!(rd.def_of(0), Some(Reg::Val(VReg(0))));
+        assert_eq!(rd.def_of(2), None);
+    }
+
+    #[test]
+    fn redefinition_kills_previous() {
+        // 0: $t0 := 1
+        // 1: $t0 := 2
+        // 2: $t1 := $t0 + $t0   -- only def 1 reaches
+        // 3: return
+        let f = Function::new(
+            "t",
+            UdfKind::Map,
+            vec![1],
+            0,
+            vec![
+                Inst::Const {
+                    dst: VReg(0),
+                    value: Value::Int(1),
+                },
+                Inst::Const {
+                    dst: VReg(0),
+                    value: Value::Int(2),
+                },
+                Inst::Bin {
+                    dst: VReg(1),
+                    op: BinOp::Add,
+                    a: VReg(0),
+                    b: VReg(0),
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap();
+        let (rd, _) = analyze(&f);
+        assert_eq!(rd.use_def(2, Reg::Val(VReg(0))), vec![1]);
+        assert_eq!(rd.def_use(0), Vec::<usize>::new());
+        assert_eq!(rd.def_use(1), vec![2]);
+    }
+
+    #[test]
+    fn both_branch_defs_reach_merge() {
+        // 0: $t0 := true
+        // 1: if ($t0) goto 4
+        // 2: $t1 := 10
+        // 3: goto 5
+        // 4: $t1 := 20
+        // 5: $t2 := $t1 + $t1
+        // 6: return
+        let f = Function::new(
+            "t",
+            UdfKind::Map,
+            vec![1],
+            0,
+            vec![
+                Inst::Const {
+                    dst: VReg(0),
+                    value: Value::Bool(true),
+                },
+                Inst::Branch {
+                    cond: VReg(0),
+                    target: Label(4),
+                },
+                Inst::Const {
+                    dst: VReg(1),
+                    value: Value::Int(10),
+                },
+                Inst::Jump { target: Label(5) },
+                Inst::Const {
+                    dst: VReg(1),
+                    value: Value::Int(20),
+                },
+                Inst::Bin {
+                    dst: VReg(2),
+                    op: BinOp::Add,
+                    a: VReg(1),
+                    b: VReg(1),
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap();
+        let (rd, _) = analyze(&f);
+        let mut defs = rd.use_def(5, Reg::Val(VReg(1)));
+        defs.sort_unstable();
+        assert_eq!(defs, vec![2, 4]);
+    }
+
+    #[test]
+    fn iter_next_def_does_not_flow_on_exhausted_edge() {
+        // 0: $it0 := iterator(input[0])
+        // 1: $r0 := next($it0) else goto 4
+        // 2: $t0 := getField($r0, 0)
+        // 3: goto 1
+        // 4: return
+        let f = Function::new(
+            "t",
+            UdfKind::Group,
+            vec![1],
+            0,
+            vec![
+                Inst::IterOpen {
+                    dst: crate::inst::IterReg(0),
+                    input: 0,
+                },
+                Inst::IterNext {
+                    dst: RReg(0),
+                    iter: crate::inst::IterReg(0),
+                    exhausted: Label(4),
+                },
+                Inst::GetField {
+                    dst: VReg(0),
+                    rec: RReg(0),
+                    field: 0,
+                },
+                Inst::Jump { target: Label(1) },
+                Inst::Return,
+            ],
+        )
+        .unwrap();
+        let (rd, _) = analyze(&f);
+        // At the loop body the def reaches…
+        assert_eq!(rd.use_def(2, Reg::Rec(RReg(0))), vec![1]);
+        // …but at the exhausted target it must not.
+        assert_eq!(rd.use_def(4, Reg::Rec(RReg(0))), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn def_use_sees_loop_back_uses() {
+        // A value defined before a loop and used inside it.
+        // 0: $t0 := 0
+        // 1: $t1 := $t0 + $t0   (loop head)
+        // 2: if ($t1) goto 1
+        // 3: return
+        let f = Function::new(
+            "t",
+            UdfKind::Map,
+            vec![1],
+            0,
+            vec![
+                Inst::Const {
+                    dst: VReg(0),
+                    value: Value::Int(0),
+                },
+                Inst::Bin {
+                    dst: VReg(1),
+                    op: BinOp::Add,
+                    a: VReg(0),
+                    b: VReg(0),
+                },
+                Inst::Branch {
+                    cond: VReg(1),
+                    target: Label(1),
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap();
+        let (rd, _) = analyze(&f);
+        assert_eq!(rd.def_use(0), vec![1]);
+        assert_eq!(rd.def_use(1), vec![2]);
+    }
+}

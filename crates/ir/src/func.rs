@@ -1,0 +1,670 @@
+//! UDF functions and the static verifier.
+
+use crate::cfg::Cfg;
+use crate::dataflow::ReachingDefs;
+use crate::inst::{Inst, Label, RReg, Reg};
+use std::fmt;
+
+/// The invocation shape of a UDF — determined by the second-order function
+/// it is plugged into (Section 2.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UdfKind {
+    /// One input record per call (Map). Record-at-a-time.
+    Map,
+    /// Two input records per call (Cross, Match). Record-at-a-time.
+    Pair,
+    /// One record list per call (Reduce). Key-at-a-time.
+    Group,
+    /// Two record lists per call (CoGroup). Key-at-a-time.
+    CoGroup,
+}
+
+impl UdfKind {
+    /// Number of inputs.
+    pub fn n_inputs(self) -> usize {
+        match self {
+            UdfKind::Map | UdfKind::Group => 1,
+            UdfKind::Pair | UdfKind::CoGroup => 2,
+        }
+    }
+
+    /// `true` for record-at-a-time kinds (single records per input).
+    pub fn is_rat(self) -> bool {
+        matches!(self, UdfKind::Map | UdfKind::Pair)
+    }
+
+    /// `true` for key-at-a-time kinds (record lists per input).
+    pub fn is_kat(self) -> bool {
+        !self.is_rat()
+    }
+}
+
+/// A verified three-address-code UDF.
+///
+/// `input_widths` are the local schema widths (`#I` per input); the local
+/// output schema is the concatenation of all input schemas followed by
+/// `added_fields` new fields, so `output_width = Σ input_widths +
+/// added_fields`. Output field indices `n ≥ Σ input_widths` denote
+/// **new attributes** of the global record (Definition 2, case 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    name: String,
+    kind: UdfKind,
+    input_widths: Vec<usize>,
+    added_fields: usize,
+    insts: Vec<Inst>,
+}
+
+/// Errors detected by [`Function::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The function body is empty.
+    EmptyBody,
+    /// The final instruction can fall off the end of the body.
+    FallsOffEnd,
+    /// A branch target is out of range.
+    BadLabel(Label),
+    /// `LoadInput`/`IterOpen`/`GroupCount` referenced a nonexistent input.
+    BadInput(u8, usize),
+    /// A record-API instruction was used with the wrong UDF kind
+    /// (e.g. iterators in a Map).
+    WrongKind(usize),
+    /// An intrinsic call had the wrong number of arguments.
+    BadCallArity(usize),
+    /// A register was used before being definitely assigned.
+    UseBeforeDef(usize, String),
+    /// `setField`/`emit` applied to an input record (inputs are read-only).
+    MutatesInput(usize),
+    /// A field index is outside the schema of the accessed record.
+    FieldOutOfRange(usize),
+    /// The register origin at an access site mixes input and constructed
+    /// records, which defeats static origin tracking.
+    AmbiguousOrigin(usize),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EmptyBody => write!(f, "function body is empty"),
+            VerifyError::FallsOffEnd => write!(f, "control can fall off the end of the body"),
+            VerifyError::BadLabel(l) => write!(f, "branch target {l} out of range"),
+            VerifyError::BadInput(i, n) => {
+                write!(f, "input index {i} out of range (function has {n} inputs)")
+            }
+            VerifyError::WrongKind(at) => {
+                write!(f, "instruction {at}: record API not valid for this UDF kind")
+            }
+            VerifyError::BadCallArity(at) => write!(f, "instruction {at}: wrong intrinsic arity"),
+            VerifyError::UseBeforeDef(at, r) => {
+                write!(f, "instruction {at}: register {r} used before assignment")
+            }
+            VerifyError::MutatesInput(at) => {
+                write!(f, "instruction {at}: input records are read-only")
+            }
+            VerifyError::FieldOutOfRange(at) => {
+                write!(f, "instruction {at}: field index outside record schema")
+            }
+            VerifyError::AmbiguousOrigin(at) => write!(
+                f,
+                "instruction {at}: record register mixes input and constructed origins"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl Function {
+    /// Creates and verifies a function.
+    pub fn new(
+        name: impl Into<String>,
+        kind: UdfKind,
+        input_widths: Vec<usize>,
+        added_fields: usize,
+        insts: Vec<Inst>,
+    ) -> Result<Self, VerifyError> {
+        let f = Function {
+            name: name.into(),
+            kind,
+            input_widths,
+            added_fields,
+            insts,
+        };
+        f.verify()?;
+        Ok(f)
+    }
+
+    /// The function name (diagnostics only).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Invocation shape.
+    pub fn kind(&self) -> UdfKind {
+        self.kind
+    }
+
+    /// Local schema width of each input (`#I`).
+    pub fn input_widths(&self) -> &[usize] {
+        &self.input_widths
+    }
+
+    /// Width of the concatenated input schemas.
+    pub fn base_output_width(&self) -> usize {
+        self.input_widths.iter().sum()
+    }
+
+    /// Number of new output fields beyond the input schemas.
+    pub fn added_fields(&self) -> usize {
+        self.added_fields
+    }
+
+    /// Local output schema width.
+    pub fn output_width(&self) -> usize {
+        self.base_output_width() + self.added_fields
+    }
+
+    /// The instruction sequence.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Determines, per record register use site, whether the register holds
+    /// an input record (and which input) or a constructed output record.
+    ///
+    /// Returns `Ok(None)` for unreachable sites.
+    pub fn record_origin(
+        &self,
+        rd: &ReachingDefs,
+        site: usize,
+        reg: RReg,
+    ) -> Result<Option<RecOrigin>, VerifyError> {
+        let mut origin: Option<RecOrigin> = None;
+        // Follow def chains through in-place SetField/SetNull defs.
+        let mut stack: Vec<usize> = rd.use_def(site, Reg::Rec(reg));
+        let mut seen = vec![false; self.insts.len()];
+        while let Some(d) = stack.pop() {
+            if seen[d] {
+                continue;
+            }
+            seen[d] = true;
+            let o = match &self.insts[d] {
+                Inst::LoadInput { input, .. } => RecOrigin::Input(*input),
+                Inst::IterNext { .. } => RecOrigin::Input(self.iter_input_of(rd, d)),
+                Inst::NewRecord { .. } | Inst::CopyRecord { .. } | Inst::ConcatRecords { .. } => {
+                    RecOrigin::Constructed
+                }
+                Inst::SetField { rec, .. }
+                | Inst::SetFieldDyn { rec, .. }
+                | Inst::SetNull { rec, .. } => {
+                    stack.extend_from_slice(&rd.use_def(d, Reg::Rec(*rec)));
+                    continue;
+                }
+                _ => continue,
+            };
+            match origin {
+                None => origin = Some(o),
+                Some(prev) if prev == o => {}
+                Some(_) => return Err(VerifyError::AmbiguousOrigin(site)),
+            }
+        }
+        Ok(origin)
+    }
+
+    /// For an `IterNext` at `site`, finds which input its iterator scans.
+    fn iter_input_of(&self, rd: &ReachingDefs, site: usize) -> u8 {
+        if let Inst::IterNext { iter, .. } = &self.insts[site] {
+            for d in rd.use_def(site, Reg::Iter(*iter)) {
+                if let Inst::IterOpen { input, .. } = &self.insts[d] {
+                    return *input;
+                }
+            }
+        }
+        0
+    }
+
+    /// Verifies the static discipline assumed by the paper's analysis:
+    /// structural well-formedness, definite assignment, read-only inputs,
+    /// record-API/kind agreement and field bounds.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        if self.insts.is_empty() {
+            return Err(VerifyError::EmptyBody);
+        }
+        let n = self.insts.len();
+        for (at, inst) in self.insts.iter().enumerate() {
+            for t in inst.targets() {
+                if t.0 as usize >= n {
+                    return Err(VerifyError::BadLabel(t));
+                }
+            }
+            match inst {
+                Inst::LoadInput { input, .. } => {
+                    if !self.kind.is_rat() {
+                        return Err(VerifyError::WrongKind(at));
+                    }
+                    if *input as usize >= self.kind.n_inputs() {
+                        return Err(VerifyError::BadInput(*input, self.kind.n_inputs()));
+                    }
+                }
+                Inst::IterOpen { input, .. } | Inst::GroupCount { input, .. } => {
+                    if !self.kind.is_kat() {
+                        return Err(VerifyError::WrongKind(at));
+                    }
+                    if *input as usize >= self.kind.n_inputs() {
+                        return Err(VerifyError::BadInput(*input, self.kind.n_inputs()));
+                    }
+                }
+                Inst::IterNext { .. }
+                    if !self.kind.is_kat() => {
+                        return Err(VerifyError::WrongKind(at));
+                    }
+                Inst::ConcatRecords { .. }
+                    if self.kind.n_inputs() != 2 => {
+                        return Err(VerifyError::WrongKind(at));
+                    }
+                Inst::Call { f, args, .. }
+                    if args.len() != f.arity() => {
+                        return Err(VerifyError::BadCallArity(at));
+                    }
+                _ => {}
+            }
+        }
+        if self.insts[n - 1].falls_through() {
+            return Err(VerifyError::FallsOffEnd);
+        }
+
+        let cfg = Cfg::build(self);
+        self.verify_definite_assignment(&cfg)?;
+
+        // Origin discipline: setField/emit only on constructed records;
+        // getField bounds depend on origin.
+        let rd = ReachingDefs::compute(self, &cfg);
+        for (at, inst) in self.insts.iter().enumerate() {
+            if !cfg.reachable(at) {
+                continue;
+            }
+            match inst {
+                Inst::SetField { rec, field, .. } | Inst::SetNull { rec, field } => {
+                    match self.record_origin(&rd, at, *rec)? {
+                        Some(RecOrigin::Constructed) | None => {}
+                        Some(RecOrigin::Input(_)) => return Err(VerifyError::MutatesInput(at)),
+                    }
+                    if *field >= self.output_width() {
+                        return Err(VerifyError::FieldOutOfRange(at));
+                    }
+                }
+                Inst::SetFieldDyn { rec, .. } => match self.record_origin(&rd, at, *rec)? {
+                    Some(RecOrigin::Constructed) | None => {}
+                    Some(RecOrigin::Input(_)) => return Err(VerifyError::MutatesInput(at)),
+                },
+                Inst::Emit { rec } => match self.record_origin(&rd, at, *rec)? {
+                    Some(RecOrigin::Constructed) | None => {}
+                    Some(RecOrigin::Input(_)) => return Err(VerifyError::MutatesInput(at)),
+                },
+                Inst::GetField { rec, field, .. } => {
+                    let bound = match self.record_origin(&rd, at, *rec)? {
+                        Some(RecOrigin::Input(i)) => {
+                            self.input_widths.get(i as usize).copied().unwrap_or(0)
+                        }
+                        Some(RecOrigin::Constructed) => self.output_width(),
+                        None => continue,
+                    };
+                    if *field >= bound {
+                        return Err(VerifyError::FieldOutOfRange(at));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward must-analysis: every register use is preceded by a definition
+    /// on every path. The exhausted edge of `IterNext` does **not** define
+    /// the destination register.
+    fn verify_definite_assignment(&self, cfg: &Cfg) -> Result<(), VerifyError> {
+        use std::collections::BTreeSet;
+        let n = self.insts.len();
+        // in[i]: registers definitely assigned before instruction i.
+        // None = not yet computed (⊤ for the must-analysis).
+        let mut ins: Vec<Option<BTreeSet<Reg>>> = vec![None; n];
+        ins[0] = Some(BTreeSet::new());
+        let mut work: Vec<usize> = vec![0];
+        while let Some(i) = work.pop() {
+            let mut out = ins[i].clone().expect("scheduled without in-state");
+            for u in self.insts[i].uses() {
+                if !out.contains(&u) {
+                    return Err(VerifyError::UseBeforeDef(i, format!("{u:?}")));
+                }
+            }
+            for d in self.insts[i].defs() {
+                out.insert(d);
+            }
+            for &(succ, is_exhausted_edge) in cfg.succ_edges(i) {
+                let mut edge_out = out.clone();
+                if is_exhausted_edge {
+                    if let Inst::IterNext { dst, .. } = &self.insts[i] {
+                        edge_out.remove(&Reg::Rec(*dst));
+                    }
+                }
+                let updated = match &ins[succ] {
+                    None => {
+                        ins[succ] = Some(edge_out);
+                        true
+                    }
+                    Some(prev) => {
+                        let meet: BTreeSet<Reg> =
+                            prev.intersection(&edge_out).copied().collect();
+                        if &meet != prev {
+                            ins[succ] = Some(meet);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if updated {
+                    work.push(succ);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Where a record register's value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecOrigin {
+    /// Bound to input `i` (read-only).
+    Input(u8),
+    /// Produced by a record constructor (writable output record).
+    Constructed,
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}({:?}, inputs {:?}, +{} fields)",
+            self.name, self.kind, self.input_widths, self.added_fields
+        )?;
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{i:3}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{IterReg, VReg};
+    use strato_record::Value;
+
+    fn mk(kind: UdfKind, widths: Vec<usize>, added: usize, insts: Vec<Inst>) -> Result<Function, VerifyError> {
+        Function::new("t", kind, widths, added, insts)
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        assert_eq!(mk(UdfKind::Map, vec![1], 0, vec![]).unwrap_err(), VerifyError::EmptyBody);
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let e = mk(
+            UdfKind::Map,
+            vec![1],
+            0,
+            vec![Inst::Const {
+                dst: VReg(0),
+                value: Value::Int(1),
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(e, VerifyError::FallsOffEnd);
+    }
+
+    #[test]
+    fn bad_label_rejected() {
+        let e = mk(UdfKind::Map, vec![1], 0, vec![Inst::Jump { target: Label(9) }]).unwrap_err();
+        assert_eq!(e, VerifyError::BadLabel(Label(9)));
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let e = mk(
+            UdfKind::Map,
+            vec![1],
+            0,
+            vec![
+                Inst::Un {
+                    dst: VReg(1),
+                    op: crate::inst::UnOp::Not,
+                    a: VReg(0),
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(e, VerifyError::UseBeforeDef(0, _)));
+    }
+
+    #[test]
+    fn iterators_rejected_in_map() {
+        let e = mk(
+            UdfKind::Map,
+            vec![1],
+            0,
+            vec![
+                Inst::IterOpen {
+                    dst: IterReg(0),
+                    input: 0,
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(e, VerifyError::WrongKind(0));
+    }
+
+    #[test]
+    fn load_input_rejected_in_group() {
+        let e = mk(
+            UdfKind::Group,
+            vec![1],
+            0,
+            vec![
+                Inst::LoadInput {
+                    dst: RReg(0),
+                    input: 0,
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(e, VerifyError::WrongKind(0));
+    }
+
+    #[test]
+    fn mutating_input_rejected() {
+        let e = mk(
+            UdfKind::Map,
+            vec![2],
+            0,
+            vec![
+                Inst::LoadInput {
+                    dst: RReg(0),
+                    input: 0,
+                },
+                Inst::Const {
+                    dst: VReg(0),
+                    value: Value::Int(1),
+                },
+                Inst::SetField {
+                    rec: RReg(0),
+                    field: 0,
+                    src: VReg(0),
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(e, VerifyError::MutatesInput(2));
+    }
+
+    #[test]
+    fn emitting_input_rejected() {
+        let e = mk(
+            UdfKind::Map,
+            vec![2],
+            0,
+            vec![
+                Inst::LoadInput {
+                    dst: RReg(0),
+                    input: 0,
+                },
+                Inst::Emit { rec: RReg(0) },
+                Inst::Return,
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(e, VerifyError::MutatesInput(1));
+    }
+
+    #[test]
+    fn get_field_out_of_range_rejected() {
+        let e = mk(
+            UdfKind::Map,
+            vec![2],
+            0,
+            vec![
+                Inst::LoadInput {
+                    dst: RReg(0),
+                    input: 0,
+                },
+                Inst::GetField {
+                    dst: VReg(0),
+                    rec: RReg(0),
+                    field: 5,
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(e, VerifyError::FieldOutOfRange(1));
+    }
+
+    #[test]
+    fn valid_identity_map_verifies() {
+        let f = mk(
+            UdfKind::Map,
+            vec![2],
+            0,
+            vec![
+                Inst::LoadInput {
+                    dst: RReg(0),
+                    input: 0,
+                },
+                Inst::CopyRecord {
+                    dst: RReg(1),
+                    src: RReg(0),
+                },
+                Inst::Emit { rec: RReg(1) },
+                Inst::Return,
+            ],
+        )
+        .unwrap();
+        assert_eq!(f.output_width(), 2);
+        assert_eq!(f.base_output_width(), 2);
+        assert!(f.kind().is_rat());
+    }
+
+    #[test]
+    fn set_field_new_attribute_within_added_fields() {
+        let insts = vec![
+            Inst::LoadInput {
+                dst: RReg(0),
+                input: 0,
+            },
+            Inst::CopyRecord {
+                dst: RReg(1),
+                src: RReg(0),
+            },
+            Inst::Const {
+                dst: VReg(0),
+                value: Value::Int(7),
+            },
+            Inst::SetField {
+                rec: RReg(1),
+                field: 2,
+                src: VReg(0),
+            },
+            Inst::Emit { rec: RReg(1) },
+            Inst::Return,
+        ];
+        assert!(mk(UdfKind::Map, vec![2], 1, insts.clone()).is_ok());
+        assert_eq!(
+            mk(UdfKind::Map, vec![2], 0, insts).unwrap_err(),
+            VerifyError::FieldOutOfRange(3)
+        );
+    }
+
+    #[test]
+    fn bad_call_arity_rejected() {
+        let e = mk(
+            UdfKind::Map,
+            vec![1],
+            0,
+            vec![
+                Inst::Call {
+                    dst: VReg(0),
+                    f: crate::Intrinsic::StrLen,
+                    args: vec![],
+                },
+                Inst::Return,
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(e, VerifyError::BadCallArity(0));
+    }
+
+    #[test]
+    fn iter_next_dst_not_defined_on_exhausted_edge() {
+        // loop: r := next(it) else goto done; goto loop; done: emit(copy(r))
+        // Using r after `done` must be rejected — the def does not flow
+        // along the exhausted edge.
+        let e = mk(
+            UdfKind::Group,
+            vec![1],
+            0,
+            vec![
+                Inst::IterOpen {
+                    dst: IterReg(0),
+                    input: 0,
+                },
+                Inst::IterNext {
+                    dst: RReg(0),
+                    iter: IterReg(0),
+                    exhausted: Label(3),
+                },
+                Inst::Jump { target: Label(1) },
+                Inst::CopyRecord {
+                    dst: RReg(1),
+                    src: RReg(0),
+                },
+                Inst::Emit { rec: RReg(1) },
+                Inst::Return,
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(e, VerifyError::UseBeforeDef(3, _)));
+    }
+
+    #[test]
+    fn display_lists_numbered_instructions() {
+        let f = mk(UdfKind::Map, vec![1], 0, vec![Inst::Return]).unwrap();
+        let s = format!("{f}");
+        assert!(s.contains("0: return"), "{s}");
+    }
+}

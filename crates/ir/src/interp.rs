@@ -1,0 +1,772 @@
+//! The IR interpreter.
+//!
+//! UDFs remain black boxes end to end: the engine *runs* the same
+//! three-address code the optimizer *analyzes*. The interpreter executes one
+//! UDF invocation (one record, pair, group or group pair) against tuples in
+//! **global record layout**, translating every local field index through the
+//! operator's redirection maps (α, Definition 1 of the paper). That
+//! translation is what lets arbitrarily reordered plans run unchanged UDF
+//! code.
+//!
+//! Semantics are *total*: arithmetic on mismatched types yields
+//! [`Value::Null`], division by zero yields null, and runaway loops are cut
+//! off by a configurable step limit so adversarial IR (e.g. from property
+//! tests) cannot hang the engine.
+
+use crate::func::{Function, UdfKind};
+use crate::inst::{BinOp, Inst, UnOp};
+use strato_record::{Record, Redirection, Value};
+
+/// One UDF invocation's input(s).
+#[derive(Debug, Clone, Copy)]
+pub enum Invocation<'a> {
+    /// Map: a single record.
+    Record(&'a Record),
+    /// Cross/Match: a pair of records.
+    Pair(&'a Record, &'a Record),
+    /// Reduce: one key group.
+    Group(&'a [Record]),
+    /// CoGroup: two key groups.
+    CoGroup(&'a [Record], &'a [Record]),
+}
+
+impl Invocation<'_> {
+    /// Record `idx` of input `input`, if present.
+    fn record(&self, input: u8, idx: usize) -> Option<&Record> {
+        match (self, input) {
+            (Invocation::Record(r), 0) if idx == 0 => Some(r),
+            (Invocation::Pair(a, _), 0) if idx == 0 => Some(a),
+            (Invocation::Pair(_, b), 1) if idx == 0 => Some(b),
+            (Invocation::Group(g), 0) => g.get(idx),
+            (Invocation::CoGroup(g, _), 0) => g.get(idx),
+            (Invocation::CoGroup(_, h), 1) => h.get(idx),
+            _ => None,
+        }
+    }
+
+    fn group_len(&self, input: u8) -> usize {
+        match (self, input) {
+            (Invocation::Record(_), 0) => 1,
+            (Invocation::Pair(..), 0 | 1) => 1,
+            (Invocation::Group(g), 0) => g.len(),
+            (Invocation::CoGroup(g, _), 0) => g.len(),
+            (Invocation::CoGroup(_, h), 1) => h.len(),
+            _ => 0,
+        }
+    }
+
+    /// Whether the invocation shape matches the UDF kind.
+    fn matches(&self, kind: UdfKind) -> bool {
+        matches!(
+            (self, kind),
+            (Invocation::Record(_), UdfKind::Map)
+                | (Invocation::Pair(..), UdfKind::Pair)
+                | (Invocation::Group(_), UdfKind::Group)
+                | (Invocation::CoGroup(..), UdfKind::CoGroup)
+        )
+    }
+}
+
+/// Runtime binding of a UDF's local field indices to global attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Per input: local field index → global attribute (α of the input
+    /// data set).
+    pub inputs: Vec<Redirection>,
+    /// Local output field index → global attribute (α of the output data
+    /// set). Covers the concatenated input schemas plus added fields.
+    pub output: Redirection,
+    /// Global tuple width, `|A|`.
+    pub width: usize,
+}
+
+impl Layout {
+    /// A "local" identity layout: global attributes coincide with local
+    /// indices (input 1, if any, follows input 0). Lets unit tests run UDFs
+    /// directly on plain records without binding a data flow.
+    pub fn local(f: &Function) -> Layout {
+        use strato_record::AttrId;
+        let mut next = 0u32;
+        let mut inputs = Vec::new();
+        for &w in f.input_widths() {
+            let map: Vec<AttrId> = (0..w as u32).map(|i| AttrId(next + i)).collect();
+            next += w as u32;
+            inputs.push(Redirection::new(map));
+        }
+        let out_w = f.output_width() as u32;
+        let output = Redirection::new((0..out_w).map(AttrId).collect());
+        Layout {
+            inputs,
+            output,
+            width: out_w as usize,
+        }
+    }
+}
+
+/// Interpreter errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The invocation shape does not match the UDF kind.
+    ShapeMismatch,
+    /// The step budget was exhausted (runaway loop).
+    StepLimit(u64),
+    /// A local field index had no redirection entry — a binding bug.
+    UnmappedField(usize),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::ShapeMismatch => write!(f, "invocation shape does not match UDF kind"),
+            InterpError::StepLimit(n) => write!(f, "step limit of {n} exhausted"),
+            InterpError::UnmappedField(n) => write!(f, "local field {n} has no redirection"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Execution statistics for one invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions executed.
+    pub steps: u64,
+    /// Records emitted.
+    pub emits: u64,
+}
+
+/// Value of a record register at runtime.
+#[derive(Debug, Clone, Default)]
+enum RecSlot {
+    #[default]
+    Unset,
+    /// A (read-only) reference to input record `idx` of input `input`.
+    Input {
+        input: u8,
+        idx: usize,
+    },
+    /// An owned, constructed output record in global layout.
+    Built(Record),
+}
+
+/// The IR interpreter. Cheap to construct; stateless across invocations.
+#[derive(Debug, Clone, Copy)]
+pub struct Interp {
+    /// Maximum instructions per invocation.
+    pub max_steps: u64,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Interp {
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with a custom step budget.
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        Interp { max_steps }
+    }
+
+    /// Runs one invocation, appending emitted records (global-layout tuples)
+    /// to `out`.
+    pub fn run(
+        &self,
+        f: &Function,
+        inv: Invocation<'_>,
+        layout: &Layout,
+        out: &mut Vec<Record>,
+    ) -> Result<RunStats, InterpError> {
+        if !inv.matches(f.kind()) {
+            return Err(InterpError::ShapeMismatch);
+        }
+        let insts = f.insts();
+        let mut vals: Vec<Value> = Vec::new();
+        let mut recs: Vec<RecSlot> = Vec::new();
+        let mut iters: Vec<(u8, usize)> = Vec::new();
+        let mut pc = 0usize;
+        let mut stats = RunStats::default();
+
+        macro_rules! val {
+            ($r:expr) => {
+                vals.get($r.0 as usize).cloned().unwrap_or(Value::Null)
+            };
+        }
+        macro_rules! set_val {
+            ($r:expr, $v:expr) => {{
+                let i = $r.0 as usize;
+                if i >= vals.len() {
+                    vals.resize(i + 1, Value::Null);
+                }
+                vals[i] = $v;
+            }};
+        }
+        macro_rules! set_rec {
+            ($r:expr, $v:expr) => {{
+                let i = $r.0 as usize;
+                if i >= recs.len() {
+                    recs.resize_with(i + 1, RecSlot::default);
+                }
+                recs[i] = $v;
+            }};
+        }
+
+        while pc < insts.len() {
+            stats.steps += 1;
+            if stats.steps > self.max_steps {
+                return Err(InterpError::StepLimit(self.max_steps));
+            }
+            match &insts[pc] {
+                Inst::Const { dst, value } => set_val!(dst, value.clone()),
+                Inst::Move { dst, src } => {
+                    let v = val!(src);
+                    set_val!(dst, v);
+                }
+                Inst::Bin { dst, op, a, b } => {
+                    let v = eval_bin(*op, &val!(a), &val!(b));
+                    set_val!(dst, v);
+                }
+                Inst::Un { dst, op, a } => {
+                    let v = eval_un(*op, &val!(a));
+                    set_val!(dst, v);
+                }
+                Inst::Call { dst, f: func, args } => {
+                    let argv: Vec<Value> = args.iter().map(|a| val!(a)).collect();
+                    set_val!(dst, func.eval(&argv));
+                }
+                Inst::LoadInput { dst, input } => {
+                    set_rec!(dst, RecSlot::Input { input: *input, idx: 0 });
+                }
+                Inst::GetField { dst, rec, field } => {
+                    let slot = recs.get(rec.0 as usize).cloned().unwrap_or_default();
+                    let v = self.read_field(&slot, *field, inv, layout)?;
+                    set_val!(dst, v);
+                }
+                Inst::GetFieldDyn { dst, rec, idx } => {
+                    let slot = recs.get(rec.0 as usize).cloned().unwrap_or_default();
+                    let v = match val!(idx).as_int() {
+                        // Out-of-schema dynamic reads yield null (total).
+                        Some(n) if n >= 0 => self
+                            .read_field(&slot, n as usize, inv, layout)
+                            .unwrap_or(Value::Null),
+                        _ => Value::Null,
+                    };
+                    set_val!(dst, v);
+                }
+                Inst::SetFieldDyn { rec, idx, src } => {
+                    if let Some(n) = val!(idx).as_int() {
+                        if n >= 0 {
+                            if let Some(attr) = layout.output.get(n as usize) {
+                                let v = val!(src);
+                                if let Some(RecSlot::Built(r)) = recs.get_mut(rec.0 as usize) {
+                                    r.set_field(attr.index(), v);
+                                }
+                            }
+                        }
+                    }
+                }
+                Inst::SetField { rec, field, src } => {
+                    let attr = layout
+                        .output
+                        .get(*field)
+                        .ok_or(InterpError::UnmappedField(*field))?;
+                    let v = val!(src);
+                    if let Some(RecSlot::Built(r)) = recs.get_mut(rec.0 as usize) {
+                        r.set_field(attr.index(), v);
+                    }
+                }
+                Inst::SetNull { rec, field } => {
+                    let attr = layout
+                        .output
+                        .get(*field)
+                        .ok_or(InterpError::UnmappedField(*field))?;
+                    if let Some(RecSlot::Built(r)) = recs.get_mut(rec.0 as usize) {
+                        r.set_field(attr.index(), Value::Null);
+                    }
+                }
+                Inst::NewRecord { dst } => {
+                    set_rec!(dst, RecSlot::Built(Record::nulls(layout.width)));
+                }
+                Inst::CopyRecord { dst, src } => {
+                    let slot = recs.get(src.0 as usize).cloned().unwrap_or_default();
+                    let r = self.materialize(&slot, inv, layout);
+                    set_rec!(dst, RecSlot::Built(r));
+                }
+                Inst::ConcatRecords { dst, a, b } => {
+                    let sa = recs.get(a.0 as usize).cloned().unwrap_or_default();
+                    let sb = recs.get(b.0 as usize).cloned().unwrap_or_default();
+                    let mut r = self.materialize(&sa, inv, layout);
+                    let rb = self.materialize(&sb, inv, layout);
+                    r.merge_absent(&rb);
+                    set_rec!(dst, RecSlot::Built(r));
+                }
+                Inst::Emit { rec } => {
+                    if let Some(RecSlot::Built(r)) = recs.get(rec.0 as usize) {
+                        out.push(r.clone());
+                        stats.emits += 1;
+                    }
+                }
+                Inst::Branch { cond, target } => {
+                    if val!(cond).truthy() {
+                        pc = target.0 as usize;
+                        continue;
+                    }
+                }
+                Inst::Jump { target } => {
+                    pc = target.0 as usize;
+                    continue;
+                }
+                Inst::Return => break,
+                Inst::IterOpen { dst, input } => {
+                    let i = dst.0 as usize;
+                    if i >= iters.len() {
+                        iters.resize(i + 1, (0, 0));
+                    }
+                    iters[i] = (*input, 0);
+                }
+                Inst::IterNext {
+                    dst,
+                    iter,
+                    exhausted,
+                } => {
+                    let (input, pos) = iters[iter.0 as usize];
+                    if pos < inv.group_len(input) {
+                        iters[iter.0 as usize].1 += 1;
+                        set_rec!(dst, RecSlot::Input { input, idx: pos });
+                    } else {
+                        pc = exhausted.0 as usize;
+                        continue;
+                    }
+                }
+                Inst::GroupCount { dst, input } => {
+                    set_val!(dst, Value::Int(inv.group_len(*input) as i64));
+                }
+            }
+            pc += 1;
+        }
+        Ok(stats)
+    }
+
+    /// Reads local `field` of a record slot, translating through α.
+    fn read_field(
+        &self,
+        slot: &RecSlot,
+        field: usize,
+        inv: Invocation<'_>,
+        layout: &Layout,
+    ) -> Result<Value, InterpError> {
+        match slot {
+            RecSlot::Unset => Ok(Value::Null),
+            RecSlot::Input { input, idx } => {
+                let attr = layout
+                    .inputs
+                    .get(*input as usize)
+                    .and_then(|r| r.get(field))
+                    .ok_or(InterpError::UnmappedField(field))?;
+                Ok(inv
+                    .record(*input, *idx)
+                    .map(|r| r.field(attr.index()).clone())
+                    .unwrap_or(Value::Null))
+            }
+            RecSlot::Built(r) => {
+                let attr = layout
+                    .output
+                    .get(field)
+                    .ok_or(InterpError::UnmappedField(field))?;
+                Ok(r.field(attr.index()).clone())
+            }
+        }
+    }
+
+    /// Materializes a slot as an owned global-layout tuple.
+    fn materialize(&self, slot: &RecSlot, inv: Invocation<'_>, layout: &Layout) -> Record {
+        match slot {
+            RecSlot::Unset => Record::nulls(layout.width),
+            RecSlot::Input { input, idx } => {
+                let mut r = inv
+                    .record(*input, *idx)
+                    .cloned()
+                    .unwrap_or_else(|| Record::nulls(layout.width));
+                // Pad with nulls to global width if the source tuple is
+                // narrower (only happens in local-layout unit tests).
+                if r.arity() < layout.width {
+                    r.set_field(layout.width - 1, Value::Null);
+                }
+                r
+            }
+            RecSlot::Built(r) => r.clone(),
+        }
+    }
+}
+
+/// Evaluates a binary operator with total, null-propagating semantics.
+pub fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Value {
+    use BinOp::*;
+    match op {
+        Eq => return Value::Bool(a == b),
+        Ne => return Value::Bool(a != b),
+        And => return Value::Bool(a.truthy() && b.truthy()),
+        Or => return Value::Bool(a.truthy() || b.truthy()),
+        _ => {}
+    }
+    if a.is_null() || b.is_null() {
+        return Value::Null;
+    }
+    match op {
+        Lt => return Value::Bool(a < b),
+        Le => return Value::Bool(a <= b),
+        Gt => return Value::Bool(a > b),
+        Ge => return Value::Bool(a >= b),
+        Min => return if a <= b { a.clone() } else { b.clone() },
+        Max => return if a >= b { a.clone() } else { b.clone() },
+        _ => {}
+    }
+    // Arithmetic.
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match op {
+            Add => Value::Int(x.wrapping_add(*y)),
+            Sub => Value::Int(x.wrapping_sub(*y)),
+            Mul => Value::Int(x.wrapping_mul(*y)),
+            Div => {
+                if *y == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(x.wrapping_div(*y))
+                }
+            }
+            Rem => {
+                if *y == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(x.wrapping_rem(*y))
+                }
+            }
+            _ => unreachable!("comparisons handled above"),
+        },
+        _ => match (a.as_float(), b.as_float()) {
+            (Some(x), Some(y)) => match op {
+                Add => Value::Float(x + y),
+                Sub => Value::Float(x - y),
+                Mul => Value::Float(x * y),
+                Div => Value::Float(x / y),
+                Rem => Value::Float(x % y),
+                _ => unreachable!("comparisons handled above"),
+            },
+            _ => Value::Null,
+        },
+    }
+}
+
+/// Evaluates a unary operator with total semantics.
+pub fn eval_un(op: UnOp, a: &Value) -> Value {
+    match op {
+        UnOp::Not => Value::Bool(!a.truthy()),
+        UnOp::IsNull => Value::Bool(a.is_null()),
+        UnOp::Neg => match a {
+            Value::Int(i) => Value::Int(i.wrapping_neg()),
+            Value::Float(f) => Value::Float(-f),
+            _ => Value::Null,
+        },
+        UnOp::Abs => match a {
+            Value::Int(i) => Value::Int(i.wrapping_abs()),
+            Value::Float(f) => Value::Float(f.abs()),
+            _ => Value::Null,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+
+    fn run_map(f: &Function, rec: Record) -> Vec<Record> {
+        let layout = Layout::local(f);
+        let mut out = Vec::new();
+        Interp::default()
+            .run(f, Invocation::Record(&rec), &layout, &mut out)
+            .expect("run");
+        out
+    }
+
+    /// f1 of Section 3: replace field 1 with its absolute value.
+    fn paper_f1() -> Function {
+        let mut b = FuncBuilder::new("f1", UdfKind::Map, vec![2]);
+        let bv = b.get_input(0, 1);
+        let or = b.copy_input(0);
+        let zero = b.konst(0i64);
+        let nonneg = b.bin(BinOp::Ge, bv, zero);
+        let done = b.new_label();
+        b.branch(nonneg, done);
+        let abs = b.un(UnOp::Abs, bv);
+        b.set(or, 1, abs);
+        b.place(done);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    /// f2 of Section 3: emit records with field 0 ≥ 0.
+    fn paper_f2() -> Function {
+        let mut b = FuncBuilder::new("f2", UdfKind::Map, vec![2]);
+        let a = b.get_input(0, 0);
+        let zero = b.konst(0i64);
+        let neg = b.bin(BinOp::Lt, a, zero);
+        let end = b.new_label();
+        b.branch(neg, end);
+        let out = b.copy_input(0);
+        b.emit(out);
+        b.place(end);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    /// f3 of Section 3: replace field 0 with field0 + field1.
+    fn paper_f3() -> Function {
+        let mut b = FuncBuilder::new("f3", UdfKind::Map, vec![2]);
+        let a = b.get_input(0, 0);
+        let bb = b.get_input(0, 1);
+        let sum = b.bin(BinOp::Add, a, bb);
+        let or = b.copy_input(0);
+        b.set(or, 0, sum);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn rec2(a: i64, b: i64) -> Record {
+        Record::from_values([Value::Int(a), Value::Int(b)])
+    }
+
+    #[test]
+    fn section3_example_record_i() {
+        // ⟨2,−3⟩ → f1 → ⟨2,3⟩ → f2 → ⟨2,3⟩ → f3 → ⟨5,3⟩
+        let r1 = run_map(&paper_f1(), rec2(2, -3));
+        assert_eq!(r1, vec![rec2(2, 3)]);
+        let r2 = run_map(&paper_f2(), r1[0].clone());
+        assert_eq!(r2, vec![rec2(2, 3)]);
+        let r3 = run_map(&paper_f3(), r2[0].clone());
+        assert_eq!(r3, vec![rec2(5, 3)]);
+    }
+
+    #[test]
+    fn section3_example_record_i_prime() {
+        // ⟨−2,−3⟩ → f1 → ⟨−2,3⟩ → f2 → ⊥
+        let r1 = run_map(&paper_f1(), rec2(-2, -3));
+        assert_eq!(r1, vec![rec2(-2, 3)]);
+        let r2 = run_map(&paper_f2(), r1[0].clone());
+        assert!(r2.is_empty());
+    }
+
+    #[test]
+    fn group_sum_udf() {
+        // Reduce UDF: emit one record with key (field 0) and sum(field 1)
+        // appended as field 2.
+        let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![2]);
+        let sum = b.konst(0i64);
+        let it = b.iter_open(0);
+        let done = b.new_label();
+        let head = b.new_label();
+        b.place(head);
+        let r = b.iter_next(it, done);
+        let v = b.get(r, 1);
+        b.bin_into(sum, BinOp::Add, sum, v);
+        b.jump(head);
+        b.place(done);
+        // Copy the first record of the group for the key fields.
+        let it2 = b.iter_open(0);
+        let empty = b.new_label();
+        let first = b.iter_next(it2, empty);
+        let or = b.copy(first);
+        b.set(or, 2, sum);
+        b.emit(or);
+        b.place(empty);
+        b.ret();
+        let f = b.finish().unwrap();
+
+        let group = vec![rec2(1, 10), rec2(1, 20), rec2(1, 5)];
+        let layout = Layout::local(&f);
+        let mut out = Vec::new();
+        let stats = Interp::default()
+            .run(&f, Invocation::Group(&group), &layout, &mut out)
+            .unwrap();
+        assert_eq!(stats.emits, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].field(2), &Value::Int(35));
+        assert_eq!(out[0].field(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn pair_concat_udf() {
+        // Match-style UDF: concatenate both records.
+        let mut b = FuncBuilder::new("join", UdfKind::Pair, vec![2, 2]);
+        let or = b.concat_inputs();
+        b.emit(or);
+        b.ret();
+        let f = b.finish().unwrap();
+        let layout = Layout::local(&f);
+        // Global layout: input0 = attrs 0,1; input1 = attrs 2,3.
+        let left = Record::from_values([
+            Value::Int(1),
+            Value::Int(2),
+            Value::Null,
+            Value::Null,
+        ]);
+        let right = Record::from_values([
+            Value::Null,
+            Value::Null,
+            Value::Int(3),
+            Value::Int(4),
+        ]);
+        let mut out = Vec::new();
+        Interp::default()
+            .run(&f, Invocation::Pair(&left, &right), &layout, &mut out)
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![Record::from_values([
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Int(4),
+            ])]
+        );
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut b = FuncBuilder::new("loop", UdfKind::Map, vec![1]);
+        let head = b.new_label();
+        b.place(head);
+        b.jump(head);
+        let f = b.finish().unwrap();
+        let layout = Layout::local(&f);
+        let r = Record::from_values([Value::Int(1)]);
+        let mut out = Vec::new();
+        let err = Interp::with_max_steps(1000)
+            .run(&f, Invocation::Record(&r), &layout, &mut out)
+            .unwrap_err();
+        assert_eq!(err, InterpError::StepLimit(1000));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let f = paper_f1();
+        let layout = Layout::local(&f);
+        let g = vec![rec2(1, 2)];
+        let mut out = Vec::new();
+        let err = Interp::default()
+            .run(&f, Invocation::Group(&g), &layout, &mut out)
+            .unwrap_err();
+        assert_eq!(err, InterpError::ShapeMismatch);
+    }
+
+    #[test]
+    fn eval_bin_totality() {
+        use BinOp::*;
+        assert_eq!(eval_bin(Add, &Value::Int(1), &Value::Int(2)), Value::Int(3));
+        assert_eq!(eval_bin(Div, &Value::Int(1), &Value::Int(0)), Value::Null);
+        assert_eq!(eval_bin(Rem, &Value::Int(1), &Value::Int(0)), Value::Null);
+        assert_eq!(eval_bin(Add, &Value::Null, &Value::Int(2)), Value::Null);
+        assert_eq!(
+            eval_bin(Add, &Value::Int(1), &Value::Float(0.5)),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            eval_bin(Add, &Value::str("a"), &Value::Int(1)),
+            Value::Null
+        );
+        assert_eq!(eval_bin(Eq, &Value::Null, &Value::Null), Value::Bool(true));
+        assert_eq!(eval_bin(Lt, &Value::Null, &Value::Int(1)), Value::Null);
+        assert_eq!(
+            eval_bin(Min, &Value::Int(3), &Value::Int(1)),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_bin(Max, &Value::Int(3), &Value::Int(1)),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_bin(And, &Value::Int(1), &Value::Int(0)),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_bin(Or, &Value::Null, &Value::Int(2)),
+            Value::Bool(true)
+        );
+        // Overflow wraps rather than panicking.
+        assert_eq!(
+            eval_bin(Add, &Value::Int(i64::MAX), &Value::Int(1)),
+            Value::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn eval_un_totality() {
+        assert_eq!(eval_un(UnOp::Neg, &Value::Int(3)), Value::Int(-3));
+        assert_eq!(eval_un(UnOp::Neg, &Value::str("x")), Value::Null);
+        assert_eq!(eval_un(UnOp::Abs, &Value::Int(-3)), Value::Int(3));
+        assert_eq!(eval_un(UnOp::Abs, &Value::Float(-1.5)), Value::Float(1.5));
+        assert_eq!(eval_un(UnOp::Not, &Value::Null), Value::Bool(true));
+        assert_eq!(eval_un(UnOp::IsNull, &Value::Null), Value::Bool(true));
+        assert_eq!(eval_un(UnOp::IsNull, &Value::Int(0)), Value::Bool(false));
+        assert_eq!(eval_un(UnOp::Neg, &Value::Int(i64::MIN)), Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn group_count_instruction() {
+        let mut b = FuncBuilder::new("count", UdfKind::Group, vec![1]);
+        let n = b.group_count(0);
+        let or = b.new_rec();
+        b.set(or, 1, n);
+        b.emit(or);
+        b.ret();
+        let f = b.finish().unwrap();
+        let layout = Layout::local(&f);
+        let g = vec![
+            Record::from_values([Value::Int(1)]),
+            Record::from_values([Value::Int(1)]),
+        ];
+        let mut out = Vec::new();
+        Interp::default()
+            .run(&f, Invocation::Group(&g), &layout, &mut out)
+            .unwrap();
+        assert_eq!(out[0].field(1), &Value::Int(2));
+    }
+
+    #[test]
+    fn reopened_iterator_rescans_group() {
+        // Count the group twice via two iterators.
+        let mut b = FuncBuilder::new("twice", UdfKind::Group, vec![1]);
+        let count = b.konst(0i64);
+        let one = b.konst(1i64);
+        for _ in 0..2 {
+            let it = b.iter_open(0);
+            let done = b.new_label();
+            let head = b.new_label();
+            b.place(head);
+            let _r = b.iter_next(it, done);
+            b.bin_into(count, BinOp::Add, count, one);
+            b.jump(head);
+            b.place(done);
+        }
+        let or = b.new_rec();
+        b.set(or, 1, count);
+        b.emit(or);
+        b.ret();
+        let f = b.finish().unwrap();
+        let layout = Layout::local(&f);
+        let g = vec![
+            Record::from_values([Value::Int(1)]),
+            Record::from_values([Value::Int(2)]),
+            Record::from_values([Value::Int(3)]),
+        ];
+        let mut out = Vec::new();
+        Interp::default()
+            .run(&f, Invocation::Group(&g), &layout, &mut out)
+            .unwrap();
+        assert_eq!(out[0].field(1), &Value::Int(6));
+    }
+}

@@ -1,0 +1,172 @@
+//! Pure intrinsic functions callable from IR.
+//!
+//! Intrinsics model the "third-party machine-learning or automaton-based
+//! components" of the paper's text-mining UDFs (Section 7.2): the optimizer
+//! treats them as opaque — an intrinsic call reads its arguments and
+//! produces a value, nothing more is assumed. [`Intrinsic::Burn`] performs
+//! deterministic busy-work so per-call CPU cost is physically real in
+//! benchmarks, not just a hint.
+
+use strato_record::Value;
+
+/// A pure built-in function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `burn(units, seed) -> int`: deterministic CPU busy-work proportional
+    /// to `units`; returns a checksum. Simulates an expensive NLP/ML
+    /// component.
+    Burn,
+    /// `str_contains(haystack, needle) -> bool`.
+    StrContains,
+    /// `str_len(s) -> int`.
+    StrLen,
+    /// `concat(a, b) -> str` (both stringified).
+    Concat,
+    /// `hash(v) -> int`: 64-bit FxHash of the value, truncated to i64.
+    Hash,
+    /// `year(yyyymmdd) -> yyyy` for integer-encoded dates.
+    Year,
+    /// `to_int(v) -> int` (best effort; null on failure).
+    ToInt,
+}
+
+impl Intrinsic {
+    /// Number of arguments the intrinsic expects.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Burn | Intrinsic::StrContains | Intrinsic::Concat => 2,
+            Intrinsic::StrLen | Intrinsic::Hash | Intrinsic::Year | Intrinsic::ToInt => 1,
+        }
+    }
+
+    /// Evaluates the intrinsic. Total: never panics, returns `Value::Null`
+    /// on domain errors (black-box UDFs must not crash the engine).
+    pub fn eval(self, args: &[Value]) -> Value {
+        match self {
+            Intrinsic::Burn => {
+                let units = args[0].as_int().unwrap_or(0).max(0) as u64;
+                let seed = args[1].as_int().unwrap_or(1) as u64;
+                Value::Int(burn(units, seed) as i64)
+            }
+            Intrinsic::StrContains => match (args[0].as_str(), args[1].as_str()) {
+                (Some(h), Some(n)) => Value::Bool(h.contains(n)),
+                _ => Value::Null,
+            },
+            Intrinsic::StrLen => match args[0].as_str() {
+                Some(s) => Value::Int(s.len() as i64),
+                None => Value::Null,
+            },
+            Intrinsic::Concat => {
+                let a = stringify(&args[0]);
+                let b = stringify(&args[1]);
+                Value::str(format!("{a}{b}"))
+            }
+            Intrinsic::Hash => Value::Int(strato_record::hash::fx_hash(&args[0]) as i64),
+            Intrinsic::Year => match args[0].as_int() {
+                Some(d) => Value::Int(d / 10_000),
+                None => Value::Null,
+            },
+            Intrinsic::ToInt => match &args[0] {
+                Value::Int(i) => Value::Int(*i),
+                Value::Float(f) => Value::Int(*f as i64),
+                Value::Bool(b) => Value::Int(*b as i64),
+                Value::Str(s) => s.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+                Value::Null => Value::Null,
+            },
+        }
+    }
+}
+
+fn stringify(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.to_string(),
+        Value::Null => String::new(),
+        other => format!("{other}"),
+    }
+}
+
+/// Deterministic busy-work: `units` rounds of a xorshift-like mix.
+/// `#[inline(never)]` keeps the optimizer from folding the loop away so
+/// benchmark CPU costs stay real.
+#[inline(never)]
+pub fn burn(units: u64, seed: u64) -> u64 {
+    let mut x = seed | 1;
+    // ~50 mixes per unit makes one unit ≈ a few tens of nanoseconds.
+    for _ in 0..units.saturating_mul(50) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(Intrinsic::Burn.arity(), 2);
+        assert_eq!(Intrinsic::StrLen.arity(), 1);
+    }
+
+    #[test]
+    fn burn_is_deterministic_and_nonzero() {
+        assert_eq!(burn(10, 7), burn(10, 7));
+        assert_ne!(burn(10, 7), burn(10, 8));
+        assert_eq!(
+            Intrinsic::Burn.eval(&[Value::Int(1), Value::Int(7)]),
+            Intrinsic::Burn.eval(&[Value::Int(1), Value::Int(7)])
+        );
+    }
+
+    #[test]
+    fn str_contains() {
+        assert_eq!(
+            Intrinsic::StrContains.eval(&[Value::str("gene BRCA1 found"), Value::str("BRCA1")]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Intrinsic::StrContains.eval(&[Value::str("x"), Value::str("y")]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Intrinsic::StrContains.eval(&[Value::Int(1), Value::str("y")]),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn str_len_and_concat() {
+        assert_eq!(Intrinsic::StrLen.eval(&[Value::str("abc")]), Value::Int(3));
+        assert_eq!(
+            Intrinsic::Concat.eval(&[Value::str("a"), Value::Int(3)]),
+            Value::str("a3")
+        );
+    }
+
+    #[test]
+    fn year_extraction() {
+        assert_eq!(
+            Intrinsic::Year.eval(&[Value::Int(19_980_321)]),
+            Value::Int(1998)
+        );
+        assert_eq!(Intrinsic::Year.eval(&[Value::str("x")]), Value::Null);
+    }
+
+    #[test]
+    fn to_int_conversions() {
+        assert_eq!(Intrinsic::ToInt.eval(&[Value::str("42")]), Value::Int(42));
+        assert_eq!(Intrinsic::ToInt.eval(&[Value::str("nope")]), Value::Null);
+        assert_eq!(Intrinsic::ToInt.eval(&[Value::Float(2.9)]), Value::Int(2));
+        assert_eq!(Intrinsic::ToInt.eval(&[Value::Bool(true)]), Value::Int(1));
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        let a = Intrinsic::Hash.eval(&[Value::str("k")]);
+        let b = Intrinsic::Hash.eval(&[Value::str("k")]);
+        assert_eq!(a, b);
+        assert!(matches!(a, Value::Int(_)));
+    }
+}

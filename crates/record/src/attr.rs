@@ -1,0 +1,424 @@
+//! Global record, attribute identities and attribute sets.
+//!
+//! Definition 1 of the paper: *the global record `A` is a unique naming of
+//! all base and intermediate attributes in the data flow*, together with a
+//! *redirection map* `α(D, n)` mapping every local field index `n` of every
+//! data set `D` to the corresponding entry of `A`.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Sub};
+
+/// Identity of one attribute of the global record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The attribute's index into the global record.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A set of global attributes, stored as a growable bitset.
+///
+/// All reordering conditions of the paper are set-algebra over attribute
+/// sets (read sets, write sets, keys, subtree attribute coverage), so this
+/// type provides the full algebra: union, intersection, difference,
+/// disjointness and subset tests — each O(words).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrSet {
+    words: Vec<u64>,
+}
+
+impl AttrSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from attribute ids.
+    pub fn from_iter_ids(ids: impl IntoIterator<Item = AttrId>) -> Self {
+        let mut s = Self::new();
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Singleton set.
+    pub fn singleton(id: AttrId) -> Self {
+        let mut s = Self::new();
+        s.insert(id);
+        s
+    }
+
+    /// Inserts an attribute; returns `true` if it was not present.
+    pub fn insert(&mut self, id: AttrId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes an attribute; returns `true` if it was present.
+    pub fn remove(&mut self, id: AttrId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: AttrId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∩ other = ∅` — the workhorse of every conflict check.
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &a)| {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            a & !b == 0
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &AttrSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Union, producing a new set.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Intersection, producing a new set.
+    pub fn intersection(&self, other: &AttrSet) -> AttrSet {
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        AttrSet { words }.normalized()
+    }
+
+    /// Difference `self \ other`, producing a new set.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        let words = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| a & !other.words.get(i).copied().unwrap_or(0))
+            .collect();
+        AttrSet { words }.normalized()
+    }
+
+    /// Iterates over the contained attribute ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| AttrId((wi * 64 + b) as u32))
+        })
+    }
+
+    /// Drops trailing zero words so that equality/hash are canonical.
+    fn normalized(mut self) -> Self {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+        self
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        Self::from_iter_ids(iter)
+    }
+}
+
+impl BitOr for &AttrSet {
+    type Output = AttrSet;
+    fn bitor(self, rhs: &AttrSet) -> AttrSet {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for &AttrSet {
+    type Output = AttrSet;
+    fn bitand(self, rhs: &AttrSet) -> AttrSet {
+        self.intersection(rhs)
+    }
+}
+
+impl Sub for &AttrSet {
+    type Output = AttrSet;
+    fn sub(self, rhs: &AttrSet) -> AttrSet {
+        self.difference(rhs)
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One attribute of the global record: its display name and provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrInfo {
+    /// Human-readable name, e.g. `lineitem.l_shipdate` or `op3.$new0`.
+    pub name: String,
+}
+
+/// The global record `A` (Definition 1): the unique naming of all base and
+/// intermediate attributes of a bound data flow.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalRecord {
+    attrs: Vec<AttrInfo>,
+}
+
+impl GlobalRecord {
+    /// An empty global record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new attribute and returns its id.
+    pub fn add(&mut self, name: impl Into<String>) -> AttrId {
+        let id = AttrId(self.attrs.len() as u32);
+        self.attrs.push(AttrInfo { name: name.into() });
+        id
+    }
+
+    /// Number of attributes, `|A|` — also the width of tuples in global
+    /// layout.
+    pub fn width(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Name of an attribute.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.attrs[id.index()].name
+    }
+
+    /// Looks an attribute up by name.
+    pub fn by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u32))
+    }
+
+    /// All attribute ids.
+    pub fn all(&self) -> AttrSet {
+        (0..self.attrs.len() as u32).map(AttrId).collect()
+    }
+
+    /// Renders a set of attributes with names, for diagnostics.
+    pub fn render(&self, set: &AttrSet) -> String {
+        let names: Vec<&str> = set.iter().map(|a| self.name(a)).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+}
+
+/// A redirection map α for one operator input or output: local field index →
+/// global attribute (Definition 1).
+///
+/// UDF code addresses fields by *static local indices*; binding a program
+/// computes one `Redirection` per operator input/output so the engine can
+/// execute the unchanged UDF against global-layout tuples regardless of how
+/// operators were reordered.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Redirection {
+    map: Vec<AttrId>,
+}
+
+impl Redirection {
+    /// Creates a redirection from the local-index-ordered list of global
+    /// attribute ids.
+    pub fn new(map: Vec<AttrId>) -> Self {
+        Redirection { map }
+    }
+
+    /// α(D, n): the global attribute for local field `n`.
+    #[inline]
+    pub fn get(&self, n: usize) -> Option<AttrId> {
+        self.map.get(n).copied()
+    }
+
+    /// Number of local fields covered, `#D`.
+    pub fn arity(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The set of all global attributes reachable through this map.
+    pub fn attr_set(&self) -> AttrSet {
+        self.map.iter().copied().collect()
+    }
+
+    /// The raw local→global table.
+    pub fn as_slice(&self) -> &[AttrId] {
+        &self.map
+    }
+
+    /// Appends a mapping for the next local index; returns that local index.
+    pub fn push(&mut self, id: AttrId) -> usize {
+        self.map.push(id);
+        self.map.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> AttrSet {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = AttrSet::new();
+        assert!(s.insert(AttrId(3)));
+        assert!(!s.insert(AttrId(3)));
+        assert!(s.contains(AttrId(3)));
+        assert!(!s.contains(AttrId(2)));
+        assert!(s.remove(AttrId(3)));
+        assert!(!s.remove(AttrId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[3, 4]);
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), set(&[3]));
+        assert_eq!(a.difference(&b), set(&[1, 2]));
+        assert_eq!(&a | &b, set(&[1, 2, 3, 4]));
+        assert_eq!(&a & &b, set(&[3]));
+        assert_eq!(&a - &b, set(&[1, 2]));
+    }
+
+    #[test]
+    fn disjoint_and_subset() {
+        assert!(set(&[1, 2]).is_disjoint(&set(&[3, 4])));
+        assert!(!set(&[1, 2]).is_disjoint(&set(&[2])));
+        assert!(set(&[1]).is_subset(&set(&[1, 2])));
+        assert!(!set(&[1, 5]).is_subset(&set(&[1, 2])));
+        assert!(AttrSet::new().is_subset(&set(&[])));
+        assert!(AttrSet::new().is_disjoint(&AttrSet::new()));
+    }
+
+    #[test]
+    fn works_across_word_boundaries() {
+        let a = set(&[0, 63, 64, 127, 128]);
+        assert_eq!(a.len(), 5);
+        assert!(a.contains(AttrId(127)));
+        let b = set(&[127]);
+        assert!(!a.is_disjoint(&b));
+        assert!(b.is_subset(&a));
+        assert_eq!(a.difference(&b).len(), 4);
+    }
+
+    #[test]
+    fn canonical_equality_after_difference() {
+        // Removing high bits must not leave trailing words that break Eq.
+        let a = set(&[200]);
+        let b = set(&[200]);
+        let d = a.difference(&b);
+        assert_eq!(d, AttrSet::new());
+        assert_eq!(a.intersection(&set(&[1])), AttrSet::new());
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let ids: Vec<u32> = set(&[65, 2, 130]).iter().map(|a| a.0).collect();
+        assert_eq!(ids, vec![2, 65, 130]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", set(&[1, 3])), "{a1,a3}");
+        assert_eq!(format!("{}", AttrId(7)), "a7");
+    }
+
+    #[test]
+    fn global_record_naming() {
+        let mut g = GlobalRecord::new();
+        let a = g.add("li.date");
+        let b = g.add("li.qty");
+        assert_eq!(g.width(), 2);
+        assert_eq!(g.name(a), "li.date");
+        assert_eq!(g.by_name("li.qty"), Some(b));
+        assert_eq!(g.by_name("nope"), None);
+        assert_eq!(g.all(), set(&[0, 1]));
+        assert_eq!(g.render(&set(&[0])), "{li.date}");
+    }
+
+    #[test]
+    fn redirection_maps_local_to_global() {
+        let r = Redirection::new(vec![AttrId(5), AttrId(9)]);
+        assert_eq!(r.get(0), Some(AttrId(5)));
+        assert_eq!(r.get(1), Some(AttrId(9)));
+        assert_eq!(r.get(2), None);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.attr_set(), set(&[5, 9]));
+    }
+
+    #[test]
+    fn redirection_push() {
+        let mut r = Redirection::default();
+        assert_eq!(r.push(AttrId(1)), 0);
+        assert_eq!(r.push(AttrId(4)), 1);
+        assert_eq!(r.as_slice(), &[AttrId(1), AttrId(4)]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Fast non-cryptographic hashing.
+//!
+//! The engine hash-partitions records by key on every repartitioning ship
+//! strategy and the optimizer memoizes canonical plan forms; both are hot
+//! paths where SipHash (std's default) is needlessly slow for short keys.
+//! [`FxHasher`] implements the well-known FxHash algorithm (as used by the
+//! Rust compiler); it is not DoS-resistant, which is acceptable for an
+//! in-process engine processing trusted data.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Multiplicative constant of FxHash (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher state.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with FxHash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with FxHash.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hashes any `Hash` value with FxHash — used for partitioning records and
+/// canonicalizing plans.
+pub fn fx_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fx_hash(&42u64), fx_hash(&42u64));
+        assert_eq!(fx_hash(&"abc"), fx_hash(&"abc"));
+    }
+
+    #[test]
+    fn discriminates_simple_inputs() {
+        assert_ne!(fx_hash(&1u64), fx_hash(&2u64));
+        assert_ne!(fx_hash(&"a"), fx_hash(&"b"));
+        assert_ne!(fx_hash(&(1u8, 2u8)), fx_hash(&(2u8, 1u8)));
+    }
+
+    #[test]
+    fn byte_tails_are_hashed() {
+        // Inputs differing only in a sub-8-byte tail must differ.
+        assert_ne!(fx_hash(&[1u8, 2, 3]), fx_hash(&[1u8, 2, 4]));
+        assert_ne!(fx_hash(&[0u8; 3][..]), fx_hash(&[0u8; 4][..]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<&str, i32> = FxHashMap::default();
+        m.insert("k", 1);
+        assert_eq!(m["k"], 1);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn distribution_smoke() {
+        // 10k consecutive integers should hit most of 64 buckets.
+        let mut buckets = [0u32; 64];
+        for i in 0..10_000u64 {
+            buckets[(fx_hash(&i) % 64) as usize] += 1;
+        }
+        let non_empty = buckets.iter().filter(|&&c| c > 0).count();
+        assert!(non_empty >= 60, "poor distribution: {non_empty}/64");
+    }
+}

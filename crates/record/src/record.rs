@@ -1,0 +1,239 @@
+//! Records: ordered tuples of values.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An ordered tuple of values `r = ⟨v1, …, vm⟩` (Section 2.2 of the paper).
+///
+/// Two records are equal iff they have the same arity and all fields compare
+/// equal under [`Value`]'s total equality.
+///
+/// In global-record layout (the representation the engine executes on), the
+/// arity of every record equals the number of global attributes and fields
+/// the record does not carry are [`Value::Null`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Record {
+    fields: Vec<Value>,
+}
+
+impl Record {
+    /// Creates a record from a vector of field values.
+    pub fn new(fields: Vec<Value>) -> Self {
+        Record { fields }
+    }
+
+    /// Creates an all-null record of the given arity (an "empty" record in
+    /// global layout).
+    pub fn nulls(arity: usize) -> Self {
+        Record {
+            fields: vec![Value::Null; arity],
+        }
+    }
+
+    /// Creates a record from anything convertible to values.
+    ///
+    /// ```
+    /// use strato_record::Record;
+    /// let r = Record::from_values([1i64.into(), "a".into()]);
+    /// assert_eq!(r.arity(), 2);
+    /// ```
+    pub fn from_values(fields: impl IntoIterator<Item = Value>) -> Self {
+        Record {
+            fields: fields.into_iter().collect(),
+        }
+    }
+
+    /// Number of fields in this record.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns field `n`, or `Value::Null` when out of range.
+    ///
+    /// Out-of-range reads return null rather than panicking because the
+    /// engine's global layout guarantees in-range access; lenience here keeps
+    /// black-box UDF interpretation total.
+    #[inline]
+    pub fn field(&self, n: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.fields.get(n).unwrap_or(&NULL)
+    }
+
+    /// Sets field `n`, growing the record with nulls if needed.
+    pub fn set_field(&mut self, n: usize, v: Value) {
+        if n >= self.fields.len() {
+            self.fields.resize(n + 1, Value::Null);
+        }
+        self.fields[n] = v;
+    }
+
+    /// Read-only view of all fields.
+    #[inline]
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+
+    /// Consumes the record, returning its fields.
+    pub fn into_fields(self) -> Vec<Value> {
+        self.fields
+    }
+
+    /// Projects the record onto the given field indices (π in the paper).
+    pub fn project(&self, indices: &[usize]) -> Record {
+        Record {
+            fields: indices.iter().map(|&i| self.field(i).clone()).collect(),
+        }
+    }
+
+    /// Merges another record into this one, field-wise: absent (null) fields
+    /// of `self` take the corresponding field of `other`.
+    ///
+    /// This is the global-layout implementation of record concatenation
+    /// `r|s`: the attribute sets of the two sides are disjoint, so for every
+    /// attribute at most one side is non-null.
+    pub fn merge_absent(&mut self, other: &Record) {
+        if other.fields.len() > self.fields.len() {
+            self.fields.resize(other.fields.len(), Value::Null);
+        }
+        for (i, v) in other.fields.iter().enumerate() {
+            if self.fields[i].is_null() && !v.is_null() {
+                self.fields[i] = v.clone();
+            }
+        }
+    }
+
+    /// Approximate serialized size in bytes, counting only present
+    /// (non-null) fields plus a per-record header. Used for cost accounting.
+    pub fn encoded_len(&self) -> usize {
+        4 + self
+            .fields
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(Value::encoded_len)
+            .sum::<usize>()
+    }
+}
+
+impl Index<usize> for Record {
+    type Output = Value;
+    fn index(&self, n: usize) -> &Value {
+        self.field(n)
+    }
+}
+
+impl IndexMut<usize> for Record {
+    fn index_mut(&mut self, n: usize) -> &mut Value {
+        if n >= self.fields.len() {
+            self.fields.resize(n + 1, Value::Null);
+        }
+        &mut self.fields[n]
+    }
+}
+
+impl FromIterator<Value> for Record {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Record::from_values(iter)
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vals: &[i64]) -> Record {
+        Record::from_values(vals.iter().map(|&v| Value::Int(v)))
+    }
+
+    #[test]
+    fn arity_and_access() {
+        let r = rec(&[1, 2, 3]);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.field(0), &Value::Int(1));
+        assert_eq!(r.field(99), &Value::Null);
+        assert_eq!(r[2], Value::Int(3));
+    }
+
+    #[test]
+    fn set_field_grows() {
+        let mut r = rec(&[1]);
+        r.set_field(3, Value::Int(9));
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r.field(1), &Value::Null);
+        assert_eq!(r.field(3), &Value::Int(9));
+    }
+
+    #[test]
+    fn index_mut_grows() {
+        let mut r = Record::default();
+        r[2] = Value::str("x");
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.field(2), &Value::str("x"));
+    }
+
+    #[test]
+    fn record_equality_is_fieldwise() {
+        assert_eq!(rec(&[1, 2]), rec(&[1, 2]));
+        assert_ne!(rec(&[1, 2]), rec(&[2, 1]));
+        assert_ne!(rec(&[1]), rec(&[1, 2]));
+    }
+
+    #[test]
+    fn projection() {
+        let r = rec(&[10, 20, 30]);
+        assert_eq!(r.project(&[2, 0]), rec(&[30, 10]));
+        assert_eq!(r.project(&[]), Record::default());
+    }
+
+    #[test]
+    fn merge_absent_takes_other_side() {
+        let mut left = Record::from_values([Value::Int(1), Value::Null, Value::Null]);
+        let right = Record::from_values([Value::Null, Value::Int(2), Value::Null]);
+        left.merge_absent(&right);
+        assert_eq!(
+            left,
+            Record::from_values([Value::Int(1), Value::Int(2), Value::Null])
+        );
+    }
+
+    #[test]
+    fn merge_absent_does_not_overwrite_present_fields() {
+        let mut left = Record::from_values([Value::Int(1)]);
+        let right = Record::from_values([Value::Int(9), Value::Int(2)]);
+        left.merge_absent(&right);
+        assert_eq!(left, Record::from_values([Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn nulls_constructor() {
+        let r = Record::nulls(4);
+        assert_eq!(r.arity(), 4);
+        assert!(r.fields().iter().all(Value::is_null));
+    }
+
+    #[test]
+    fn encoded_len_ignores_nulls() {
+        let r = Record::from_values([Value::Int(1), Value::Null, Value::str("ab")]);
+        assert_eq!(r.encoded_len(), 4 + 9 + (1 + 4 + 2));
+    }
+
+    #[test]
+    fn display_format() {
+        let r = Record::from_values([Value::Int(2), Value::Int(-3)]);
+        assert_eq!(format!("{r}"), "⟨2, -3⟩");
+    }
+}

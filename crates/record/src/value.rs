@@ -1,0 +1,320 @@
+//! Dynamically typed field values.
+//!
+//! The paper leaves "the semantics of the values, including their type" to
+//! the user-defined functions that manipulate them (Section 2.2). [`Value`]
+//! is the dynamic value universe shared by the IR interpreter, the PACT
+//! engine and the workload generators.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically typed field value.
+///
+/// `Value` implements *total* equality and ordering (floats are compared via
+/// [`f64::total_cmp`]) so that records can be used as grouping keys and data
+/// sets can be compared as bags deterministically.
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    /// The null value. Also used as "attribute absent" in global-record
+    /// layout (see the crate docs).
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. Compared with total ordering.
+    Float(f64),
+    /// Immutable interned string (cheap to clone).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Creates a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns `true` iff this is [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the integer payload, if any.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, widening integers.
+    #[inline]
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if any.
+    #[inline]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if any.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by IR conditional branches: `Null`/`false`/`0`/`0.0`/
+    /// empty string are false, everything else is true.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// A small integer identifying the type, used for cross-type ordering.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Approximate serialized size in bytes; used by the cost model and the
+    /// shipping byte accounting (must agree with [`crate::wire`]).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 2,
+            Value::Int(_) => 9,
+            Value::Float(_) => 9,
+            Value::Str(s) => 1 + 4 + s.len(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Cross-type comparison keeps Int(2) distinct from Float(2.0):
+            // black-box equality must be bit-faithful so that reordered
+            // plans compare identically. Order by type rank.
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u8(self.type_rank());
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => state.write_u8(*b as u8),
+            Value::Int(i) => state.write_i64(*i),
+            Value::Float(f) => state.write_u64(f.to_bits()),
+            Value::Str(s) => state.write(s.as_bytes()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "⊥"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn null_is_default_and_absent() {
+        assert!(Value::default().is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Float(0.0).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Int(-3).truthy());
+        assert!(Value::Float(0.5).truthy());
+        assert!(Value::str("x").truthy());
+    }
+
+    #[test]
+    fn total_order_on_floats_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(1.0) < Value::Float(f64::NAN));
+        assert!(Value::Float(f64::NEG_INFINITY) < Value::Float(0.0));
+    }
+
+    #[test]
+    fn cross_type_ordering_is_by_type_rank() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::Int(i64::MIN));
+        assert!(Value::Int(i64::MAX) < Value::Float(f64::NEG_INFINITY));
+        assert!(Value::Float(f64::INFINITY) < Value::str(""));
+    }
+
+    #[test]
+    fn int_and_float_are_distinct_values() {
+        assert_ne!(Value::Int(2), Value::Float(2.0));
+    }
+
+    #[test]
+    fn string_comparison_is_by_content() {
+        // Regression: a missing (Str, Str) arm in cmp once made ALL strings
+        // compare equal, silently corrupting string grouping and filtering.
+        assert_ne!(Value::str("FRANCE"), Value::str("GERMANY"));
+        assert_eq!(Value::str("FRANCE"), Value::str("FRANCE"));
+        assert!(Value::str("ALPHA") < Value::str("BETA"));
+        assert!(Value::str("b") > Value::str("a"));
+        assert_ne!(h(&Value::str("x")), h(&Value::str("y")));
+    }
+
+    #[test]
+    fn hash_eq_consistency_for_unequal_strings() {
+        // Eq and Hash must agree: unequal values that hashed differently
+        // but compared equal split reduce groups across partitions.
+        let a = Value::str("NATION_18");
+        let b = Value::str("NATION_09");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        let a = Value::str("hello");
+        let b = Value::str("hello");
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+        assert_eq!(h(&Value::Float(f64::NAN)), h(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+    }
+
+    #[test]
+    fn as_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::str("x").as_float(), None);
+    }
+
+    #[test]
+    fn encoded_len_matches_wire_expectations() {
+        assert_eq!(Value::Null.encoded_len(), 1);
+        assert_eq!(Value::Bool(true).encoded_len(), 2);
+        assert_eq!(Value::Int(7).encoded_len(), 9);
+        assert_eq!(Value::str("abc").encoded_len(), 8);
+    }
+}

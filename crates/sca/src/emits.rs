@@ -1,0 +1,378 @@
+//! Emit-cardinality bounds.
+//!
+//! "We omit the details for emit cardinalities, which can be estimated by
+//! traversing the control flow graph of a UDF" (Section 5). This module
+//! supplies those details: min/max `emit` counts over all control-flow
+//! paths, computed by dynamic programming over the condensation (SCC DAG)
+//! of the CFG. An `emit` inside a cycle makes the maximum unbounded; cyclic
+//! regions contribute a conservative minimum of zero.
+
+use crate::props::EmitBounds;
+use strato_ir::cfg::Cfg;
+use strato_ir::func::Function;
+use strato_ir::Inst;
+
+/// Computes emit bounds for a function.
+pub fn emit_bounds(f: &Function, cfg: &Cfg) -> EmitBounds {
+    let insts = f.insts();
+    let n = insts.len();
+    let comp = scc_ids(cfg, n);
+    let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+
+    // Component metadata.
+    let mut cyclic = vec![false; n_comp];
+    let mut emits_in = vec![0u64; n_comp];
+    let mut has_terminal = vec![false; n_comp];
+    let mut members = vec![0usize; n_comp];
+    for i in 0..n {
+        if !cfg.reachable(i) {
+            continue;
+        }
+        let c = comp[i];
+        members[c] += 1;
+        if cfg.in_cycle(i) {
+            cyclic[c] = true;
+        }
+        if matches!(insts[i], Inst::Emit { .. }) {
+            emits_in[c] += 1;
+        }
+        // A terminal: Return, or an instruction with no successors.
+        if matches!(insts[i], Inst::Return) || cfg.succs(i).next().is_none() {
+            has_terminal[c] = true;
+        }
+    }
+
+    // Condensation edges.
+    let mut comp_succs: Vec<Vec<usize>> = vec![vec![]; n_comp];
+    for i in 0..n {
+        if !cfg.reachable(i) {
+            continue;
+        }
+        for s in cfg.succs(i) {
+            if comp[i] != comp[s] && !comp_succs[comp[i]].contains(&comp[s]) {
+                comp_succs[comp[i]].push(comp[s]);
+            }
+        }
+    }
+
+    // Per-component weight: (min emits, max emits or None).
+    let weight = |c: usize| -> (u64, Option<u64>) {
+        if cyclic[c] {
+            if emits_in[c] > 0 {
+                (0, None)
+            } else {
+                (0, Some(0))
+            }
+        } else {
+            (emits_in[c], Some(emits_in[c]))
+        }
+    };
+
+    // Topological order of the condensation via DFS post-order from the
+    // entry component.
+    let entry = comp[0];
+    let order = topo_from(entry, &comp_succs);
+
+    // DP over paths: in-bounds per component.
+    let mut min_in = vec![u64::MAX; n_comp];
+    let mut max_in: Vec<Option<Option<u64>>> = vec![None; n_comp]; // outer None = unreached
+    min_in[entry] = 0;
+    max_in[entry] = Some(Some(0));
+    for &c in &order {
+        if min_in[c] == u64::MAX {
+            continue;
+        }
+        let (wmin, wmax) = weight(c);
+        let out_min = min_in[c].saturating_add(wmin);
+        let out_max = match (max_in[c].unwrap(), wmax) {
+            (Some(a), Some(b)) => Some(a.saturating_add(b)),
+            _ => None,
+        };
+        for &s in &comp_succs[c] {
+            min_in[s] = min_in[s].min(out_min);
+            max_in[s] = Some(match max_in[s] {
+                None => out_max,
+                Some(prev) => match (prev, out_max) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                },
+            });
+        }
+    }
+
+    // Aggregate over terminal components.
+    let mut total_min = u64::MAX;
+    let mut total_max: Option<u64> = Some(0);
+    let mut any_terminal = false;
+    for c in 0..n_comp {
+        if !has_terminal[c] || min_in[c] == u64::MAX {
+            continue;
+        }
+        any_terminal = true;
+        let (wmin, wmax) = weight(c);
+        total_min = total_min.min(min_in[c].saturating_add(wmin));
+        let t_max = match (max_in[c].unwrap(), wmax) {
+            (Some(a), Some(b)) => Some(a.saturating_add(b)),
+            _ => None,
+        };
+        total_max = match (total_max, t_max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+    }
+    if !any_terminal {
+        // Degenerate: no reachable terminal (pure infinite loop). Bound by
+        // the loop contents.
+        let unbounded = (0..n)
+            .any(|i| cfg.reachable(i) && cfg.in_cycle(i) && matches!(insts[i], Inst::Emit { .. }));
+        return EmitBounds {
+            min: 0,
+            max: if unbounded { None } else { Some(0) },
+        };
+    }
+    EmitBounds {
+        min: total_min,
+        max: total_max,
+    }
+}
+
+/// Tarjan SCC producing a component id per instruction (unreachable
+/// instructions keep id 0 but are never consulted).
+fn scc_ids(cfg: &Cfg, n: usize) -> Vec<usize> {
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut comp = vec![0usize; n];
+    let mut counter = 0usize;
+    let mut n_comp = 0usize;
+
+    enum Frame {
+        Enter(usize),
+        Post(usize, usize),
+    }
+    for start in 0..n {
+        if !cfg.reachable(start) || index[start] != usize::MAX {
+            continue;
+        }
+        let mut call = vec![Frame::Enter(start)];
+        while let Some(fr) = call.pop() {
+            match fr {
+                Frame::Enter(v) => {
+                    if index[v] != usize::MAX {
+                        continue;
+                    }
+                    index[v] = counter;
+                    low[v] = counter;
+                    counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call.push(Frame::Post(v, usize::MAX));
+                    for w in cfg.succs(v) {
+                        if index[w] == usize::MAX {
+                            call.push(Frame::Post(v, w));
+                            call.push(Frame::Enter(w));
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                }
+                Frame::Post(v, w) => {
+                    if w != usize::MAX {
+                        low[v] = low[v].min(low[w]);
+                        continue;
+                    }
+                    if low[v] == index[v] {
+                        while let Some(x) = stack.pop() {
+                            on_stack[x] = false;
+                            comp[x] = n_comp;
+                            if x == v {
+                                break;
+                            }
+                        }
+                        n_comp += 1;
+                    }
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// DFS post-order reversed = topological order of the (acyclic)
+/// condensation, restricted to components reachable from `entry`.
+fn topo_from(entry: usize, succs: &[Vec<usize>]) -> Vec<usize> {
+    let n = succs.len();
+    let mut seen = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    if n == 0 {
+        return post;
+    }
+    seen[entry] = true;
+    while let Some((v, mut i)) = stack.pop() {
+        let mut descended = false;
+        while i < succs[v].len() {
+            let w = succs[v][i];
+            i += 1;
+            if !seen[w] {
+                seen[w] = true;
+                stack.push((v, i));
+                stack.push((w, 0));
+                descended = true;
+                break;
+            }
+        }
+        if !descended && i >= succs[v].len() {
+            post.push(v);
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_ir::{BinOp, FuncBuilder, UdfKind};
+
+    fn bounds(f: &Function) -> EmitBounds {
+        emit_bounds(f, &Cfg::build(f))
+    }
+
+    #[test]
+    fn identity_map_emits_exactly_one() {
+        let mut b = FuncBuilder::new("id", UdfKind::Map, vec![1]);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.ret();
+        let e = bounds(&b.finish().unwrap());
+        assert_eq!(e, EmitBounds { min: 1, max: Some(1) });
+        assert!(e.exactly_one());
+    }
+
+    #[test]
+    fn filter_emits_zero_or_one() {
+        let mut b = FuncBuilder::new("filter", UdfKind::Map, vec![1]);
+        let v = b.get_input(0, 0);
+        let end = b.new_label();
+        b.branch_not(v, end);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.place(end);
+        b.ret();
+        let e = bounds(&b.finish().unwrap());
+        assert_eq!(e, EmitBounds { min: 0, max: Some(1) });
+        assert!(e.at_most_one());
+        assert!(!e.exactly_one());
+    }
+
+    #[test]
+    fn two_unconditional_emits() {
+        let mut b = FuncBuilder::new("dup", UdfKind::Map, vec![1]);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.emit(or);
+        b.ret();
+        assert_eq!(bounds(&b.finish().unwrap()), EmitBounds { min: 2, max: Some(2) });
+    }
+
+    #[test]
+    fn emit_in_loop_is_unbounded() {
+        // KAT UDF emitting every group record.
+        let mut b = FuncBuilder::new("all", UdfKind::Group, vec![1]);
+        let it = b.iter_open(0);
+        let done = b.new_label();
+        let head = b.new_label();
+        b.place(head);
+        let r = b.iter_next(it, done);
+        let or = b.copy(r);
+        b.emit(or);
+        b.jump(head);
+        b.place(done);
+        b.ret();
+        let e = bounds(&b.finish().unwrap());
+        assert_eq!(e.max, None);
+        assert_eq!(e.min, 0);
+    }
+
+    #[test]
+    fn loop_without_emit_stays_bounded() {
+        let mut b = FuncBuilder::new("scan", UdfKind::Group, vec![1]);
+        let it = b.iter_open(0);
+        let done = b.new_label();
+        let head = b.new_label();
+        b.place(head);
+        let _r = b.iter_next(it, done);
+        b.jump(head);
+        b.place(done);
+        let or = b.new_rec();
+        b.emit(or);
+        b.ret();
+        assert_eq!(bounds(&b.finish().unwrap()), EmitBounds { min: 1, max: Some(1) });
+    }
+
+    #[test]
+    fn branchy_emit_counts() {
+        // if c { emit; emit } else { emit } → [1, 2]
+        let mut b = FuncBuilder::new("b", UdfKind::Map, vec![1]);
+        let c = b.get_input(0, 0);
+        let or = b.copy_input(0);
+        let els = b.new_label();
+        let end = b.new_label();
+        b.branch_not(c, els);
+        b.emit(or);
+        b.emit(or);
+        b.jump(end);
+        b.place(els);
+        b.emit(or);
+        b.place(end);
+        b.ret();
+        assert_eq!(bounds(&b.finish().unwrap()), EmitBounds { min: 1, max: Some(2) });
+    }
+
+    #[test]
+    fn early_return_path_counts() {
+        // if c { return } ; emit → [0, 1]
+        let mut b = FuncBuilder::new("er", UdfKind::Map, vec![1]);
+        let c = b.get_input(0, 0);
+        let cont = b.new_label();
+        b.branch_not(c, cont);
+        b.ret();
+        b.place(cont);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.ret();
+        assert_eq!(bounds(&b.finish().unwrap()), EmitBounds { min: 0, max: Some(1) });
+    }
+
+    #[test]
+    fn no_emit_at_all() {
+        let mut b = FuncBuilder::new("drop", UdfKind::Map, vec![1]);
+        b.ret();
+        let e = bounds(&b.finish().unwrap());
+        assert_eq!(e, EmitBounds { min: 0, max: Some(0) });
+    }
+
+    #[test]
+    fn bounded_counting_loop_is_conservatively_unbounded() {
+        // Loop bounded by a counter still reports max = ∞ — conservatism.
+        let mut b = FuncBuilder::new("cl", UdfKind::Map, vec![1]);
+        let i = b.konst(0i64);
+        let one = b.konst(1i64);
+        let three = b.konst(3i64);
+        let or = b.copy_input(0);
+        let head = b.new_label();
+        let done = b.new_label();
+        b.place(head);
+        let lt = b.bin(BinOp::Ge, i, three);
+        b.branch(lt, done);
+        b.emit(or);
+        b.bin_into(i, BinOp::Add, i, one);
+        b.jump(head);
+        b.place(done);
+        b.ret();
+        let e = bounds(&b.finish().unwrap());
+        assert_eq!(e.max, None);
+    }
+}

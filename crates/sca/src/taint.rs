@@ -1,0 +1,277 @@
+//! Value-taint analysis: which input fields can influence branch decisions.
+//!
+//! The KGP condition (Definition 5, case 2) lets a filter-shaped UDF cross a
+//! key-at-a-time operator when the emit decision depends only on attributes
+//! of the key. "Depends on" is approximated conservatively:
+//!
+//! * **data taint** — each value register carries the set of input fields
+//!   its value was computed from, propagated to a fixpoint through moves,
+//!   arithmetic, intrinsic calls and reads-back from constructed records;
+//! * **ambient control taint** — a branch taints every instruction it can
+//!   reach, so values assigned under a condition inherit that condition's
+//!   taint (implicit flows).
+//!
+//! The union of taints of all branch conditions is the UDF's *control read
+//! set*. Over-approximation merely forfeits reorderings; it never produces
+//! an unsound plan.
+
+use crate::props::InField;
+use std::collections::BTreeSet;
+use strato_ir::cfg::Cfg;
+use strato_ir::dataflow::ReachingDefs;
+use strato_ir::func::{Function, RecOrigin};
+use strato_ir::{Inst, Reg};
+
+/// Result of the taint analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Taint {
+    /// Fields that may influence some branch condition.
+    pub control_reads: BTreeSet<InField>,
+    /// Inputs read through a dynamic index whose value reaches a branch.
+    pub dynamic_control_inputs: BTreeSet<u8>,
+    /// Per-definition-site data taints (exposed for the write-set analysis:
+    /// the taint of a `setField` source reveals copy vs. modification).
+    pub def_taints: Vec<BTreeSet<InField>>,
+    /// Definition sites whose value depends on a dynamically indexed read.
+    pub def_dynamic: Vec<BTreeSet<u8>>,
+}
+
+/// Runs the taint analysis.
+pub fn analyze_taint(f: &Function, cfg: &Cfg, rd: &ReachingDefs) -> Taint {
+    let insts = f.insts();
+    let n = insts.len();
+    let mut def_taints: Vec<BTreeSet<InField>> = vec![BTreeSet::new(); n];
+    let mut def_dynamic: Vec<BTreeSet<u8>> = vec![BTreeSet::new(); n];
+
+    // Taint of all input reads in the whole function — the conservative
+    // stand-in for reads from constructed records (reading back own writes).
+    let mut all_reads: BTreeSet<InField> = BTreeSet::new();
+    let mut all_dyn: BTreeSet<u8> = BTreeSet::new();
+    for (i, inst) in insts.iter().enumerate() {
+        if !cfg.reachable(i) {
+            continue;
+        }
+        match inst {
+            Inst::GetField { rec, field, .. } => {
+                if let Ok(Some(RecOrigin::Input(inp))) = f.record_origin(rd, i, *rec) {
+                    all_reads.insert((inp, *field));
+                }
+            }
+            Inst::GetFieldDyn { rec, .. } => {
+                if let Ok(Some(RecOrigin::Input(inp))) = f.record_origin(rd, i, *rec) {
+                    all_dyn.insert(inp);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Fixpoint over data-flow edges.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if !cfg.reachable(i) {
+                continue;
+            }
+            let (mut t, mut dy): (BTreeSet<InField>, BTreeSet<u8>) = (BTreeSet::new(), BTreeSet::new());
+            match &insts[i] {
+                Inst::GetField { rec, field, .. } => {
+                    match f.record_origin(rd, i, *rec) {
+                        Ok(Some(RecOrigin::Input(inp))) => {
+                            t.insert((inp, *field));
+                        }
+                        Ok(Some(RecOrigin::Constructed)) => {
+                            // Reading back own writes: conservative union of
+                            // everything the function reads anywhere.
+                            t.extend(all_reads.iter().copied());
+                            dy.extend(all_dyn.iter().copied());
+                        }
+                        _ => {}
+                    }
+                }
+                Inst::GetFieldDyn { rec, idx, .. } => {
+                    match f.record_origin(rd, i, *rec) {
+                        Ok(Some(RecOrigin::Input(inp))) => {
+                            dy.insert(inp);
+                        }
+                        Ok(Some(RecOrigin::Constructed)) => {
+                            t.extend(all_reads.iter().copied());
+                            dy.extend(all_dyn.iter().copied());
+                        }
+                        _ => {}
+                    }
+                    // The index value's taint flows into the result too.
+                    for d in rd.use_def(i, Reg::Val(*idx)) {
+                        t.extend(def_taints[d].iter().copied());
+                        dy.extend(def_dynamic[d].iter().copied());
+                    }
+                }
+                Inst::Move { src, .. } => {
+                    for d in rd.use_def(i, Reg::Val(*src)) {
+                        t.extend(def_taints[d].iter().copied());
+                        dy.extend(def_dynamic[d].iter().copied());
+                    }
+                }
+                Inst::Bin { a, b, .. } => {
+                    for r in [a, b] {
+                        for d in rd.use_def(i, Reg::Val(*r)) {
+                            t.extend(def_taints[d].iter().copied());
+                            dy.extend(def_dynamic[d].iter().copied());
+                        }
+                    }
+                }
+                Inst::Un { a, .. } => {
+                    for d in rd.use_def(i, Reg::Val(*a)) {
+                        t.extend(def_taints[d].iter().copied());
+                        dy.extend(def_dynamic[d].iter().copied());
+                    }
+                }
+                Inst::Call { args, .. } => {
+                    for r in args {
+                        for d in rd.use_def(i, Reg::Val(*r)) {
+                            t.extend(def_taints[d].iter().copied());
+                            dy.extend(def_dynamic[d].iter().copied());
+                        }
+                    }
+                }
+                // GroupCount: cardinality, not attribute values — untainted.
+                _ => continue,
+            }
+            if !t.is_subset(&def_taints[i]) || !dy.is_subset(&def_dynamic[i]) {
+                def_taints[i].extend(t);
+                def_dynamic[i].extend(dy);
+                changed = true;
+            }
+        }
+    }
+
+    // Control reads: union of branch-condition taints, closed under ambient
+    // control influence (a branch taints all branches it can reach).
+    let mut control: BTreeSet<InField> = BTreeSet::new();
+    let mut dyn_control: BTreeSet<u8> = BTreeSet::new();
+    // Reachability between branches: branch b's taint applies to any branch
+    // b' reachable from b (implicit flow through assigned-under-condition
+    // values). Computed transitively by one pass over reachable pairs: we
+    // simply union all branch taints — any branch after another in some path
+    // is reachable from it; the only loss is ordering precision, which is
+    // acceptable for a conservative analysis when multiple branches exist.
+    for (i, inst) in insts.iter().enumerate() {
+        if !cfg.reachable(i) {
+            continue;
+        }
+        if let Inst::Branch { cond, .. } = inst {
+            for d in rd.use_def(i, Reg::Val(*cond)) {
+                control.extend(def_taints[d].iter().copied());
+                dyn_control.extend(def_dynamic[d].iter().copied());
+            }
+        }
+    }
+
+    Taint {
+        control_reads: control,
+        dynamic_control_inputs: dyn_control,
+        def_taints,
+        def_dynamic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_ir::{BinOp, FuncBuilder, UdfKind};
+
+    fn taint_of(f: &Function) -> Taint {
+        let cfg = Cfg::build(f);
+        let rd = ReachingDefs::compute(f, &cfg);
+        analyze_taint(f, &cfg, &rd)
+    }
+
+    #[test]
+    fn branch_on_field_is_control_read() {
+        let mut b = FuncBuilder::new("f", UdfKind::Map, vec![3]);
+        let a = b.get_input(0, 1);
+        let z = b.konst(0i64);
+        let c = b.bin(BinOp::Lt, a, z);
+        let end = b.new_label();
+        b.branch(c, end);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.place(end);
+        b.ret();
+        let t = taint_of(&b.finish().unwrap());
+        assert_eq!(t.control_reads, BTreeSet::from([(0, 1)]));
+    }
+
+    #[test]
+    fn unbranched_reads_are_not_control_reads() {
+        let mut b = FuncBuilder::new("f", UdfKind::Map, vec![2]);
+        let a = b.get_input(0, 0);
+        let or = b.copy_input(0);
+        b.set(or, 1, a);
+        b.emit(or);
+        b.ret();
+        let t = taint_of(&b.finish().unwrap());
+        assert!(t.control_reads.is_empty());
+    }
+
+    #[test]
+    fn taint_propagates_through_arithmetic() {
+        let mut b = FuncBuilder::new("f", UdfKind::Map, vec![3]);
+        let x = b.get_input(0, 0);
+        let y = b.get_input(0, 2);
+        let s = b.bin(BinOp::Add, x, y);
+        let one = b.konst(1i64);
+        let c = b.bin(BinOp::Gt, s, one);
+        let end = b.new_label();
+        b.branch(c, end);
+        b.place(end);
+        b.ret();
+        let t = taint_of(&b.finish().unwrap());
+        assert_eq!(t.control_reads, BTreeSet::from([(0, 0), (0, 2)]));
+    }
+
+    #[test]
+    fn dynamic_read_reaching_branch_flags_input() {
+        let mut b = FuncBuilder::new("f", UdfKind::Map, vec![3]);
+        let i = b.konst(2i64);
+        let rec = b.input(0);
+        let v = b.get_dyn(rec, i);
+        let end = b.new_label();
+        b.branch(v, end);
+        b.place(end);
+        b.ret();
+        let t = taint_of(&b.finish().unwrap());
+        assert!(t.dynamic_control_inputs.contains(&0));
+    }
+
+    #[test]
+    fn move_carries_taint() {
+        let mut b = FuncBuilder::new("f", UdfKind::Map, vec![2]);
+        let x = b.get_input(0, 1);
+        let y = b.konst(0i64);
+        b.mov(y, x);
+        let end = b.new_label();
+        b.branch(y, end);
+        b.place(end);
+        b.ret();
+        let t = taint_of(&b.finish().unwrap());
+        assert_eq!(t.control_reads, BTreeSet::from([(0, 1)]));
+    }
+
+    #[test]
+    fn pair_inputs_tracked_separately() {
+        let mut b = FuncBuilder::new("f", UdfKind::Pair, vec![2, 2]);
+        let l = b.get_input(0, 0);
+        let r = b.get_input(1, 1);
+        let c = b.bin(BinOp::Eq, l, r);
+        let end = b.new_label();
+        b.branch(c, end);
+        let or = b.concat_inputs();
+        b.emit(or);
+        b.place(end);
+        b.ret();
+        let t = taint_of(&b.finish().unwrap());
+        assert_eq!(t.control_reads, BTreeSet::from([(0, 0), (1, 1)]));
+    }
+}

@@ -1,0 +1,366 @@
+//! Biomedical text mining (Section 7.2, Figure 6 of the paper).
+//!
+//! *"The data flow is a pipeline of Map operators which extract entities
+//! and relationships by applying several natural language processing
+//! algorithms… each entity or relation extraction component also works as a
+//! filter… Most NLP components are very compute-intensive… Furthermore,
+//! most components have dependencies on other components."*
+//!
+//! Our pipeline:
+//!
+//! ```text
+//! docs → tokenize → pos_tag → {gene, drug, mesh, abbr extractors} → relate
+//! ```
+//!
+//! `tokenize < pos_tag` and `pos_tag < every extractor < relate` are data
+//! dependencies (each later stage reads the attribute an earlier stage
+//! adds), discovered by SCA from the black-box code. The four extractors
+//! are mutually independent, so the valid order space is exactly
+//! `4! = 24` — the number in the paper's Table 1. Optimization potential
+//! comes from their *very* different CPU costs and selectivities; the NLP
+//! components are modelled by the deterministic [`strato_ir::Intrinsic::Burn`]
+//! busy-work intrinsic, so plan runtimes really differ.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use strato_dataflow::{CostHints, Plan, ProgramBuilder, SourceDef};
+use strato_ir::{BinOp, FuncBuilder, Function, Intrinsic, UdfKind};
+use strato_record::{DataSet, Record, Value};
+
+/// One extractor component: marker string, per-call CPU units, match
+/// probability in the corpus (= selectivity).
+#[derive(Debug, Clone, Copy)]
+pub struct Component {
+    /// Component name.
+    pub name: &'static str,
+    /// Text marker the extractor looks for.
+    pub marker: &'static str,
+    /// CPU cost per call, in burn units.
+    pub cpu: i64,
+    /// Fraction of documents containing the marker.
+    pub selectivity: f64,
+}
+
+/// The four entity extractors (cost/selectivity spread drives Figure 6's
+/// order-of-magnitude plan-runtime range).
+pub const EXTRACTORS: [Component; 4] = [
+    Component { name: "extract_gene", marker: "GENE_", cpu: 1_200, selectivity: 0.50 },
+    Component { name: "extract_drug", marker: "DRUG_", cpu: 100, selectivity: 0.25 },
+    Component { name: "extract_mesh", marker: "MESH_", cpu: 5_000, selectivity: 0.90 },
+    Component { name: "extract_abbr", marker: "ABBR_", cpu: 30, selectivity: 0.55 },
+];
+
+/// CPU units of the tokenizer stage.
+pub const CPU_TOKENIZE: i64 = 15;
+/// CPU units of the POS-tagger stage.
+pub const CPU_POS_TAG: i64 = 60;
+/// CPU units of the relation extractor.
+pub const CPU_RELATE: i64 = 200;
+/// Fraction of documents whose text suggests a relation.
+pub const SEL_RELATE: f64 = 0.30;
+
+/// Scale knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TextScale {
+    /// Number of documents in the corpus.
+    pub docs: usize,
+}
+
+impl TextScale {
+    /// Test scale.
+    pub fn tiny() -> Self {
+        TextScale { docs: 200 }
+    }
+
+    /// Benchmark scale.
+    pub fn small() -> Self {
+        TextScale { docs: 4_000 }
+    }
+}
+
+const WORDS: [&str; 12] = [
+    "protein", "binding", "expression", "cell", "pathway", "receptor", "tumor", "assay",
+    "inhibitor", "clinical", "dose", "response",
+];
+
+/// Generates a synthetic corpus: each abstract is a bag of filler words
+/// plus entity markers planted with the [`EXTRACTORS`]' probabilities.
+pub fn generate(scale: TextScale, seed: u64) -> HashMap<String, DataSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let docs: DataSet = (0..scale.docs)
+        .map(|id| {
+            let mut text = String::new();
+            for _ in 0..10 {
+                text.push_str(WORDS.choose(&mut rng).unwrap());
+                text.push(' ');
+            }
+            for c in EXTRACTORS {
+                if rng.gen_bool(c.selectivity) {
+                    text.push_str(c.marker);
+                    text.push_str(&format!("{:04} ", rng.gen_range(0..10_000)));
+                }
+            }
+            if rng.gen_bool(SEL_RELATE) {
+                text.push_str("interacts ");
+            }
+            let len = text.len() as i64;
+            Record::from_values([Value::Int(id as i64), Value::str(text), Value::Int(len)])
+        })
+        .collect();
+    let mut m = HashMap::new();
+    m.insert("docs".to_string(), docs);
+    m
+}
+
+/// Tokenizer: adds a token count derived from the text.
+fn tokenize(width: usize) -> Function {
+    let mut b = FuncBuilder::new("tokenize", UdfKind::Map, vec![width]);
+    let text = b.get_input(0, 1);
+    let seed = b.call(Intrinsic::Hash, vec![text]);
+    let cost = b.konst(CPU_TOKENIZE);
+    let chk = b.call(Intrinsic::Burn, vec![cost, seed]);
+    let len = b.call(Intrinsic::StrLen, vec![text]);
+    let five = b.konst(5i64);
+    let toks = b.bin(BinOp::Div, len, five);
+    let or = b.copy_input(0);
+    // Keep the burn checksum live without changing the token count.
+    let one = b.konst(1i64);
+    let zero = b.bin(BinOp::Rem, chk, one);
+    let toks2 = b.bin(BinOp::Add, toks, zero);
+    b.set(or, width, toks2);
+    b.emit(or);
+    b.ret();
+    b.finish().expect("tokenize")
+}
+
+/// POS tagger: expensive; depends on the tokenizer's output.
+fn pos_tag(width: usize, tok_field: usize) -> Function {
+    let mut b = FuncBuilder::new("pos_tag", UdfKind::Map, vec![width]);
+    let text = b.get_input(0, 1);
+    let toks = b.get_input(0, tok_field);
+    let h = b.call(Intrinsic::Hash, vec![text]);
+    let seed = b.bin(BinOp::Add, h, toks);
+    let cost = b.konst(CPU_POS_TAG);
+    let sig = b.call(Intrinsic::Burn, vec![cost, seed]);
+    let or = b.copy_input(0);
+    b.set(or, width, sig);
+    b.emit(or);
+    b.ret();
+    b.finish().expect("pos_tag")
+}
+
+/// Entity extractor: burns its CPU budget, filters on its marker, tags the
+/// record. Depends on the POS signature.
+fn extractor(c: Component, width: usize, pos_field: usize) -> Function {
+    let mut b = FuncBuilder::new(c.name, UdfKind::Map, vec![width]);
+    let text = b.get_input(0, 1);
+    let psig = b.get_input(0, pos_field);
+    let h = b.call(Intrinsic::Hash, vec![text]);
+    let seed = b.bin(BinOp::Add, h, psig);
+    let cost = b.konst(c.cpu);
+    let chk = b.call(Intrinsic::Burn, vec![cost, seed]);
+    let marker = b.konst(c.marker);
+    let found = b.call(Intrinsic::StrContains, vec![text, marker]);
+    let end = b.new_label();
+    b.branch_not(found, end);
+    let or = b.copy_input(0);
+    let one = b.konst(1i64);
+    let zero = b.bin(BinOp::Rem, chk, one);
+    let tag = b.bin(BinOp::Add, one, zero);
+    b.set(or, width, tag);
+    b.emit(or);
+    b.place(end);
+    b.ret();
+    b.finish().expect("extractor")
+}
+
+/// Relation extractor: needs all four entity tags plus a textual cue.
+fn relate(width: usize, tag_fields: [usize; 4]) -> Function {
+    let mut b = FuncBuilder::new("relate", UdfKind::Map, vec![width]);
+    let text = b.get_input(0, 1);
+    let all = b.konst(true);
+    for f in tag_fields {
+        let tag = b.get_input(0, f);
+        b.bin_into(all, BinOp::And, all, tag);
+    }
+    let cue = b.konst("interacts");
+    let found = b.call(Intrinsic::StrContains, vec![text, cue]);
+    b.bin_into(all, BinOp::And, all, found);
+    let end = b.new_label();
+    b.branch_not(all, end);
+    let h = b.call(Intrinsic::Hash, vec![text]);
+    let cost = b.konst(CPU_RELATE);
+    let rel = b.call(Intrinsic::Burn, vec![cost, h]);
+    let or = b.copy_input(0);
+    b.set(or, width, rel);
+    b.emit(or);
+    b.place(end);
+    b.ret();
+    b.finish().expect("relate")
+}
+
+/// Builds the text-mining pipeline as implemented (tokenize, POS, the four
+/// extractors in [`EXTRACTORS`] order, relate).
+pub fn plan(scale: TextScale) -> Plan {
+    let mut p = ProgramBuilder::new();
+    let docs = p.source(
+        SourceDef::new("docs", &["doc_id", "text", "length"], scale.docs as u64)
+            .with_unique_key(&[0])
+            .with_bytes_per_row(140),
+    );
+    let mut node = p.map(
+        "tokenize",
+        tokenize(3),
+        CostHints::selectivity(1.0).with_cpu(CPU_TOKENIZE as f64),
+        docs,
+    );
+    node = p.map(
+        "pos_tag",
+        pos_tag(4, 3),
+        CostHints::selectivity(1.0).with_cpu(CPU_POS_TAG as f64),
+        node,
+    );
+    for (i, c) in EXTRACTORS.into_iter().enumerate() {
+        // The i-th extractor's input schema has grown by i tag fields.
+        node = p.map(
+            c.name,
+            extractor(c, 5 + i, 4),
+            CostHints::selectivity(c.selectivity).with_cpu(c.cpu as f64),
+            node,
+        );
+    }
+    // Tag fields of the four extractors sit at positions 5..9.
+    node = p.map(
+        "relate",
+        relate(9, [5, 6, 7, 8]),
+        CostHints::selectivity(SEL_RELATE).with_cpu(CPU_RELATE as f64),
+        node,
+    );
+    p.finish(node)
+        .expect("textmining program")
+        .bind()
+        .expect("textmining bind")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_core::{enumerate_algorithm1, enumerate_all, PropTable};
+    use strato_dataflow::PropertyMode;
+    use strato_exec::{execute_logical, Inputs};
+
+    fn as_inputs(m: HashMap<String, DataSet>) -> Inputs {
+        m.into_iter().collect()
+    }
+
+    #[test]
+    fn corpus_selectivities_are_near_nominal() {
+        let scale = TextScale { docs: 4000 };
+        let data = generate(scale, 5);
+        for c in EXTRACTORS {
+            let hits = data["docs"]
+                .iter()
+                .filter(|r| r.field(1).as_str().unwrap().contains(c.marker))
+                .count() as f64;
+            let observed = hits / scale.docs as f64;
+            assert!(
+                (observed - c.selectivity).abs() < 0.05,
+                "{}: observed {observed}, nominal {}",
+                c.name,
+                c.selectivity
+            );
+        }
+    }
+
+    #[test]
+    fn table1_textmining_count_is_24() {
+        let plan = plan(TextScale::tiny());
+        for mode in [PropertyMode::Sca, PropertyMode::Manual] {
+            let props = PropTable::build(&plan, mode);
+            let alts = enumerate_all(&plan, &props, 1000);
+            assert_eq!(alts.len(), 24, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn algorithm1_agrees_with_closure_on_the_pipeline() {
+        // The text-mining flow is linear, so the paper's Algorithm 1
+        // applies directly and must agree with the closure enumerator.
+        let plan = plan(TextScale::tiny());
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let a1: std::collections::BTreeSet<String> = enumerate_algorithm1(&plan, &props)
+            .expect("linear flow")
+            .iter()
+            .map(|p| p.canonical())
+            .collect();
+        let cl: std::collections::BTreeSet<String> = enumerate_all(&plan, &props, 1000)
+            .iter()
+            .map(|p| p.canonical())
+            .collect();
+        assert_eq!(a1.len(), 24);
+        assert_eq!(a1, cl);
+    }
+
+    #[test]
+    fn all_24_orders_equivalent() {
+        let scale = TextScale { docs: 60 };
+        let plan = plan(scale);
+        let inputs = as_inputs(generate(scale, 9));
+        let (reference, _) = execute_logical(&plan, &inputs).unwrap();
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        for alt in enumerate_all(&plan, &props, 100) {
+            let (out, _) = execute_logical(&alt, &inputs).unwrap();
+            if let Err(d) = reference.bag_diff(&out) {
+                panic!("text-mining order diverged:\n{}\n{d}", alt.render());
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_filters_compose() {
+        let scale = TextScale { docs: 400 };
+        let plan = plan(scale);
+        let inputs = as_inputs(generate(scale, 21));
+        let (out, _) = execute_logical(&plan, &inputs).unwrap();
+        // Survivors carry all four tags and the relation attribute.
+        let g = &plan.ctx.global;
+        for c in EXTRACTORS {
+            let tag = g.by_name(&format!("{}.$0", c.name)).unwrap();
+            for r in out.iter() {
+                assert!(!r.field(tag.index()).is_null());
+            }
+        }
+        // Rough cardinality check: product of selectivities.
+        let expect = scale.docs as f64
+            * EXTRACTORS.iter().map(|c| c.selectivity).product::<f64>()
+            * SEL_RELATE;
+        assert!(
+            (out.len() as f64) < expect * 3.0 + 10.0,
+            "got {} expected ≈{expect}",
+            out.len()
+        );
+    }
+
+    #[test]
+    fn optimizer_prefers_cheap_selective_extractors_first() {
+        let plan = plan(TextScale::small());
+        let report = strato_core::Optimizer::new(PropertyMode::Sca).optimize(&plan);
+        assert_eq!(report.n_enumerated, 24);
+        let best = report.best();
+        let names: Vec<&str> = best
+            .plan
+            .op_order()
+            .into_iter()
+            .map(|o| best.plan.ctx.ops[o].name.as_str())
+            .collect();
+        // op_order is root-first; the LAST extractor in pre-order runs
+        // first. The cheap, selective drug extractor must run before the
+        // expensive weak mesh extractor.
+        let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        assert!(
+            pos("extract_mesh") < pos("extract_drug"),
+            "mesh should run late (shallow), drug early (deep): {names:?}"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration tests for the runtime profiler — the paper's "obtained by
+//! runtime profiling" hint source (Section 7.1) and its Section 9 future
+//! work (black-box selectivity and cost estimation).
+
+use strato::core::Optimizer;
+use strato::dataflow::PropertyMode;
+use strato::exec::{profile, profile_hints, Inputs};
+use strato::workloads::{clickstream, textmining, tpch};
+
+#[test]
+fn profiled_selectivities_track_the_generators() {
+    let scale = textmining::TextScale { docs: 600 };
+    let plan = textmining::plan(scale);
+    let inputs: Inputs = textmining::generate(scale, 5).into_iter().collect();
+    let profiles = profile(&plan, &inputs).unwrap();
+    for c in textmining::EXTRACTORS {
+        let id = plan.ctx.ops.iter().position(|o| o.name == c.name).unwrap();
+        let sel = profiles[id].selectivity();
+        assert!(
+            (sel - c.selectivity).abs() < 0.12,
+            "{}: profiled {sel:.2}, nominal {:.2}",
+            c.name,
+            c.selectivity
+        );
+    }
+}
+
+#[test]
+fn profiled_distinct_keys_match_tpch() {
+    let scale = tpch::TpchScale::tiny();
+    let plan = tpch::q15_plan(scale);
+    let inputs: Inputs = tpch::generate(scale, 5).into_iter().collect();
+    let profiles = profile(&plan, &inputs).unwrap();
+    let agg = plan
+        .ctx
+        .ops
+        .iter()
+        .position(|o| o.name == "agg_revenue")
+        .unwrap();
+    assert!(profiles[agg].distinct_keys <= scale.suppliers() as u64);
+    assert!(profiles[agg].distinct_keys > 0);
+}
+
+#[test]
+fn profiled_hints_reoptimize_clickstream_to_a_near_best_plan() {
+    let scale = clickstream::ClickScale::small();
+    let plan = clickstream::plan(scale);
+    let inputs: Inputs = clickstream::generate(scale, 5).into_iter().collect();
+    let hints = profile_hints(&plan, &inputs, 4, 50.0).unwrap();
+    assert_eq!(hints.len(), plan.ctx.ops.len());
+    let reh = plan.with_hints(hints);
+    let opt = Optimizer::new(PropertyMode::Manual);
+    let from_profile = opt.best(&reh);
+    // Judge the profile-driven choice under the curated (ground-truth)
+    // model: of the 4 orders it must land in the top half. (Profiled CPU
+    // includes interpreter overhead and the sample shifts join sizes, so
+    // exact agreement with curated hints is not guaranteed.)
+    let truth = opt.optimize(&plan);
+    let rank = truth
+        .rank_of(&from_profile.plan.canonical())
+        .expect("same plan space");
+    assert!(
+        rank < 2,
+        "profile-driven choice ranks {rank} of {} under the curated model",
+        truth.n_enumerated
+    );
+}
+
+#[test]
+fn profiled_hints_reoptimize_textmining_to_a_near_best_plan() {
+    let scale = textmining::TextScale { docs: 800 };
+    let plan = textmining::plan(scale);
+    let inputs: Inputs = textmining::generate(scale, 9).into_iter().collect();
+    let hints = profile_hints(&plan, &inputs, 4, 50.0).unwrap();
+    let reh = plan.with_hints(hints);
+    let opt = Optimizer::new(PropertyMode::Sca);
+    let chosen = opt.best(&reh);
+    // Evaluate the chosen order under the *curated* (ground-truth) cost
+    // model: it must rank in the top quarter of the 24 orders.
+    let truth = opt.optimize(&plan);
+    let rank = truth
+        .rank_of(&chosen.plan.canonical())
+        .expect("same plan space");
+    assert!(
+        rank < 6,
+        "profile-driven choice ranks {rank} of {} under the true model",
+        truth.n_enumerated
+    );
+}

@@ -1,0 +1,186 @@
+//! Property tests for enumeration and end-to-end optimization over random
+//! Map-chain programs:
+//!
+//! * Algorithm 1 (faithful port) and the closure enumerator agree,
+//! * every enumerated order produces the same output bag (the paper's
+//!   safety property, Section 5),
+//! * the enumerated set is closed under the move relation,
+//! * the optimizer's chosen plan never costs more than the original.
+
+use proptest::prelude::*;
+use strato::core::{enumerate_algorithm1, enumerate_all, neighbors, Optimizer, PropTable};
+use strato::dataflow::{CostHints, Plan, ProgramBuilder, PropertyMode, SourceDef};
+use strato::exec::{execute_logical, Inputs};
+use strato::ir::{BinOp, FuncBuilder, Function, UdfKind, UnOp};
+use strato::record::{DataSet, Record, Value};
+use std::collections::BTreeSet;
+
+const WIDTH: usize = 4;
+
+/// One operator of a random chain.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    /// Filter on `field < 0`.
+    Filter(usize),
+    /// `field := |field|`.
+    Abs(usize),
+    /// `field := field + k`.
+    AddConst(usize, i64),
+    /// Duplicate every record.
+    Duplicate,
+}
+
+fn arb_op() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        (0..WIDTH).prop_map(OpKind::Filter),
+        (0..WIDTH).prop_map(OpKind::Abs),
+        ((0..WIDTH), -3i64..4).prop_map(|(f, k)| OpKind::AddConst(f, k)),
+        Just(OpKind::Duplicate),
+    ]
+}
+
+fn udf_for(kind: OpKind) -> Function {
+    match kind {
+        OpKind::Filter(f) => {
+            let mut b = FuncBuilder::new(format!("flt{f}"), UdfKind::Map, vec![WIDTH]);
+            let v = b.get_input(0, f);
+            let z = b.konst(0i64);
+            let c = b.bin(BinOp::Lt, v, z);
+            let end = b.new_label();
+            b.branch(c, end);
+            let or = b.copy_input(0);
+            b.emit(or);
+            b.place(end);
+            b.ret();
+            b.finish().unwrap()
+        }
+        OpKind::Abs(f) => {
+            let mut b = FuncBuilder::new(format!("abs{f}"), UdfKind::Map, vec![WIDTH]);
+            let v = b.get_input(0, f);
+            let or = b.copy_input(0);
+            let a = b.un(UnOp::Abs, v);
+            b.set(or, f, a);
+            b.emit(or);
+            b.ret();
+            b.finish().unwrap()
+        }
+        OpKind::AddConst(f, k) => {
+            let mut b = FuncBuilder::new(format!("add{f}"), UdfKind::Map, vec![WIDTH]);
+            let v = b.get_input(0, f);
+            let c = b.konst(k);
+            let s = b.bin(BinOp::Add, v, c);
+            let or = b.copy_input(0);
+            b.set(or, f, s);
+            b.emit(or);
+            b.ret();
+            b.finish().unwrap()
+        }
+        OpKind::Duplicate => {
+            let mut b = FuncBuilder::new("dup", UdfKind::Map, vec![WIDTH]);
+            let or = b.copy_input(0);
+            b.emit(or);
+            b.emit(or);
+            b.ret();
+            b.finish().unwrap()
+        }
+    }
+}
+
+fn chain_plan(ops: &[OpKind]) -> Plan {
+    let mut p = ProgramBuilder::new();
+    let mut node = p.source(SourceDef::new("s", &["a", "b", "c", "d"], 100));
+    for (i, &k) in ops.iter().enumerate() {
+        let sel = match k {
+            OpKind::Filter(_) => 0.5,
+            OpKind::Duplicate => 2.0,
+            _ => 1.0,
+        };
+        node = p.map(
+            &format!("op{i}"),
+            udf_for(k),
+            CostHints::selectivity(sel).with_cpu(1.0 + i as f64),
+            node,
+        );
+    }
+    p.finish(node).unwrap().bind().unwrap()
+}
+
+fn random_inputs(rows: &[Vec<i64>]) -> Inputs {
+    let ds: DataSet = rows
+        .iter()
+        .map(|r| Record::from_values(r.iter().map(|&v| Value::Int(v))))
+        .collect();
+    let mut m = Inputs::new();
+    m.insert("s".into(), ds);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn algorithm1_agrees_with_closure(ops in prop::collection::vec(arb_op(), 1..5)) {
+        let plan = chain_plan(&ops);
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let a1: BTreeSet<String> = enumerate_algorithm1(&plan, &props)
+            .expect("chains are linear")
+            .iter()
+            .map(|p| p.canonical())
+            .collect();
+        let cl: BTreeSet<String> = enumerate_all(&plan, &props, 10_000)
+            .iter()
+            .map(|p| p.canonical())
+            .collect();
+        prop_assert_eq!(a1, cl);
+    }
+
+    #[test]
+    fn every_order_is_equivalent(
+        ops in prop::collection::vec(arb_op(), 1..5),
+        rows in prop::collection::vec(prop::collection::vec(-9i64..10, WIDTH), 1..30),
+    ) {
+        let plan = chain_plan(&ops);
+        let inputs = random_inputs(&rows);
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let (reference, _) = execute_logical(&plan, &inputs).unwrap();
+        for alt in enumerate_all(&plan, &props, 10_000) {
+            let (out, _) = execute_logical(&alt, &inputs).unwrap();
+            if let Err(d) = reference.bag_diff(&out) {
+                return Err(TestCaseError::fail(format!(
+                    "orders diverge: {d}\noriginal:\n{}\nalternative:\n{}",
+                    plan.render(),
+                    alt.render()
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn enumerated_set_is_closed_under_moves(ops in prop::collection::vec(arb_op(), 1..5)) {
+        let plan = chain_plan(&ops);
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let all = enumerate_all(&plan, &props, 10_000);
+        let set: BTreeSet<String> = all.iter().map(|p| p.canonical()).collect();
+        for p in &all {
+            for n in neighbors(p, &props) {
+                prop_assert!(
+                    set.contains(&n.canonical()),
+                    "move escapes the enumerated set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_never_worsens_the_plan(ops in prop::collection::vec(arb_op(), 1..5)) {
+        let plan = chain_plan(&ops);
+        let opt = Optimizer::new(PropertyMode::Sca);
+        let report = opt.optimize(&plan);
+        let original_rank = report.rank_of(&plan.canonical()).expect("original enumerated");
+        prop_assert!(report.best().cost <= report.ranked[original_rank].cost);
+        // Ranking is sorted ascending.
+        for w in report.ranked.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost);
+        }
+    }
+}

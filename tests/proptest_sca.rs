@@ -1,0 +1,185 @@
+//! Property tests for the static code analysis: **safety through
+//! conservatism** (Section 5 of the paper) over randomly generated UDFs.
+//!
+//! A random-but-well-formed Map UDF is built from a structured recipe
+//! (reads, arithmetic, an optional guard, a constructed output record with
+//! explicit sets/projections, one or two emits). For every such UDF:
+//!
+//! * the semantic read/write sets estimated by black-box probing must be
+//!   **subsets** of the SCA-derived sets (Definitions 2–3),
+//! * observed emit counts must lie within the SCA emit bounds,
+//! * the interpreter must be total (no panics, no errors) on arbitrary
+//!   integer records.
+
+use proptest::prelude::*;
+use strato::ir::interp::{Interp, Invocation, Layout};
+use strato::ir::{BinOp, FuncBuilder, Function, UdfKind, UnOp};
+use strato::record::{Record, Value};
+use strato::sca::probe::{probe_emit_counts, probe_read_set, probe_write_set, ProbeConfig};
+use strato::sca::{analyze, LocalProps};
+
+const WIDTH: usize = 4;
+
+/// A structured, always-verifiable UDF recipe.
+#[derive(Debug, Clone)]
+struct Recipe {
+    /// Fields loaded into values (may be unused).
+    reads: Vec<usize>,
+    /// Binary combinations of previously available values.
+    computes: Vec<(u8, usize, usize)>,
+    /// Filter on value index (None = no guard).
+    guard: Option<usize>,
+    /// Output starts as a copy of the input (true) or empty (false).
+    copy_output: bool,
+    /// `setField(or, field, value idx)`.
+    sets: Vec<(usize, usize)>,
+    /// Explicit projections.
+    nulls: Vec<usize>,
+    /// Emit the record twice?
+    double_emit: bool,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (
+        prop::collection::vec(0..WIDTH, 1..4),
+        prop::collection::vec((0u8..5, 0..6usize, 0..6usize), 0..3),
+        prop::option::of(0..8usize),
+        any::<bool>(),
+        prop::collection::vec((0..WIDTH + 2, 0..8usize), 0..3),
+        prop::collection::vec(0..WIDTH, 0..2),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(reads, computes, guard, copy_output, sets, nulls, double_emit)| Recipe {
+                reads,
+                computes,
+                guard,
+                copy_output,
+                sets,
+                nulls,
+                double_emit,
+            },
+        )
+}
+
+fn build(recipe: &Recipe) -> Function {
+    let mut b = FuncBuilder::new("rand", UdfKind::Map, vec![WIDTH]);
+    let mut vals = Vec::new();
+    for &f in &recipe.reads {
+        vals.push(b.get_input(0, f));
+    }
+    vals.push(b.konst(3i64));
+    vals.push(b.konst(-1i64));
+    for &(op, i, j) in &recipe.computes {
+        let op = match op {
+            0 => BinOp::Add,
+            1 => BinOp::Mul,
+            2 => BinOp::Lt,
+            3 => BinOp::Eq,
+            _ => BinOp::Max,
+        };
+        let a = vals[i % vals.len()];
+        let c = vals[j % vals.len()];
+        vals.push(b.bin(op, a, c));
+    }
+    let end = b.new_label();
+    if let Some(g) = recipe.guard {
+        let v = vals[g % vals.len()];
+        let cond = b.un(UnOp::Not, v);
+        b.branch(cond, end);
+    }
+    let or = if recipe.copy_output {
+        b.copy_input(0)
+    } else {
+        b.new_rec()
+    };
+    for &(field, v) in &recipe.sets {
+        let v = vals[v % vals.len()];
+        b.set(or, field, v);
+    }
+    for &f in &recipe.nulls {
+        b.set_null(or, f);
+    }
+    b.emit(or);
+    if recipe.double_emit {
+        b.emit(or);
+    }
+    b.place(end);
+    b.ret();
+    b.finish().expect("recipes are always verifiable")
+}
+
+fn props_write_ok(props: &LocalProps, w: usize) -> bool {
+    props.written_base.contains(&w) || props.added.contains(&w) || props.dynamic_write
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sca_is_conservative_on_random_udfs(recipe in arb_recipe()) {
+        let f = build(&recipe);
+        let props = analyze(&f);
+        let cfg = ProbeConfig { samples: 24, ..ProbeConfig::default() };
+
+        // Semantic reads ⊆ SCA reads.
+        for (inp, field) in probe_read_set(&f, &cfg) {
+            prop_assert!(
+                props.reads.contains(&(inp, field))
+                    || props.dynamic_read_inputs.contains(&inp),
+                "probe found read {inp}/{field} missed by SCA:\n{f}\n{props}"
+            );
+        }
+        // Semantic writes ⊆ SCA writes.
+        for w in probe_write_set(&f, &cfg) {
+            prop_assert!(
+                props_write_ok(&props, w),
+                "probe found write {w} missed by SCA:\n{f}\n{props}"
+            );
+        }
+        // Emit counts within bounds.
+        let (lo, hi) = probe_emit_counts(&f, &cfg);
+        prop_assert!(lo >= props.emits.min, "min emits violated:\n{f}\n{props}");
+        if let Some(max) = props.emits.max {
+            prop_assert!(hi <= max, "max emits violated:\n{f}\n{props}");
+        }
+    }
+
+    #[test]
+    fn interpreter_is_total_on_random_inputs(
+        recipe in arb_recipe(),
+        fields in prop::collection::vec(any::<i64>(), WIDTH),
+    ) {
+        let f = build(&recipe);
+        let layout = Layout::local(&f);
+        let rec = Record::from_values(fields.into_iter().map(Value::Int));
+        let mut out = Vec::new();
+        let stats = Interp::default()
+            .run(&f, Invocation::Record(&rec), &layout, &mut out)
+            .expect("interpreter must be total");
+        prop_assert_eq!(stats.emits as usize, out.len());
+        // Emitted records are always full global width.
+        for r in &out {
+            prop_assert_eq!(r.arity(), layout.width);
+        }
+    }
+
+    #[test]
+    fn control_reads_are_reads(recipe in arb_recipe()) {
+        let f = build(&recipe);
+        let props = analyze(&f);
+        for cr in &props.control_reads {
+            prop_assert!(props.reads.contains(cr), "control read not in read set");
+        }
+    }
+
+    #[test]
+    fn guarded_udfs_never_claim_exactly_one(recipe in arb_recipe()) {
+        // A UDF with a guard can emit zero records; SCA must not report
+        // exactly-one semantics (which would wrongly enable KGP case 1).
+        prop_assume!(recipe.guard.is_some());
+        let f = build(&recipe);
+        let props = analyze(&f);
+        prop_assert!(props.emits.min == 0, "guard ⇒ min emits 0:\n{f}\n{props}");
+    }
+}
