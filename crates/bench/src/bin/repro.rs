@@ -88,7 +88,10 @@ fn fig3() {
     println!("== Figure 3: TPC-H Q15 data flows and physical strategies ==");
     let (plan, _) = q15();
     let report = Optimizer::new(PropertyMode::Sca).optimize(&plan);
-    println!("{} alternatives enumerated (paper: 4)\n", report.n_enumerated);
+    println!(
+        "{} alternatives enumerated (paper: 4)\n",
+        report.n_enumerated
+    );
     let mut text = String::new();
     for (i, r) in report.ranked.iter().enumerate() {
         let entry = format!(
@@ -111,9 +114,18 @@ fn fig4() {
     println!("(a) implemented data flow:\n{}", plan.render());
     let report = Optimizer::new(PropertyMode::Manual).optimize(&plan);
     let best = report.best();
-    println!("(b) 1st-ranked reordered data flow:\n{}", best.plan.render());
-    let impl_rank = report.rank_of(&plan.canonical()).map(|r| r + 1).unwrap_or(0);
-    println!("implemented flow rank: {impl_rank} of {}", report.n_enumerated);
+    println!(
+        "(b) 1st-ranked reordered data flow:\n{}",
+        best.plan.render()
+    );
+    let impl_rank = report
+        .rank_of(&plan.canonical())
+        .map(|r| r + 1)
+        .unwrap_or(0);
+    println!(
+        "implemented flow rank: {impl_rank} of {}",
+        report.n_enumerated
+    );
     save(
         "fig4.txt",
         &format!("(a)\n{}\n(b)\n{}", plan.render(), best.plan.render()),
@@ -167,7 +179,10 @@ fn table1() {
         ("Text Mining", tm().0),
     ];
     let mut csv = String::from("task,manual,sca,recovered\n");
-    println!("{:<14} {:>8} {:>8} {:>10}", "PACT Task", "Manual", "SCA", "Recovered");
+    println!(
+        "{:<14} {:>8} {:>8} {:>10}",
+        "PACT Task", "Manual", "SCA", "Recovered"
+    );
     for (name, plan) in workloads {
         let manual = PropTable::build(&plan, PropertyMode::Manual);
         let sca = PropTable::build(&plan, PropertyMode::Sca);
@@ -248,8 +263,10 @@ fn ablation() {
             ("Text Mining", p, i, PropertyMode::Sca)
         },
     ];
-    let mut csv = String::from("task,config,cost_rank,runtime_ms
-");
+    let mut csv = String::from(
+        "task,config,cost_rank,runtime_ms
+",
+    );
     println!(
         "{:<13} {:>9} {:>10} {:>12}",
         "PACT Task", "config", "cost-rank", "runtime"
@@ -260,8 +277,8 @@ fn ablation() {
         let truth = opt.optimize(&plan);
 
         let default_hints = vec![strato_dataflow::CostHints::default(); plan.ctx.ops.len()];
-        let profiled_hints = strato_exec::profile_hints(&plan, &inputs, 10, 50.0)
-            .expect("profiling run");
+        let profiled_hints =
+            strato_exec::profile_hints(&plan, &inputs, 10, 50.0).expect("profiling run");
 
         let candidates: Vec<(&str, Plan)> = vec![
             ("none", plan.clone()),
@@ -273,9 +290,7 @@ fn ablation() {
             // Execute the chosen ORDER with physical strategies from the
             // curated model (fair comparison of orders, not of physical
             // estimation).
-            let rank = truth
-                .rank_of(&chosen.canonical())
-                .expect("same plan space");
+            let rank = truth.rank_of(&chosen.canonical()).expect("same plan space");
             let phys = &truth.ranked[rank].phys;
             let _ = strato_exec::execute(&truth.ranked[rank].plan, phys, &inputs, 4).unwrap();
             let t = Instant::now();

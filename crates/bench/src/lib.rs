@@ -82,8 +82,8 @@ pub fn rank_sweep(
         let _ = execute(&ranked.plan, &ranked.phys, inputs, dop).expect("warmup");
         for _ in 0..repeats.max(1) {
             let t = Instant::now();
-            let (out, _) = execute(&ranked.plan, &ranked.phys, inputs, dop)
-                .expect("plan execution");
+            let (out, _) =
+                execute(&ranked.plan, &ranked.phys, inputs, dop).expect("plan execution");
             total += t.elapsed();
             // All executed plans of a sweep must agree — a live safety net
             // on top of the test suite.

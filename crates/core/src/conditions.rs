@@ -23,9 +23,7 @@ use strato_record::AttrSet;
 /// The **read-only conflict** condition (Definition 4):
 /// `R_f ∩ W_g = W_f ∩ R_g = W_f ∩ W_g = ∅`.
 pub fn roc(f: &OpProps, g: &OpProps) -> bool {
-    f.read.is_disjoint(&g.write)
-        && f.write.is_disjoint(&g.read)
-        && f.write.is_disjoint(&g.write)
+    f.read.is_disjoint(&g.write) && f.write.is_disjoint(&g.read) && f.write.is_disjoint(&g.write)
 }
 
 /// The **key group preservation** condition (Definition 5) for a
@@ -179,10 +177,7 @@ impl<'a> CondCtx<'a> {
             return false;
         }
         // p must not touch the displaced subtree or anything c creates.
-        let displaced = self
-            .plan
-            .attrs_of(grandchildren[1 - keep])
-            .union(&pc.added);
+        let displaced = self.plan.attrs_of(grandchildren[1 - keep]).union(&pc.added);
         if !pp.accessed().is_disjoint(&displaced) {
             return false;
         }
@@ -197,7 +192,7 @@ impl<'a> CondCtx<'a> {
 mod tests {
     use super::*;
     use crate::props::PropTable;
-    use strato_dataflow::{CostHints, PropertyMode, ProgramBuilder, SourceDef};
+    use strato_dataflow::{CostHints, ProgramBuilder, PropertyMode, SourceDef};
     use strato_ir::{BinOp, FuncBuilder, Function, UdfKind, UnOp};
     use strato_record::AttrId;
     use strato_sca::EmitBounds;
@@ -212,8 +207,14 @@ mod tests {
         }
     }
 
-    const ONE: EmitBounds = EmitBounds { min: 1, max: Some(1) };
-    const FILTER: EmitBounds = EmitBounds { min: 0, max: Some(1) };
+    const ONE: EmitBounds = EmitBounds {
+        min: 1,
+        max: Some(1),
+    };
+    const FILTER: EmitBounds = EmitBounds {
+        min: 0,
+        max: Some(1),
+    };
 
     #[test]
     fn roc_definition() {
@@ -314,44 +315,55 @@ mod tests {
         // B grouping by A. The Map's control reads {A, B} ⊄ {A} ⇒ blocked.
         let mut p = ProgramBuilder::new();
         let s = p.source(SourceDef::new("i", &["a", "b"], 10));
-        let m = p.map("odd", {
-            let mut b = FuncBuilder::new("odd", UdfKind::Map, vec![2]);
-            let a = b.get_input(0, 0);
-            let bb = b.get_input(0, 1);
-            let two = b.konst(2i64);
-            let ra = b.bin(BinOp::Rem, a, two);
-            let rb = b.bin(BinOp::Rem, bb, two);
-            let both = b.bin(BinOp::And, ra, rb);
-            let end = b.new_label();
-            b.branch_not(both, end);
-            let or = b.copy_input(0);
-            b.emit(or);
-            b.place(end);
-            b.ret();
-            b.finish().unwrap()
-        }, CostHints::default(), s);
-        let r = p.reduce("sum", &[0], {
-            let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![2]);
-            let sum = b.konst(0i64);
-            let it = b.iter_open(0);
-            let done = b.new_label();
-            let head = b.new_label();
-            b.place(head);
-            let rec = b.iter_next(it, done);
-            let v = b.get(rec, 1);
-            b.bin_into(sum, BinOp::Add, sum, v);
-            b.jump(head);
-            b.place(done);
-            let it2 = b.iter_open(0);
-            let nil = b.new_label();
-            let first = b.iter_next(it2, nil);
-            let or = b.copy(first);
-            b.set(or, 2, sum);
-            b.emit(or);
-            b.place(nil);
-            b.ret();
-            b.finish().unwrap()
-        }, CostHints::default(), m);
+        let m = p.map(
+            "odd",
+            {
+                let mut b = FuncBuilder::new("odd", UdfKind::Map, vec![2]);
+                let a = b.get_input(0, 0);
+                let bb = b.get_input(0, 1);
+                let two = b.konst(2i64);
+                let ra = b.bin(BinOp::Rem, a, two);
+                let rb = b.bin(BinOp::Rem, bb, two);
+                let both = b.bin(BinOp::And, ra, rb);
+                let end = b.new_label();
+                b.branch_not(both, end);
+                let or = b.copy_input(0);
+                b.emit(or);
+                b.place(end);
+                b.ret();
+                b.finish().unwrap()
+            },
+            CostHints::default(),
+            s,
+        );
+        let r = p.reduce(
+            "sum",
+            &[0],
+            {
+                let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![2]);
+                let sum = b.konst(0i64);
+                let it = b.iter_open(0);
+                let done = b.new_label();
+                let head = b.new_label();
+                b.place(head);
+                let rec = b.iter_next(it, done);
+                let v = b.get(rec, 1);
+                b.bin_into(sum, BinOp::Add, sum, v);
+                b.jump(head);
+                b.place(done);
+                let it2 = b.iter_open(0);
+                let nil = b.new_label();
+                let first = b.iter_next(it2, nil);
+                let or = b.copy(first);
+                b.set(or, 2, sum);
+                b.emit(or);
+                b.place(nil);
+                b.ret();
+                b.finish().unwrap()
+            },
+            CostHints::default(),
+            m,
+        );
         let plan = p.finish(r).unwrap().bind().unwrap();
         let t = PropTable::build(&plan, PropertyMode::Sca);
         let ctx = CondCtx::new(&plan, &t);
@@ -364,17 +376,23 @@ mod tests {
         let mut p2 = ProgramBuilder::new();
         let s2 = p2.source(SourceDef::new("i", &["a", "b"], 10));
         let m2 = p2.map("keyfilter", filter_map(2, 0), CostHints::default(), s2);
-        let r2 = p2.reduce("sum", &[0], {
-            let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![2]);
-            let it = b.iter_open(0);
-            let nil = b.new_label();
-            let first = b.iter_next(it, nil);
-            let or = b.copy(first);
-            b.emit(or);
-            b.place(nil);
-            b.ret();
-            b.finish().unwrap()
-        }, CostHints::default(), m2);
+        let r2 = p2.reduce(
+            "sum",
+            &[0],
+            {
+                let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![2]);
+                let it = b.iter_open(0);
+                let nil = b.new_label();
+                let first = b.iter_next(it, nil);
+                let or = b.copy(first);
+                b.emit(or);
+                b.place(nil);
+                b.ret();
+                b.finish().unwrap()
+            },
+            CostHints::default(),
+            m2,
+        );
         let plan2 = p2.finish(r2).unwrap().bind().unwrap();
         let t2 = PropTable::build(&plan2, PropertyMode::Sca);
         let ctx2 = CondCtx::new(&plan2, &t2);

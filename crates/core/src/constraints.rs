@@ -27,10 +27,7 @@ pub fn subtree_unique_on(plan: &Plan, props: &PropTable, node: &PlanNode, key: &
         return false;
     }
     match node.kind {
-        NodeKind::Source(s) => plan.ctx.sources[s]
-            .unique
-            .iter()
-            .any(|u| u.is_subset(key)),
+        NodeKind::Source(s) => plan.ctx.sources[s].unique.iter().any(|u| u.is_subset(key)),
         NodeKind::Op(o) => {
             let op = &plan.ctx.ops[o];
             let p = props.get(o);
@@ -40,8 +37,7 @@ pub fn subtree_unique_on(plan: &Plan, props: &PropTable, node: &PlanNode, key: &
             }
             match &op.pact {
                 Pact::Map => {
-                    p.emits.at_most_one()
-                        && subtree_unique_on(plan, props, &node.children[0], key)
+                    p.emits.at_most_one() && subtree_unique_on(plan, props, &node.children[0], key)
                 }
                 Pact::Reduce { .. } => {
                     if !p.emits.at_most_one() {
@@ -58,25 +54,13 @@ pub fn subtree_unique_on(plan: &Plan, props: &PropTable, node: &PlanNode, key: &
                         return false;
                     }
                     let left_unique_side = subtree_unique_on(plan, props, &node.children[0], key)
-                        && subtree_unique_on(
-                            plan,
-                            props,
-                            &node.children[1],
-                            &op.key_set(1),
-                        );
+                        && subtree_unique_on(plan, props, &node.children[1], &op.key_set(1));
                     let right_unique_side = subtree_unique_on(plan, props, &node.children[1], key)
-                        && subtree_unique_on(
-                            plan,
-                            props,
-                            &node.children[0],
-                            &op.key_set(0),
-                        );
+                        && subtree_unique_on(plan, props, &node.children[0], &op.key_set(0));
                     left_unique_side || right_unique_side
                 }
                 Pact::Cross => false,
-                Pact::CoGroup { .. } => {
-                    p.emits.at_most_one() && op.key_set(0).is_subset(key)
-                }
+                Pact::CoGroup { .. } => p.emits.at_most_one() && op.key_set(0).is_subset(key),
             }
         }
     }
@@ -138,8 +122,18 @@ mod tests {
         let m = p.map("id", identity_map(2), CostHints::default(), s);
         let plan = p.finish(m).unwrap().bind().unwrap();
         let t = PropTable::build(&plan, PropertyMode::Sca);
-        assert!(subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "s.a")));
-        assert!(!subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "s.b")));
+        assert!(subtree_unique_on(
+            &plan,
+            &t,
+            &plan.root,
+            &key_set(&plan, "s.a")
+        ));
+        assert!(!subtree_unique_on(
+            &plan,
+            &t,
+            &plan.root,
+            &key_set(&plan, "s.b")
+        ));
     }
 
     #[test]
@@ -149,7 +143,12 @@ mod tests {
         let m = p.map("f", filter_map(2, 1), CostHints::default(), s);
         let plan = p.finish(m).unwrap().bind().unwrap();
         let t = PropTable::build(&plan, PropertyMode::Sca);
-        assert!(subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "s.a")));
+        assert!(subtree_unique_on(
+            &plan,
+            &t,
+            &plan.root,
+            &key_set(&plan, "s.a")
+        ));
     }
 
     #[test]
@@ -159,7 +158,12 @@ mod tests {
         let m = p.map("dup", dup_map(1), CostHints::default(), s);
         let plan = p.finish(m).unwrap().bind().unwrap();
         let t = PropTable::build(&plan, PropertyMode::Sca);
-        assert!(!subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "s.a")));
+        assert!(!subtree_unique_on(
+            &plan,
+            &t,
+            &plan.root,
+            &key_set(&plan, "s.a")
+        ));
     }
 
     #[test]
@@ -172,9 +176,19 @@ mod tests {
         let j = p.match_("j", &[1], &[0], join_udf(2, 1), CostHints::default(), o, c);
         let plan = p.finish(j).unwrap().bind().unwrap();
         let t = PropTable::build(&plan, PropertyMode::Sca);
-        assert!(subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "o.o_id")));
+        assert!(subtree_unique_on(
+            &plan,
+            &t,
+            &plan.root,
+            &key_set(&plan, "o.o_id")
+        ));
         // Not unique on the customer key: many orders per customer.
-        assert!(!subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "c.c_id")));
+        assert!(!subtree_unique_on(
+            &plan,
+            &t,
+            &plan.root,
+            &key_set(&plan, "c.c_id")
+        ));
     }
 
     #[test]
@@ -186,7 +200,12 @@ mod tests {
         let j = p.match_("j", &[1], &[0], join_udf(2, 2), CostHints::default(), o, c);
         let plan = p.finish(j).unwrap().bind().unwrap();
         let t = PropTable::build(&plan, PropertyMode::Sca);
-        assert!(!subtree_unique_on(&plan, &t, &plan.root, &key_set(&plan, "o.o_id")));
+        assert!(!subtree_unique_on(
+            &plan,
+            &t,
+            &plan.root,
+            &key_set(&plan, "o.o_id")
+        ));
     }
 
     #[test]

@@ -204,7 +204,8 @@ fn enum_alternatives(
         // Lines 20–27: candidate roots s.
         if let Some(&s) = a_minus_r.first() {
             if !cand.contains(&s) && reorderable(r, s) {
-                cand.insert(s); // enumerate each candidate root once
+                // enumerate each candidate root once
+                cand.insert(s);
                 // Line 24: D − s = setRoot(A − r, r).
                 let mut d_minus_s = Vec::with_capacity(a_minus_r.len());
                 d_minus_s.push(r);
@@ -260,7 +261,7 @@ pub fn enumerate_algorithm1(plan: &Plan, props: &PropTable) -> Option<Vec<Plan>>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use strato_dataflow::{CostHints, PropertyMode, ProgramBuilder, SourceDef};
+    use strato_dataflow::{CostHints, ProgramBuilder, PropertyMode, SourceDef};
     use strato_ir::{BinOp, FuncBuilder, Function, UdfKind, UnOp};
 
     #[test]
@@ -297,8 +298,7 @@ mod tests {
     fn algorithm1_partial_order_counts_linear_extensions() {
         // Ops 1..=4 where only (1,2) may swap and only (3,4) may swap:
         // alternatives = 2 × 2 = 4.
-        let reorderable =
-            |a: usize, b: usize| matches!((a, b), (1, 2) | (2, 1) | (3, 4) | (4, 3));
+        let reorderable = |a: usize, b: usize| matches!((a, b), (1, 2) | (2, 1) | (3, 4) | (4, 3));
         let alts = algorithm1_chain(&[4, 3, 2, 1], &reorderable);
         assert_eq!(alts.len(), 4);
     }

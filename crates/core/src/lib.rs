@@ -43,7 +43,7 @@ pub mod props;
 mod optimizer;
 
 pub use conditions::roc;
-pub use enumerate::{enumerate_all, enumerate_algorithm1, neighbors};
+pub use enumerate::{enumerate_algorithm1, enumerate_all, neighbors};
 pub use optimizer::{Optimizer, OptimizerReport, RankedPlan};
 pub use physical::{LocalStrategy, PhysNode, PhysPlan, Ship};
 pub use props::{OpProps, PropTable};

@@ -41,7 +41,9 @@ impl OptimizerReport {
 
     /// The rank (0-based) of the plan with the given canonical form.
     pub fn rank_of(&self, canonical: &str) -> Option<usize> {
-        self.ranked.iter().position(|r| r.plan.canonical() == canonical)
+        self.ranked
+            .iter()
+            .position(|r| r.plan.canonical() == canonical)
     }
 }
 

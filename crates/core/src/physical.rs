@@ -243,10 +243,7 @@ fn candidates(
                         // A Map that writes partition attributes destroys
                         // the property.
                         let part = match &c.partitioning {
-                            Some(p)
-                                if p.iter()
-                                    .all(|a| !props.get(o).write.contains(*a)) =>
-                            {
+                            Some(p) if p.iter().all(|a| !props.get(o).write.contains(*a)) => {
                                 c.partitioning.clone()
                             }
                             _ => None,
@@ -335,8 +332,8 @@ fn candidates(
                                 }
                                 _ => (ship_l, ship_r),
                             };
-                            let ship_cost_ab = ship_cost(&ship_l, &le, w, dop)
-                                + ship_cost(&ship_r, &re, w, dop);
+                            let ship_cost_ab =
+                                ship_cost(&ship_l, &le, w, dop) + ship_cost(&ship_r, &re, w, dop);
                             let (build, bcost) = if le.bytes() <= re.bytes() {
                                 (LocalStrategy::HashJoinBuildLeft, hash_build_cost(&le, w))
                             } else {
@@ -344,7 +341,8 @@ fn candidates(
                             };
                             let smj = sort_cost(&le, w) + sort_cost(&re, w);
                             let base = lc.phys.cost + rc.phys.cost + udf_cpu;
-                            for (local, lcost2) in [(build, bcost), (LocalStrategy::SortMergeJoin, smj)]
+                            for (local, lcost2) in
+                                [(build, bcost), (LocalStrategy::SortMergeJoin, smj)]
                             {
                                 for part_out in [Some(kl.clone()), Some(kr.clone())] {
                                     out.push(Candidate {
@@ -362,8 +360,7 @@ fn candidates(
                             }
                             // (b) Broadcast the smaller side; the larger
                             // side's partitioning survives.
-                            let (bc_side, fw_side, bc_est, fw_cand) = if le.bytes() <= re.bytes()
-                            {
+                            let (bc_side, fw_side, bc_est, fw_cand) = if le.bytes() <= re.bytes() {
                                 (0usize, 1usize, le, rc)
                             } else {
                                 (1, 0, re, lc)
@@ -463,7 +460,7 @@ fn candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use strato_dataflow::{CostHints, PropertyMode, ProgramBuilder, SourceDef};
+    use strato_dataflow::{CostHints, ProgramBuilder, PropertyMode, SourceDef};
     use strato_ir::{FuncBuilder, Function, UdfKind};
 
     fn identity_map(w: usize) -> Function {
@@ -585,7 +582,7 @@ mod tests {
     }
 
     #[test]
-    fn costs_are_positive_and_monotone_with_size(){
+    fn costs_are_positive_and_monotone_with_size() {
         let cost_for = |rows: u64| {
             let mut p = ProgramBuilder::new();
             let s = p.source(SourceDef::new("s", &["k"], rows).with_bytes_per_row(32));

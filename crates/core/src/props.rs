@@ -140,7 +140,12 @@ impl PropTable {
     pub fn build(plan: &Plan, mode: PropertyMode) -> PropTable {
         let all = plan.ctx.global.all();
         PropTable {
-            props: plan.ctx.ops.iter().map(|op| derive(op, mode, &all)).collect(),
+            props: plan
+                .ctx
+                .ops
+                .iter()
+                .map(|op| derive(op, mode, &all))
+                .collect(),
             mode,
         }
     }
@@ -231,7 +236,15 @@ mod tests {
         let s = p.source(strato_dataflow::SourceDef::new("s", &["a", "b"], 10));
         let other = p.source(strato_dataflow::SourceDef::new("t", &["c"], 10));
         let m = p.map("proj", project_map(2, 0), CostHints::default(), s);
-        let j = p.match_("j", &[0], &[0], join_udf(2, 1), CostHints::default(), m, other);
+        let j = p.match_(
+            "j",
+            &[0],
+            &[0],
+            join_udf(2, 1),
+            CostHints::default(),
+            m,
+            other,
+        );
         let plan = p.finish(j).unwrap().bind().unwrap();
         let t = PropTable::build(&plan, PropertyMode::Sca);
         let proj = plan.ctx.ops.iter().position(|o| o.name == "proj").unwrap();
@@ -268,13 +281,18 @@ mod tests {
         let mut p = ProgramBuilder::new();
         let s = p.source(strato_dataflow::SourceDef::new("s", &["a"], 10));
         let t2 = p.source(strato_dataflow::SourceDef::new("t", &["c"], 10));
-        let m = p.map("id", {
-            let mut b = FuncBuilder::new("id", UdfKind::Map, vec![1]);
-            let or = b.copy_input(0);
-            b.emit(or);
-            b.ret();
-            b.finish().unwrap()
-        }, CostHints::default(), s);
+        let m = p.map(
+            "id",
+            {
+                let mut b = FuncBuilder::new("id", UdfKind::Map, vec![1]);
+                let or = b.copy_input(0);
+                b.emit(or);
+                b.ret();
+                b.finish().unwrap()
+            },
+            CostHints::default(),
+            s,
+        );
         let j = p.match_("j", &[0], &[0], join_udf(1, 1), CostHints::default(), m, t2);
         let plan = p.finish(j).unwrap().bind().unwrap();
         let table = PropTable::build(&plan, PropertyMode::Sca);
@@ -288,7 +306,10 @@ mod tests {
             read: AttrSet::from_iter_ids([strato_record::AttrId(1)]),
             write: AttrSet::from_iter_ids([strato_record::AttrId(2)]),
             control: AttrSet::new(),
-            emits: EmitBounds { min: 1, max: Some(1) },
+            emits: EmitBounds {
+                min: 1,
+                max: Some(1),
+            },
             added: AttrSet::new(),
         };
         assert_eq!(p.accessed().len(), 2);

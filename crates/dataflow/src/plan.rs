@@ -456,7 +456,15 @@ mod tests {
         let l = p.source(SourceDef::new("l", &["a", "b"], 100).with_unique_key(&[0]));
         let r = p.source(SourceDef::new("r", &["c"], 10));
         let m = p.map("add1", append_map(2), CostHints::default(), l);
-        let j = p.match_("join", &[0], &[0], join_udf(3, 1), CostHints::default(), m, r);
+        let j = p.match_(
+            "join",
+            &[0],
+            &[0],
+            join_udf(3, 1),
+            CostHints::default(),
+            m,
+            r,
+        );
         p.finish(j).unwrap().bind().unwrap()
     }
 

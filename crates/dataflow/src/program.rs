@@ -212,7 +212,10 @@ impl ProgramBuilder {
         left: NodeHandle,
         right: NodeHandle,
     ) -> NodeHandle {
-        self.op(Operator::new(name, Pact::Cross, udf, hints), vec![left, right])
+        self.op(
+            Operator::new(name, Pact::Cross, udf, hints),
+            vec![left, right],
+        )
     }
 
     /// Adds a CoGroup operator.
@@ -281,9 +284,7 @@ impl Program {
             if let BNode::Op { op, children } = &self.nodes[n] {
                 let o = &self.ops[*op];
                 if children.len() != o.pact.n_inputs() {
-                    return Err(ProgramError::ArityMismatch {
-                        op: o.name.clone(),
-                    });
+                    return Err(ProgramError::ArityMismatch { op: o.name.clone() });
                 }
                 for (i, &c) in children.iter().enumerate() {
                     let actual = self.node_width(c);
@@ -393,15 +394,7 @@ mod tests {
         let mut p = ProgramBuilder::new();
         let l = p.source(SourceDef::new("l", &["a", "b"], 100).with_unique_key(&[0]));
         let r = p.source(SourceDef::new("r", &["c"], 10));
-        let j = p.match_(
-            "j",
-            &[0],
-            &[0],
-            join_udf(2, 1),
-            CostHints::default(),
-            l,
-            r,
-        );
+        let j = p.match_("j", &[0], &[0], join_udf(2, 1), CostHints::default(), l, r);
         let prog = p.finish(j).unwrap();
         assert_eq!(prog.node_width(prog.root), 3);
     }

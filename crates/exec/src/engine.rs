@@ -359,7 +359,7 @@ fn exec_node_logical(
 // ---------------------------------------------------------------------------
 
 /// Executes a physical plan with `dop` partitions. Local operator work runs
-/// on one thread per partition (crossbeam scoped threads); ship strategies
+/// on one thread per partition (std scoped threads); ship strategies
 /// move serialized records between partitions and account their bytes.
 pub fn execute(
     plan: &Plan,
@@ -457,13 +457,13 @@ fn exec_phys(
                     per_part[pi].push(recs);
                 }
             }
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (pi, part_inputs) in per_part.into_iter().enumerate() {
                     let local = node.local;
                     handles.push((
                         pi,
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let runner = OpRunner {
                                 interp: Interp::default(),
                                 stats,
@@ -475,8 +475,7 @@ fn exec_phys(
                 for (pi, h) in handles {
                     results[pi] = h.join().expect("worker panicked");
                 }
-            })
-            .expect("scope");
+            });
             results.into_iter().collect()
         }
     }
@@ -563,12 +562,7 @@ mod tests {
         let sums: Vec<(i64, i64)> = out
             .sorted()
             .iter()
-            .map(|r| {
-                (
-                    r.field(0).as_int().unwrap(),
-                    r.field(2).as_int().unwrap(),
-                )
-            })
+            .map(|r| (r.field(0).as_int().unwrap(), r.field(2).as_int().unwrap()))
             .collect();
         assert_eq!(sums, vec![(1, 30), (2, 5)]);
         let (calls, ..) = stats.snapshot();
@@ -611,7 +605,10 @@ mod tests {
         let j = p.match_("j", &[0], &[0], join_udf(2, 2), CostHints::default(), l, r);
         let plan = p.finish(j).unwrap().bind().unwrap();
         let mut inputs = Inputs::new();
-        inputs.insert("l".into(), ds(&[&[1, 100], &[2, 200], &[2, 201], &[5, 500]]));
+        inputs.insert(
+            "l".into(),
+            ds(&[&[1, 100], &[2, 200], &[2, 201], &[5, 500]]),
+        );
         inputs.insert("r".into(), ds(&[&[1, -1], &[2, -2], &[3, -3]]));
         let (logical, _) = execute_logical(&plan, &inputs).unwrap();
         // k=1: 1 pair; k=2: 2 pairs; k=5 no match → 3 records.
@@ -706,7 +703,10 @@ mod tests {
     fn sort_strategies_agree_with_hash() {
         let plan = sum_plan();
         let mut inputs = Inputs::new();
-        inputs.insert("s".into(), ds(&[&[5, 1], &[5, 2], &[4, 3], &[4, 4], &[1, 9]]));
+        inputs.insert(
+            "s".into(),
+            ds(&[&[5, 1], &[5, 2], &[4, 3], &[4, 4], &[1, 9]]),
+        );
         let stats = ExecStats::new();
         let runner = OpRunner {
             interp: Interp::default(),
@@ -724,10 +724,7 @@ mod tests {
         let sort = runner
             .run_reduce(op, wide, LocalStrategy::SortGroup)
             .unwrap();
-        assert_eq!(
-            DataSet::from_records(hash),
-            DataSet::from_records(sort)
-        );
+        assert_eq!(DataSet::from_records(hash), DataSet::from_records(sort));
     }
 
     #[test]
@@ -754,10 +751,20 @@ mod tests {
             plan.ctx.width(),
         );
         let h = runner
-            .run_match(op, left.clone(), right.clone(), LocalStrategy::HashJoinBuildLeft)
+            .run_match(
+                op,
+                left.clone(),
+                right.clone(),
+                LocalStrategy::HashJoinBuildLeft,
+            )
             .unwrap();
         let hr = runner
-            .run_match(op, left.clone(), right.clone(), LocalStrategy::HashJoinBuildRight)
+            .run_match(
+                op,
+                left.clone(),
+                right.clone(),
+                LocalStrategy::HashJoinBuildRight,
+            )
             .unwrap();
         let smj = runner
             .run_match(op, left, right, LocalStrategy::SortMergeJoin)

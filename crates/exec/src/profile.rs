@@ -174,8 +174,8 @@ fn exec_profiled(
             p.emits = e1 - e0;
             p.udf_nanos = nanos;
             if !out.is_empty() {
-                p.avg_record_bytes = (out.iter().map(Record::encoded_len).sum::<usize>()
-                    / out.len()) as u64;
+                p.avg_record_bytes =
+                    (out.iter().map(Record::encoded_len).sum::<usize>() / out.len()) as u64;
             }
             Ok(out)
         }
@@ -194,7 +194,13 @@ fn run_op(
     let op = &plan.ctx.ops[op_id];
     // Reuse the engine's operator application by constructing a one-off
     // runner. The engine's OpRunner is private; replicate the thin shim.
-    crate::engine::apply_for_profiler(op, interp, LocalStrategy::Pipe, std::mem::take(inputs), stats)
+    crate::engine::apply_for_profiler(
+        op,
+        interp,
+        LocalStrategy::Pipe,
+        std::mem::take(inputs),
+        stats,
+    )
 }
 
 #[cfg(test)]

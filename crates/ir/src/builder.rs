@@ -117,10 +117,7 @@ impl FuncBuilder {
 
     /// Binds `label` to the next instruction position.
     pub fn place(&mut self, label: LabelRef) {
-        assert!(
-            self.labels[label.0].is_none(),
-            "label placed twice"
-        );
+        assert!(self.labels[label.0].is_none(), "label placed twice");
         self.labels[label.0] = Some(self.insts.len() as u32);
     }
 
@@ -320,9 +317,7 @@ impl FuncBuilder {
             };
             let _ = i;
             match inst {
-                Inst::Branch { target, .. } | Inst::Jump { target } => {
-                    fix(target, &self.labels)?
-                }
+                Inst::Branch { target, .. } | Inst::Jump { target } => fix(target, &self.labels)?,
                 Inst::IterNext { exhausted, .. } => fix(exhausted, &self.labels)?,
                 _ => {}
             }

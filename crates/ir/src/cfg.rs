@@ -134,8 +134,7 @@ impl Cfg {
                                     break;
                                 }
                             }
-                            let cyclic = comp.len() > 1
-                                || succs[v].iter().any(|&(s, _)| s == v);
+                            let cyclic = comp.len() > 1 || succs[v].iter().any(|&(s, _)| s == v);
                             if cyclic {
                                 for x in comp {
                                     in_cycle[x] = true;

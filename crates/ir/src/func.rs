@@ -92,7 +92,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "input index {i} out of range (function has {n} inputs)")
             }
             VerifyError::WrongKind(at) => {
-                write!(f, "instruction {at}: record API not valid for this UDF kind")
+                write!(
+                    f,
+                    "instruction {at}: record API not valid for this UDF kind"
+                )
             }
             VerifyError::BadCallArity(at) => write!(f, "instruction {at}: wrong intrinsic arity"),
             VerifyError::UseBeforeDef(at, r) => {
@@ -254,18 +257,15 @@ impl Function {
                         return Err(VerifyError::BadInput(*input, self.kind.n_inputs()));
                     }
                 }
-                Inst::IterNext { .. }
-                    if !self.kind.is_kat() => {
-                        return Err(VerifyError::WrongKind(at));
-                    }
-                Inst::ConcatRecords { .. }
-                    if self.kind.n_inputs() != 2 => {
-                        return Err(VerifyError::WrongKind(at));
-                    }
-                Inst::Call { f, args, .. }
-                    if args.len() != f.arity() => {
-                        return Err(VerifyError::BadCallArity(at));
-                    }
+                Inst::IterNext { .. } if !self.kind.is_kat() => {
+                    return Err(VerifyError::WrongKind(at));
+                }
+                Inst::ConcatRecords { .. } if self.kind.n_inputs() != 2 => {
+                    return Err(VerifyError::WrongKind(at));
+                }
+                Inst::Call { f, args, .. } if args.len() != f.arity() => {
+                    return Err(VerifyError::BadCallArity(at));
+                }
                 _ => {}
             }
         }
@@ -353,8 +353,7 @@ impl Function {
                         true
                     }
                     Some(prev) => {
-                        let meet: BTreeSet<Reg> =
-                            prev.intersection(&edge_out).copied().collect();
+                        let meet: BTreeSet<Reg> = prev.intersection(&edge_out).copied().collect();
                         if &meet != prev {
                             ins[succ] = Some(meet);
                             true
@@ -401,13 +400,21 @@ mod tests {
     use crate::inst::{IterReg, VReg};
     use strato_record::Value;
 
-    fn mk(kind: UdfKind, widths: Vec<usize>, added: usize, insts: Vec<Inst>) -> Result<Function, VerifyError> {
+    fn mk(
+        kind: UdfKind,
+        widths: Vec<usize>,
+        added: usize,
+        insts: Vec<Inst>,
+    ) -> Result<Function, VerifyError> {
         Function::new("t", kind, widths, added, insts)
     }
 
     #[test]
     fn empty_body_rejected() {
-        assert_eq!(mk(UdfKind::Map, vec![1], 0, vec![]).unwrap_err(), VerifyError::EmptyBody);
+        assert_eq!(
+            mk(UdfKind::Map, vec![1], 0, vec![]).unwrap_err(),
+            VerifyError::EmptyBody
+        );
     }
 
     #[test]
@@ -427,7 +434,13 @@ mod tests {
 
     #[test]
     fn bad_label_rejected() {
-        let e = mk(UdfKind::Map, vec![1], 0, vec![Inst::Jump { target: Label(9) }]).unwrap_err();
+        let e = mk(
+            UdfKind::Map,
+            vec![1],
+            0,
+            vec![Inst::Jump { target: Label(9) }],
+        )
+        .unwrap_err();
         assert_eq!(e, VerifyError::BadLabel(Label(9)));
     }
 

@@ -141,10 +141,7 @@ enum RecSlot {
     #[default]
     Unset,
     /// A (read-only) reference to input record `idx` of input `input`.
-    Input {
-        input: u8,
-        idx: usize,
-    },
+    Input { input: u8, idx: usize },
     /// An owned, constructed output record in global layout.
     Built(Record),
 }
@@ -237,7 +234,13 @@ impl Interp {
                     set_val!(dst, func.eval(&argv));
                 }
                 Inst::LoadInput { dst, input } => {
-                    set_rec!(dst, RecSlot::Input { input: *input, idx: 0 });
+                    set_rec!(
+                        dst,
+                        RecSlot::Input {
+                            input: *input,
+                            idx: 0
+                        }
+                    );
                 }
                 Inst::GetField { dst, rec, field } => {
                     let slot = recs.get(rec.0 as usize).cloned().unwrap_or_default();
@@ -608,18 +611,8 @@ mod tests {
         let f = b.finish().unwrap();
         let layout = Layout::local(&f);
         // Global layout: input0 = attrs 0,1; input1 = attrs 2,3.
-        let left = Record::from_values([
-            Value::Int(1),
-            Value::Int(2),
-            Value::Null,
-            Value::Null,
-        ]);
-        let right = Record::from_values([
-            Value::Null,
-            Value::Null,
-            Value::Int(3),
-            Value::Int(4),
-        ]);
+        let left = Record::from_values([Value::Int(1), Value::Int(2), Value::Null, Value::Null]);
+        let right = Record::from_values([Value::Null, Value::Null, Value::Int(3), Value::Int(4)]);
         let mut out = Vec::new();
         Interp::default()
             .run(&f, Invocation::Pair(&left, &right), &layout, &mut out)
@@ -674,20 +667,11 @@ mod tests {
             eval_bin(Add, &Value::Int(1), &Value::Float(0.5)),
             Value::Float(1.5)
         );
-        assert_eq!(
-            eval_bin(Add, &Value::str("a"), &Value::Int(1)),
-            Value::Null
-        );
+        assert_eq!(eval_bin(Add, &Value::str("a"), &Value::Int(1)), Value::Null);
         assert_eq!(eval_bin(Eq, &Value::Null, &Value::Null), Value::Bool(true));
         assert_eq!(eval_bin(Lt, &Value::Null, &Value::Int(1)), Value::Null);
-        assert_eq!(
-            eval_bin(Min, &Value::Int(3), &Value::Int(1)),
-            Value::Int(1)
-        );
-        assert_eq!(
-            eval_bin(Max, &Value::Int(3), &Value::Int(1)),
-            Value::Int(3)
-        );
+        assert_eq!(eval_bin(Min, &Value::Int(3), &Value::Int(1)), Value::Int(1));
+        assert_eq!(eval_bin(Max, &Value::Int(3), &Value::Int(1)), Value::Int(3));
         assert_eq!(
             eval_bin(And, &Value::Int(1), &Value::Int(0)),
             Value::Bool(false)
@@ -712,7 +696,10 @@ mod tests {
         assert_eq!(eval_un(UnOp::Not, &Value::Null), Value::Bool(true));
         assert_eq!(eval_un(UnOp::IsNull, &Value::Null), Value::Bool(true));
         assert_eq!(eval_un(UnOp::IsNull, &Value::Int(0)), Value::Bool(false));
-        assert_eq!(eval_un(UnOp::Neg, &Value::Int(i64::MIN)), Value::Int(i64::MIN));
+        assert_eq!(
+            eval_un(UnOp::Neg, &Value::Int(i64::MIN)),
+            Value::Int(i64::MIN)
+        );
     }
 
     #[test]

@@ -100,10 +100,7 @@ impl AttrSet {
 
     /// `self ∩ other = ∅` — the workhorse of every conflict check.
     pub fn is_disjoint(&self, other: &AttrSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// `self ⊆ other`.

@@ -247,7 +247,13 @@ mod tests {
         b.emit(or);
         b.ret();
         let e = bounds(&b.finish().unwrap());
-        assert_eq!(e, EmitBounds { min: 1, max: Some(1) });
+        assert_eq!(
+            e,
+            EmitBounds {
+                min: 1,
+                max: Some(1)
+            }
+        );
         assert!(e.exactly_one());
     }
 
@@ -262,7 +268,13 @@ mod tests {
         b.place(end);
         b.ret();
         let e = bounds(&b.finish().unwrap());
-        assert_eq!(e, EmitBounds { min: 0, max: Some(1) });
+        assert_eq!(
+            e,
+            EmitBounds {
+                min: 0,
+                max: Some(1)
+            }
+        );
         assert!(e.at_most_one());
         assert!(!e.exactly_one());
     }
@@ -274,7 +286,13 @@ mod tests {
         b.emit(or);
         b.emit(or);
         b.ret();
-        assert_eq!(bounds(&b.finish().unwrap()), EmitBounds { min: 2, max: Some(2) });
+        assert_eq!(
+            bounds(&b.finish().unwrap()),
+            EmitBounds {
+                min: 2,
+                max: Some(2)
+            }
+        );
     }
 
     #[test]
@@ -309,7 +327,13 @@ mod tests {
         let or = b.new_rec();
         b.emit(or);
         b.ret();
-        assert_eq!(bounds(&b.finish().unwrap()), EmitBounds { min: 1, max: Some(1) });
+        assert_eq!(
+            bounds(&b.finish().unwrap()),
+            EmitBounds {
+                min: 1,
+                max: Some(1)
+            }
+        );
     }
 
     #[test]
@@ -328,7 +352,13 @@ mod tests {
         b.emit(or);
         b.place(end);
         b.ret();
-        assert_eq!(bounds(&b.finish().unwrap()), EmitBounds { min: 1, max: Some(2) });
+        assert_eq!(
+            bounds(&b.finish().unwrap()),
+            EmitBounds {
+                min: 1,
+                max: Some(2)
+            }
+        );
     }
 
     #[test]
@@ -343,7 +373,13 @@ mod tests {
         let or = b.copy_input(0);
         b.emit(or);
         b.ret();
-        assert_eq!(bounds(&b.finish().unwrap()), EmitBounds { min: 0, max: Some(1) });
+        assert_eq!(
+            bounds(&b.finish().unwrap()),
+            EmitBounds {
+                min: 0,
+                max: Some(1)
+            }
+        );
     }
 
     #[test]
@@ -351,7 +387,13 @@ mod tests {
         let mut b = FuncBuilder::new("drop", UdfKind::Map, vec![1]);
         b.ret();
         let e = bounds(&b.finish().unwrap());
-        assert_eq!(e, EmitBounds { min: 0, max: Some(0) });
+        assert_eq!(
+            e,
+            EmitBounds {
+                min: 0,
+                max: Some(0)
+            }
+        );
     }
 
     #[test]

@@ -265,7 +265,11 @@ mod tests {
             let props = analyze(&f);
             let cfg = ProbeConfig::default();
             for r in probe_read_set(&f, &cfg) {
-                assert!(props.reads.contains(&r), "{}: probe read {r:?} missed", f.name());
+                assert!(
+                    props.reads.contains(&r),
+                    "{}: probe read {r:?} missed",
+                    f.name()
+                );
             }
             for w in probe_write_set(&f, &cfg) {
                 assert!(

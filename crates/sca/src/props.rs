@@ -110,17 +110,46 @@ mod tests {
 
     #[test]
     fn emit_bounds_predicates() {
-        assert!(EmitBounds { min: 1, max: Some(1) }.exactly_one());
-        assert!(!EmitBounds { min: 0, max: Some(1) }.exactly_one());
-        assert!(EmitBounds { min: 0, max: Some(1) }.at_most_one());
-        assert!(EmitBounds { min: 0, max: Some(0) }.at_most_one());
+        assert!(EmitBounds {
+            min: 1,
+            max: Some(1)
+        }
+        .exactly_one());
+        assert!(!EmitBounds {
+            min: 0,
+            max: Some(1)
+        }
+        .exactly_one());
+        assert!(EmitBounds {
+            min: 0,
+            max: Some(1)
+        }
+        .at_most_one());
+        assert!(EmitBounds {
+            min: 0,
+            max: Some(0)
+        }
+        .at_most_one());
         assert!(!EmitBounds { min: 0, max: None }.at_most_one());
-        assert!(!EmitBounds { min: 0, max: Some(2) }.at_most_one());
+        assert!(!EmitBounds {
+            min: 0,
+            max: Some(2)
+        }
+        .at_most_one());
     }
 
     #[test]
     fn emit_bounds_display() {
-        assert_eq!(format!("{}", EmitBounds { min: 1, max: Some(3) }), "[1, 3]");
+        assert_eq!(
+            format!(
+                "{}",
+                EmitBounds {
+                    min: 1,
+                    max: Some(3)
+                }
+            ),
+            "[1, 3]"
+        );
         assert_eq!(format!("{}", EmitBounds { min: 0, max: None }), "[0, ∞)");
     }
 
@@ -135,7 +164,10 @@ mod tests {
             copied_inputs: 0b01,
             dynamic_write: false,
             added: BTreeSet::new(),
-            emits: EmitBounds { min: 1, max: Some(1) },
+            emits: EmitBounds {
+                min: 1,
+                max: Some(1),
+            },
         };
         assert!(p.copies_input(0));
         assert!(!p.copies_input(1));

@@ -74,7 +74,8 @@ pub fn analyze_taint(f: &Function, cfg: &Cfg, rd: &ReachingDefs) -> Taint {
             if !cfg.reachable(i) {
                 continue;
             }
-            let (mut t, mut dy): (BTreeSet<InField>, BTreeSet<u8>) = (BTreeSet::new(), BTreeSet::new());
+            let (mut t, mut dy): (BTreeSet<InField>, BTreeSet<u8>) =
+                (BTreeSet::new(), BTreeSet::new());
             match &insts[i] {
                 Inst::GetField { rec, field, .. } => {
                     match f.record_origin(rd, i, *rec) {

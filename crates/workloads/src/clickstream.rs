@@ -251,7 +251,10 @@ fn append_user_info_manual(right_width: usize) -> LocalProps {
         copied_inputs: 0b11,
         dynamic_write: false,
         added: BTreeSet::new(),
-        emits: EmitBounds { min: 1, max: Some(1) },
+        emits: EmitBounds {
+            min: 1,
+            max: Some(1),
+        },
     }
 }
 
@@ -262,8 +265,12 @@ fn append_user_info_manual(right_width: usize) -> LocalProps {
 pub fn plan(scale: ClickScale) -> Plan {
     let mut p = ProgramBuilder::new();
     let click = p.source(
-        SourceDef::new("click", &["ip", "ts", "session", "action"], scale.est_clicks())
-            .with_bytes_per_row(40),
+        SourceDef::new(
+            "click",
+            &["ip", "ts", "session", "action"],
+            scale.est_clicks(),
+        )
+        .with_bytes_per_row(40),
     );
     let login = p.source(
         SourceDef::new("login", &["lsession", "luser"], scale.est_logins())
@@ -337,7 +344,10 @@ mod tests {
     fn generator_matches_scale() {
         let scale = ClickScale::tiny();
         let data = generate(scale, 3);
-        assert_eq!(data["userinfo"].len(), scale.users * scale.profiles_per_user);
+        assert_eq!(
+            data["userinfo"].len(),
+            scale.users * scale.profiles_per_user
+        );
         let sessions: BTreeSet<i64> = data["click"]
             .iter()
             .map(|r| r.field(2).as_int().unwrap())
@@ -361,8 +371,16 @@ mod tests {
         let sca = PropTable::build(&plan, PropertyMode::Sca);
         let with_manual = enumerate_all(&plan, &manual, 1000);
         let with_sca = enumerate_all(&plan, &sca, 1000);
-        assert_eq!(with_manual.len(), 4, "manual annotations must yield 4 orders");
-        assert_eq!(with_sca.len(), 3, "SCA must conservatively lose the re-association");
+        assert_eq!(
+            with_manual.len(),
+            4,
+            "manual annotations must yield 4 orders"
+        );
+        assert_eq!(
+            with_sca.len(),
+            3,
+            "SCA must conservatively lose the re-association"
+        );
         // The SCA set is a subset of the manual set.
         let man_set: BTreeSet<String> = with_manual.iter().map(|p| p.canonical()).collect();
         for p in &with_sca {

@@ -45,10 +45,30 @@ pub struct Component {
 /// The four entity extractors (cost/selectivity spread drives Figure 6's
 /// order-of-magnitude plan-runtime range).
 pub const EXTRACTORS: [Component; 4] = [
-    Component { name: "extract_gene", marker: "GENE_", cpu: 1_200, selectivity: 0.50 },
-    Component { name: "extract_drug", marker: "DRUG_", cpu: 100, selectivity: 0.25 },
-    Component { name: "extract_mesh", marker: "MESH_", cpu: 5_000, selectivity: 0.90 },
-    Component { name: "extract_abbr", marker: "ABBR_", cpu: 30, selectivity: 0.55 },
+    Component {
+        name: "extract_gene",
+        marker: "GENE_",
+        cpu: 1_200,
+        selectivity: 0.50,
+    },
+    Component {
+        name: "extract_drug",
+        marker: "DRUG_",
+        cpu: 100,
+        selectivity: 0.25,
+    },
+    Component {
+        name: "extract_mesh",
+        marker: "MESH_",
+        cpu: 5_000,
+        selectivity: 0.90,
+    },
+    Component {
+        name: "extract_abbr",
+        marker: "ABBR_",
+        cpu: 30,
+        selectivity: 0.55,
+    },
 ];
 
 /// CPU units of the tokenizer stage.
@@ -80,8 +100,18 @@ impl TextScale {
 }
 
 const WORDS: [&str; 12] = [
-    "protein", "binding", "expression", "cell", "pathway", "receptor", "tumor", "assay",
-    "inhibitor", "clinical", "dose", "response",
+    "protein",
+    "binding",
+    "expression",
+    "cell",
+    "pathway",
+    "receptor",
+    "tumor",
+    "assay",
+    "inhibitor",
+    "clinical",
+    "dose",
+    "response",
 ];
 
 /// Generates a synthetic corpus: each abstract is a bag of filler words

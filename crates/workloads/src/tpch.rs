@@ -101,8 +101,8 @@ pub fn generate(scale: TpchScale, seed: u64) -> HashMap<String, DataSet> {
     let orders: DataSet = (0..scale.orders)
         .map(|k| {
             Record::from_values([
-                Value::Int(k as i64),                                    // o_orderkey
-                Value::Int(rng.gen_range(0..scale.customers() as i64)),  // o_custkey
+                Value::Int(k as i64),                                   // o_orderkey
+                Value::Int(rng.gen_range(0..scale.customers() as i64)), // o_custkey
             ])
         })
         .collect();
@@ -111,7 +111,7 @@ pub fn generate(scale: TpchScale, seed: u64) -> HashMap<String, DataSet> {
     let customer: DataSet = (0..scale.customers())
         .map(|k| {
             Record::from_values([
-                Value::Int(k as i64),                          // c_custkey
+                Value::Int(k as i64),                           // c_custkey
                 Value::Int(rng.gen_range(0..N_NATIONS as i64)), // c_nationkey
             ])
         })
@@ -121,7 +121,7 @@ pub fn generate(scale: TpchScale, seed: u64) -> HashMap<String, DataSet> {
     let supplier: DataSet = (0..scale.suppliers())
         .map(|k| {
             Record::from_values([
-                Value::Int(k as i64),                          // s_suppkey
+                Value::Int(k as i64),                           // s_suppkey
                 Value::Int(rng.gen_range(0..N_NATIONS as i64)), // s_nationkey
             ])
         })
@@ -203,15 +203,26 @@ pub fn q7_plan(scale: TpchScale) -> Plan {
     let li = p.source(
         SourceDef::new(
             "lineitem",
-            &["l_orderkey", "l_suppkey", "l_price", "l_disc", "l_shipdate", "l_qty"],
+            &[
+                "l_orderkey",
+                "l_suppkey",
+                "l_price",
+                "l_disc",
+                "l_shipdate",
+                "l_qty",
+            ],
             scale.lineitems() as u64,
         )
         .with_bytes_per_row(58),
     );
     let su = p.source(
-        SourceDef::new("supplier", &["s_suppkey", "s_nationkey"], scale.suppliers() as u64)
-            .with_unique_key(&[0])
-            .with_bytes_per_row(22),
+        SourceDef::new(
+            "supplier",
+            &["s_suppkey", "s_nationkey"],
+            scale.suppliers() as u64,
+        )
+        .with_unique_key(&[0])
+        .with_bytes_per_row(22),
     );
     let ord = p.source(
         SourceDef::new("orders", &["o_orderkey", "o_custkey"], scale.orders as u64)
@@ -219,9 +230,13 @@ pub fn q7_plan(scale: TpchScale) -> Plan {
             .with_bytes_per_row(22),
     );
     let cu = p.source(
-        SourceDef::new("customer", &["c_custkey", "c_nationkey"], scale.customers() as u64)
-            .with_unique_key(&[0])
-            .with_bytes_per_row(22),
+        SourceDef::new(
+            "customer",
+            &["c_custkey", "c_nationkey"],
+            scale.customers() as u64,
+        )
+        .with_unique_key(&[0])
+        .with_bytes_per_row(22),
     );
     let n1 = p.source(
         SourceDef::new("nation1", &["n1_nationkey", "n1_name"], N_NATIONS as u64)
@@ -312,10 +327,7 @@ pub fn q7_plan(scale: TpchScale) -> Plan {
         CostHints::selectivity(1.0).with_distinct_keys(2),
         f_disj,
     );
-    p.finish(agg)
-        .expect("q7 program")
-        .bind()
-        .expect("q7 bind")
+    p.finish(agg).expect("q7 program").bind().expect("q7 bind")
 }
 
 /// Builds the Q15 data flow as implemented in Figure 3(a):
@@ -327,14 +339,25 @@ pub fn q7_plan(scale: TpchScale) -> Plan {
 pub fn q15_plan(scale: TpchScale) -> Plan {
     let mut p = ProgramBuilder::new();
     let su = p.source(
-        SourceDef::new("supplier", &["s_suppkey", "s_nationkey"], scale.suppliers() as u64)
-            .with_unique_key(&[0])
-            .with_bytes_per_row(22),
+        SourceDef::new(
+            "supplier",
+            &["s_suppkey", "s_nationkey"],
+            scale.suppliers() as u64,
+        )
+        .with_unique_key(&[0])
+        .with_bytes_per_row(22),
     );
     let li = p.source(
         SourceDef::new(
             "lineitem",
-            &["l_orderkey", "l_suppkey", "l_price", "l_disc", "l_shipdate", "l_qty"],
+            &[
+                "l_orderkey",
+                "l_suppkey",
+                "l_price",
+                "l_disc",
+                "l_shipdate",
+                "l_qty",
+            ],
             scale.lineitems() as u64,
         )
         .with_bytes_per_row(58),
@@ -364,10 +387,7 @@ pub fn q15_plan(scale: TpchScale) -> Plan {
         su,
         agg,
     );
-    p.finish(j)
-        .expect("q15 program")
-        .bind()
-        .expect("q15 bind")
+    p.finish(j).expect("q15 program").bind().expect("q15 bind")
 }
 
 #[cfg(test)]
@@ -435,7 +455,12 @@ mod tests {
         let alts = enumerate_all(&plan, &props, 100);
         // Map < Reduce fixed; the Match floats: original, aggregation
         // pushed above the join, and filter pulled above the join.
-        assert_eq!(alts.len(), 3, "{:#?}", alts.iter().map(|a| a.render()).collect::<Vec<_>>());
+        assert_eq!(
+            alts.len(),
+            3,
+            "{:#?}",
+            alts.iter().map(|a| a.render()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -481,7 +506,7 @@ mod tests {
     }
 
     #[test]
-    fn sca_and_manual_agree_on_tpch(){
+    fn sca_and_manual_agree_on_tpch() {
         // Table 1: Q7 and Q15 reach 100% with SCA.
         for plan in [q15_plan(TpchScale::tiny()), q7_plan(TpchScale::tiny())] {
             let sca = PropTable::build(&plan, PropertyMode::Sca);

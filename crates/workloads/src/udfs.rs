@@ -144,9 +144,18 @@ mod tests {
     #[test]
     fn filter_range_behaviour_and_props() {
         let f = filter_range(2, 0, 10, 20);
-        assert_eq!(run_map(&f, Record::from_values([15i64.into(), 1i64.into()])).len(), 1);
-        assert_eq!(run_map(&f, Record::from_values([9i64.into(), 1i64.into()])).len(), 0);
-        assert_eq!(run_map(&f, Record::from_values([21i64.into(), 1i64.into()])).len(), 0);
+        assert_eq!(
+            run_map(&f, Record::from_values([15i64.into(), 1i64.into()])).len(),
+            1
+        );
+        assert_eq!(
+            run_map(&f, Record::from_values([9i64.into(), 1i64.into()])).len(),
+            0
+        );
+        assert_eq!(
+            run_map(&f, Record::from_values([21i64.into(), 1i64.into()])).len(),
+            0
+        );
         let p = analyze(&f);
         assert_eq!(p.reads.len(), 1);
         assert!(p.written_base.is_empty());
@@ -196,7 +205,10 @@ mod tests {
         );
         assert_eq!(hit.len(), 1);
         assert!(hit[0].field(2).as_int().is_some());
-        let miss = run_map(&f, Record::from_values([Value::str("nothing"), Value::Int(1)]));
+        let miss = run_map(
+            &f,
+            Record::from_values([Value::str("nothing"), Value::Int(1)]),
+        );
         assert!(miss.is_empty());
         let p = analyze(&f);
         // Reads and filters on the text field.

@@ -22,7 +22,10 @@ fn main() {
     let plan = clickstream::plan(scale);
     let inputs: Inputs = clickstream::generate(scale, 42).into_iter().collect();
 
-    println!("== clickstream task, as implemented (Figure 4a) ==\n{}", plan.render());
+    println!(
+        "== clickstream task, as implemented (Figure 4a) ==\n{}",
+        plan.render()
+    );
 
     // SCA vs manual annotations (Table 1).
     let sca = PropTable::build(&plan, PropertyMode::Sca);

@@ -83,14 +83,21 @@ fn main() {
     // ---- 3. Enumerate all valid reorderings. ----
     let props = PropTable::build(&plan, PropertyMode::Sca);
     let alts = enumerate_all(&plan, &props, 100);
-    println!("{} valid orders (f1 ↔ f2 may swap, f3 is pinned):", alts.len());
+    println!(
+        "{} valid orders (f1 ↔ f2 may swap, f3 is pinned):",
+        alts.len()
+    );
     for a in &alts {
         println!("{}", a.render());
     }
 
     // ---- 4. Pick the cheapest (filter first saves f1's work). ----
     let best = Optimizer::new(PropertyMode::Sca).best(&plan);
-    println!("optimizer's choice (cost {:.1}):\n{}", best.cost, best.plan.render());
+    println!(
+        "optimizer's choice (cost {:.1}):\n{}",
+        best.cost,
+        best.plan.render()
+    );
 
     // ---- 5. Execute both orders on the paper's example records. ----
     let data: DataSet = [(2i64, -3i64), (-2, -3)]

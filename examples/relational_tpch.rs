@@ -31,7 +31,9 @@ fn main() {
     let impl_rank = report.rank_of(&q7.canonical()).unwrap() + 1;
     println!(
         "implemented flow ranks {} of {}; best plan:\n{}",
-        impl_rank, report.n_enumerated, best.plan.render()
+        impl_rank,
+        report.n_enumerated,
+        best.plan.render()
     );
 
     let t = Instant::now();
@@ -42,9 +44,7 @@ fn main() {
     let (out_worst, stats_worst) = execute(&worst.plan, &worst.phys, &inputs, 4).unwrap();
     let dt_worst = t.elapsed();
     assert_eq!(out_best, out_worst, "every enumerated plan is equivalent");
-    println!(
-        "best plan:  {dt_best:?} ({stats_best})\nworst plan: {dt_worst:?} ({stats_worst})"
-    );
+    println!("best plan:  {dt_best:?} ({stats_best})\nworst plan: {dt_worst:?} ({stats_worst})");
     println!(
         "Q7 result ({} rows of ⟨n1, n2, year, Σ volume⟩):\n{out_best}",
         out_best.len()

@@ -20,7 +20,10 @@ fn main() {
     let plan = textmining::plan(scale);
     let inputs: Inputs = textmining::generate(scale, 42).into_iter().collect();
 
-    println!("== text-mining pipeline, as implemented ==\n{}", plan.render());
+    println!(
+        "== text-mining pipeline, as implemented ==\n{}",
+        plan.render()
+    );
     println!("components (cpu units / selectivity):");
     for c in textmining::EXTRACTORS {
         println!("  {:<14} {:>6} / {:.2}", c.name, c.cpu, c.selectivity);

@@ -166,17 +166,22 @@ fn section3_example_three_maps() {
     let s = p.source(SourceDef::new("i", &["a", "b"], 64));
     let m1 = p.map("f1", abs_field(2, 1), CostHints::default(), s);
     let m2 = p.map("f2", filter_lt_zero(2, 0), CostHints::default(), m1);
-    let m3 = p.map("f3", {
-        let mut b = FuncBuilder::new("f3", UdfKind::Map, vec![2]);
-        let a = b.get_input(0, 0);
-        let bb = b.get_input(0, 1);
-        let sum = b.bin(BinOp::Add, a, bb);
-        let or = b.copy_input(0);
-        b.set(or, 0, sum);
-        b.emit(or);
-        b.ret();
-        b.finish().unwrap()
-    }, CostHints::default(), m2);
+    let m3 = p.map(
+        "f3",
+        {
+            let mut b = FuncBuilder::new("f3", UdfKind::Map, vec![2]);
+            let a = b.get_input(0, 0);
+            let bb = b.get_input(0, 1);
+            let sum = b.bin(BinOp::Add, a, bb);
+            let or = b.copy_input(0);
+            b.set(or, 0, sum);
+            b.emit(or);
+            b.ret();
+            b.finish().unwrap()
+        },
+        CostHints::default(),
+        m2,
+    );
     let plan = p.finish(m3).unwrap().bind().unwrap();
 
     let props = PropTable::build(&plan, PropertyMode::Sca);
@@ -252,7 +257,15 @@ fn filter_pushes_through_join_on_single_side() {
     let mut p = ProgramBuilder::new();
     let l = p.source(SourceDef::new("l", &["lk", "lv"], 40));
     let r = p.source(SourceDef::new("r", &["rk", "rv"], 30));
-    let j = p.match_("j", &[0], &[0], join_concat(2, 2), CostHints::default(), l, r);
+    let j = p.match_(
+        "j",
+        &[0],
+        &[0],
+        join_concat(2, 2),
+        CostHints::default(),
+        l,
+        r,
+    );
     let f = p.map("flt_l", filter_lt_zero(4, 1), CostHints::default(), j);
     let plan = p.finish(f).unwrap().bind().unwrap();
     let props = PropTable::build(&plan, PropertyMode::Sca);
@@ -272,7 +285,15 @@ fn filter_on_join_key_stays_put_only_if_it_writes() {
     let mut p = ProgramBuilder::new();
     let l = p.source(SourceDef::new("l", &["lk"], 16));
     let r = p.source(SourceDef::new("r", &["rk"], 16));
-    let j = p.match_("j", &[0], &[0], join_concat(1, 1), CostHints::default(), l, r);
+    let j = p.match_(
+        "j",
+        &[0],
+        &[0],
+        join_concat(1, 1),
+        CostHints::default(),
+        l,
+        r,
+    );
     let m = p.map("bump", add_const(2, 0, 1), CostHints::default(), j);
     let plan = p.finish(m).unwrap().bind().unwrap();
     let props = PropTable::build(&plan, PropertyMode::Sca);
@@ -286,7 +307,15 @@ fn invariant_grouping_reduce_through_pk_fk_match() {
     let li = p.source(SourceDef::new("li", &["suppkey", "price"], 80));
     let su = p.source(SourceDef::new("su", &["skey", "sname"], 10).with_unique_key(&[0]));
     let agg = p.reduce("agg", &[0], sum_group(2, 1), CostHints::default(), li);
-    let j = p.match_("jn", &[0], &[0], join_concat(3, 2), CostHints::default(), agg, su);
+    let j = p.match_(
+        "jn",
+        &[0],
+        &[0],
+        join_concat(3, 2),
+        CostHints::default(),
+        agg,
+        su,
+    );
     let plan = p.finish(j).unwrap().bind().unwrap();
     let props = PropTable::build(&plan, PropertyMode::Sca);
     let alts = enumerate_all(&plan, &props, 100);
@@ -310,7 +339,15 @@ fn invariant_grouping_blocked_without_uniqueness() {
     let li = p.source(SourceDef::new("li", &["suppkey", "price"], 80));
     let su = p.source(SourceDef::new("su", &["skey", "sname"], 10));
     let agg = p.reduce("agg", &[0], sum_group(2, 1), CostHints::default(), li);
-    let j = p.match_("jn", &[0], &[0], join_concat(3, 2), CostHints::default(), agg, su);
+    let j = p.match_(
+        "jn",
+        &[0],
+        &[0],
+        join_concat(3, 2),
+        CostHints::default(),
+        agg,
+        su,
+    );
     let plan = p.finish(j).unwrap().bind().unwrap();
     let props = PropTable::build(&plan, PropertyMode::Sca);
     assert_eq!(enumerate_all(&plan, &props, 100).len(), 1);
@@ -330,7 +367,15 @@ fn group_preserving_match_crosses_group_filter_reduce() {
         CostHints::default(),
         clicks,
     );
-    let j = p.match_("logged", &[0], &[0], join_concat(2, 2), CostHints::default(), r, login);
+    let j = p.match_(
+        "logged",
+        &[0],
+        &[0],
+        join_concat(2, 2),
+        CostHints::default(),
+        r,
+        login,
+    );
     let plan = p.finish(j).unwrap().bind().unwrap();
     let props = PropTable::build(&plan, PropertyMode::Sca);
     let alts = enumerate_all(&plan, &props, 100);
@@ -355,12 +400,32 @@ fn join_rotation_bushy_equivalence() {
     let ss = p.source(SourceDef::new("s", &["sk"], 20));
     let tt = p.source(SourceDef::new("t", &["tk"], 20));
     // j1: r.rk = s.sk ; j2: r.rv = t.tk (upper join reads only R and T).
-    let j1 = p.match_("j1", &[0], &[0], join_concat(2, 1), CostHints::default(), rr, ss);
-    let j2 = p.match_("j2", &[1], &[0], join_concat(3, 1), CostHints::default(), j1, tt);
+    let j1 = p.match_(
+        "j1",
+        &[0],
+        &[0],
+        join_concat(2, 1),
+        CostHints::default(),
+        rr,
+        ss,
+    );
+    let j2 = p.match_(
+        "j2",
+        &[1],
+        &[0],
+        join_concat(3, 1),
+        CostHints::default(),
+        j1,
+        tt,
+    );
     let plan = p.finish(j2).unwrap().bind().unwrap();
     let props = PropTable::build(&plan, PropertyMode::Sca);
     let alts = enumerate_all(&plan, &props, 100);
-    assert!(alts.len() >= 2, "rotation must be discovered, got {}", alts.len());
+    assert!(
+        alts.len() >= 2,
+        "rotation must be discovered, got {}",
+        alts.len()
+    );
 
     let mut rng = StdRng::seed_from_u64(29);
     let mut inputs = Inputs::new();
@@ -375,7 +440,15 @@ fn physical_plans_agree_with_logical_for_every_alternative() {
     let mut p = ProgramBuilder::new();
     let l = p.source(SourceDef::new("l", &["lk", "lv"], 50));
     let r = p.source(SourceDef::new("r", &["rk"], 20).with_unique_key(&[0]));
-    let j = p.match_("j", &[0], &[0], join_concat(2, 1), CostHints::default(), l, r);
+    let j = p.match_(
+        "j",
+        &[0],
+        &[0],
+        join_concat(2, 1),
+        CostHints::default(),
+        l,
+        r,
+    );
     let f = p.map("flt", filter_lt_zero(3, 1), CostHints::default(), j);
     let g = p.reduce("sum", &[0], sum_group(3, 1), CostHints::default(), f);
     let plan = p.finish(g).unwrap().bind().unwrap();
@@ -434,15 +507,20 @@ fn map_is_never_exchanged_with_cogroup() {
     };
     let cg = p.cogroup("cg", &[0], &[0], cg_udf, CostHints::default(), l, r);
     // A map writing a constant into an l-side field.
-    let m = p.map("const_v", {
-        let mut b = FuncBuilder::new("cv", UdfKind::Map, vec![3]);
-        let or = b.copy_input(0);
-        let c = b.konst(5i64);
-        b.set(or, 1, c);
-        b.emit(or);
-        b.ret();
-        b.finish().unwrap()
-    }, CostHints::default(), cg);
+    let m = p.map(
+        "const_v",
+        {
+            let mut b = FuncBuilder::new("cv", UdfKind::Map, vec![3]);
+            let or = b.copy_input(0);
+            let c = b.konst(5i64);
+            b.set(or, 1, c);
+            b.emit(or);
+            b.ret();
+            b.finish().unwrap()
+        },
+        CostHints::default(),
+        cg,
+    );
     let plan = p.finish(m).unwrap().bind().unwrap();
     let props = PropTable::build(&plan, PropertyMode::Sca);
     assert_eq!(

@@ -8,12 +8,12 @@
 //! * the optimizer's chosen plan never costs more than the original.
 
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 use strato::core::{enumerate_algorithm1, enumerate_all, neighbors, Optimizer, PropTable};
 use strato::dataflow::{CostHints, Plan, ProgramBuilder, PropertyMode, SourceDef};
 use strato::exec::{execute_logical, Inputs};
 use strato::ir::{BinOp, FuncBuilder, Function, UdfKind, UnOp};
 use strato::record::{DataSet, Record, Value};
-use std::collections::BTreeSet;
 
 const WIDTH: usize = 4;
 

@@ -23,8 +23,7 @@ fn arb_dataset() -> impl Strategy<Value = DataSet> {
 }
 
 fn arb_attrset() -> impl Strategy<Value = AttrSet> {
-    prop::collection::btree_set(0u32..200, 0..20)
-        .prop_map(|s| s.into_iter().map(AttrId).collect())
+    prop::collection::btree_set(0u32..200, 0..20).prop_map(|s| s.into_iter().map(AttrId).collect())
 }
 
 proptest! {

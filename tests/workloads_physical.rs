@@ -56,7 +56,9 @@ fn q7_sampled_orders_physical() {
     let plan = tpch::q7_plan(scale);
     let inputs: Inputs = tpch::generate(scale, 77).into_iter().collect();
     let (reference, _) = execute_logical(&plan, &inputs).unwrap();
-    let report = Optimizer::new(PropertyMode::Sca).with_dop(3).optimize(&plan);
+    let report = Optimizer::new(PropertyMode::Sca)
+        .with_dop(3)
+        .optimize(&plan);
     let step = (report.ranked.len() / 15).max(1);
     for ranked in report.ranked.iter().step_by(step) {
         let (out, _) = execute(&ranked.plan, &ranked.phys, &inputs, 3).unwrap();
