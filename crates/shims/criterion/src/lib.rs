@@ -1,0 +1,200 @@
+//! Offline shim for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small, API-compatible benchmark harness covering what strato's benches
+//! use: `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each bench is warmed up, then timed over
+//! `sample_size` samples of auto-calibrated batches (~5 ms per sample).
+//! Results are printed human-readably plus one machine-readable line per
+//! bench (`BENCH_JSON {...}`) so baselines can be captured from stdout.
+
+use std::hint::black_box as hint_black_box;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+const TARGET_SAMPLE_NANOS: u128 = 5_000_000;
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Parses CLI arguments. The shim accepts and ignores criterion's flags
+    /// (`--bench`, filters, …) so `cargo bench` invocations keep working.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench("", id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&self.name, id, self.sample_size, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timed iterations.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration nanosecond samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: aim each sample at ~5 ms of work.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 10_000_000) as u64;
+        for _ in 0..iters.min(3) {
+            black_box(f());
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn run_bench(group: &str, id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut b = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{full:<40} (no samples)");
+        return;
+    }
+    b.samples_ns.sort_by(|a, c| a.total_cmp(c));
+    let n = b.samples_ns.len();
+    let mean = b.samples_ns.iter().sum::<f64>() / n as f64;
+    let median = b.samples_ns[n / 2];
+    let min = b.samples_ns[0];
+    let max = b.samples_ns[n - 1];
+    println!(
+        "{full:<40} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    println!(
+        "BENCH_JSON {{\"group\":\"{group}\",\"bench\":\"{id}\",\"mean_ns\":{mean:.1},\
+         \"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{n}}}"
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark entry function running the listed bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function of a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_samples_and_output() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100u64).sum::<u64>())
+            })
+        });
+        g.finish();
+        assert!(ran > 3, "bench closure should run many times, ran {ran}");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30 µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}
