@@ -3,11 +3,52 @@
 
 use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, Criterion};
-use strato_exec::{execute_logical, Inputs};
+use strato_core::{cost::CostWeights, physical::best_physical, PropTable};
+use strato_dataflow::{CostHints, Plan, ProgramBuilder, PropertyMode, SourceDef};
+use strato_exec::{execute, execute_logical, Inputs};
 use strato_ir::interp::{Interp, Invocation, Layout};
+use strato_ir::{FuncBuilder, UdfKind};
 use strato_record::hash::fx_hash;
-use strato_record::{wire, Record, Value};
+use strato_record::{wire, DataSet, Record, Value};
 use strato_workloads::{tpch, udfs};
+
+/// A shuffle-bound workload: `rows` two-field records (int key with
+/// `keys` distinct values, ~32-byte string payload) into a first-of-group
+/// reduce. The reduce forces a hash repartition of the full input.
+fn shuffle_workload(rows: usize, keys: usize) -> (Plan, Inputs) {
+    let mut b = FuncBuilder::new("first", UdfKind::Group, vec![2]);
+    let it = b.iter_open(0);
+    let nil = b.new_label();
+    let first = b.iter_next(it, nil);
+    let or = b.copy(first);
+    b.emit(or);
+    b.place(nil);
+    b.ret();
+    let udf = b.finish().unwrap();
+
+    let mut p = ProgramBuilder::new();
+    let s = p.source(SourceDef::new("s", &["k", "payload"], rows as u64).with_bytes_per_row(45));
+    let r = p.reduce(
+        "first",
+        &[0],
+        udf,
+        CostHints::default().with_distinct_keys(keys as u64),
+        s,
+    );
+    let plan = p.finish(r).unwrap().bind().unwrap();
+
+    let ds: DataSet = (0..rows)
+        .map(|i| {
+            Record::from_values([
+                Value::Int((i % keys) as i64),
+                Value::str(format!("payload-{:027}", i)),
+            ])
+        })
+        .collect();
+    let mut inputs = Inputs::new();
+    inputs.insert("s".into(), ds);
+    (plan, inputs)
+}
 
 fn sample_record() -> Record {
     Record::from_values([
@@ -73,6 +114,23 @@ fn bench_engine(c: &mut Criterion) {
     g2.sample_size(10);
     g2.bench_function("q15_logical_tiny", |b| {
         b.iter(|| execute_logical(&plan, &inputs).unwrap().0.len())
+    });
+    // Parallel physical execution: exercises the ship strategies
+    // (repartition + broadcast) and the per-partition worker path.
+    let props = PropTable::build(&plan, PropertyMode::Sca);
+    let phys = best_physical(&plan, &props, &CostWeights::default(), 4);
+    g2.bench_function("q15_physical_tiny_dop4", |b| {
+        b.iter(|| execute(&plan, &phys, &inputs, 4).unwrap().0.len())
+    });
+
+    // Shuffle-bound execution: 50k wide-ish records hash-repartitioned into
+    // a cheap reduce at dop 4. Dominated by the Partition ship path and
+    // group formation, not UDF interpretation.
+    let (sh_plan, sh_inputs) = shuffle_workload(50_000, 2_000);
+    let sh_props = PropTable::build(&sh_plan, PropertyMode::Sca);
+    let sh_phys = best_physical(&sh_plan, &sh_props, &CostWeights::default(), 4);
+    g2.bench_function("shuffle_50k_dop4", |b| {
+        b.iter(|| execute(&sh_plan, &sh_phys, &sh_inputs, 4).unwrap().0.len())
     });
     g2.finish();
 }

@@ -59,6 +59,21 @@ pub enum LocalStrategy {
     CoGroupSortMerge,
 }
 
+impl LocalStrategy {
+    /// The algorithm a PACT runs when no physical optimization chose one —
+    /// the lowering hook the execution runtime's compile step uses for
+    /// logical (oracle) plans.
+    pub fn default_for(pact: &Pact) -> LocalStrategy {
+        match pact {
+            Pact::Map => LocalStrategy::Pipe,
+            Pact::Reduce { .. } => LocalStrategy::HashGroup,
+            Pact::Match { .. } => LocalStrategy::HashJoinBuildLeft,
+            Pact::Cross => LocalStrategy::BlockNestedLoop,
+            Pact::CoGroup { .. } => LocalStrategy::CoGroupSortMerge,
+        }
+    }
+}
+
 /// A physical plan node.
 #[derive(Debug, Clone)]
 pub struct PhysNode {

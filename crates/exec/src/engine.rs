@@ -1,14 +1,26 @@
-//! The executor: logical (single-partition) and physical (parallel).
+//! Public execution entry points.
+//!
+//! The actual runtime lives in [`crate::operators`] (one physical operator
+//! per PACT), [`crate::ship`] (data movement between partitions) and
+//! [`crate::pipeline`] (plan lowering + the batch driver). Both entry
+//! points here lower to that same runtime:
+//!
+//! * [`execute_logical`] — single-partition reference execution of a
+//!   *logical* plan (default strategies, no shipping). Deterministic; the
+//!   oracle the plan-equivalence test harness uses.
+//! * [`execute`] — full physical execution of a [`strato_core::PhysPlan`]
+//!   with `dop` worker partitions (one thread each for local work).
+//!
+//! The `_with` variants take [`ExecOptions`] to tune the batch size or to
+//! enable wire-format validation on hash-partition shipping.
 
+use crate::pipeline::{self, ExecOptions};
 use crate::stats::ExecStats;
-use bytes::BytesMut;
-use std::collections::BTreeMap;
 use std::collections::HashMap;
-use strato_core::{LocalStrategy, PhysNode, PhysPlan, Ship};
-use strato_dataflow::{BoundOp, NodeKind, Pact, Plan, PlanNode};
-use strato_ir::interp::{Interp, InterpError, Invocation};
-use strato_record::hash::fx_hash;
-use strato_record::{wire, AttrId, DataSet, Record, Value};
+use strato_core::PhysPlan;
+use strato_dataflow::Plan;
+use strato_ir::interp::InterpError;
+use strato_record::DataSet;
 
 /// Input data sets, keyed by source name. Records are given in the
 /// source's *local* schema (arity = number of source fields); the engine
@@ -22,6 +34,9 @@ pub enum ExecError {
     MissingInput(String),
     /// A UDF failed to execute (step limit or binding bug).
     Udf(String, InterpError),
+    /// Wire-format validation failed (only with
+    /// [`ExecOptions::validate_wire`]).
+    Wire(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -29,464 +44,63 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::MissingInput(s) => write!(f, "no input data for source {s}"),
             ExecError::Udf(op, e) => write!(f, "UDF of operator {op} failed: {e}"),
+            ExecError::Wire(msg) => write!(f, "wire validation failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
 
-/// Key of a record: the values of the key attributes, in order.
-fn key_of(rec: &Record, key: &[AttrId]) -> Vec<Value> {
-    key.iter().map(|a| rec.field(a.index()).clone()).collect()
-}
-
-fn has_null(key: &[Value]) -> bool {
-    key.iter().any(Value::is_null)
-}
-
-/// Widens source records to global layout: field `i` of the source goes to
-/// its global attribute position.
-fn widen(ds: &DataSet, attrs: &[AttrId], width: usize) -> Vec<Record> {
-    ds.iter()
-        .map(|r| {
-            let mut out = Record::nulls(width);
-            for (i, &a) in attrs.iter().enumerate() {
-                out.set_field(a.index(), r.field(i).clone());
-            }
-            out
-        })
-        .collect()
-}
-
-/// Groups records by key. Both the group order (`BTreeMap`) and the record
-/// order *within* each group (sorted) are canonical: key-at-a-time UDFs see
-/// a deterministic list regardless of partitioning or arrival order, so
-/// their output is a function of the input **bag** — the property the
-/// paper's equivalence results assume ("the execution path of a UDF is
-/// uniquely determined by its input data").
-fn group_by(records: Vec<Record>, key: &[AttrId]) -> BTreeMap<Vec<Value>, Vec<Record>> {
-    let mut groups: BTreeMap<Vec<Value>, Vec<Record>> = BTreeMap::new();
-    for r in records {
-        groups.entry(key_of(&r, key)).or_default().push(r);
-    }
-    for g in groups.values_mut() {
-        g.sort_unstable();
-    }
-    groups
-}
-
-// ---------------------------------------------------------------------------
-// Operator application (shared by logical and physical execution).
-// ---------------------------------------------------------------------------
-
-struct OpRunner<'a> {
-    interp: Interp,
-    stats: &'a ExecStats,
-}
-
-impl OpRunner<'_> {
-    fn call(
-        &self,
-        op: &BoundOp,
-        inv: Invocation<'_>,
-        out: &mut Vec<Record>,
-    ) -> Result<(), ExecError> {
-        let st = self
-            .interp
-            .run(&op.udf, inv, &op.layout, out)
-            .map_err(|e| ExecError::Udf(op.name.clone(), e))?;
-        self.stats.add_call(st.steps, st.emits);
-        Ok(())
-    }
-
-    fn run_map(&self, op: &BoundOp, input: Vec<Record>) -> Result<Vec<Record>, ExecError> {
-        let mut out = Vec::new();
-        for r in &input {
-            self.call(op, Invocation::Record(r), &mut out)?;
-        }
-        Ok(out)
-    }
-
-    fn run_reduce(
-        &self,
-        op: &BoundOp,
-        input: Vec<Record>,
-        strategy: LocalStrategy,
-    ) -> Result<Vec<Record>, ExecError> {
-        let key = &op.key_attrs[0];
-        let mut out = Vec::new();
-        match strategy {
-            LocalStrategy::SortGroup => {
-                // Sort by (key, record) — full-record order keeps group
-                // contents canonical (see `group_by`).
-                let mut recs = input;
-                recs.sort_by(|a, b| key_of(a, key).cmp(&key_of(b, key)).then_with(|| a.cmp(b)));
-                let mut i = 0;
-                while i < recs.len() {
-                    let k = key_of(&recs[i], key);
-                    let mut j = i + 1;
-                    while j < recs.len() && key_of(&recs[j], key) == k {
-                        j += 1;
-                    }
-                    self.call(op, Invocation::Group(&recs[i..j]), &mut out)?;
-                    i = j;
-                }
-            }
-            _ => {
-                for (_, group) in group_by(input, key) {
-                    self.call(op, Invocation::Group(&group), &mut out)?;
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    fn run_match(
-        &self,
-        op: &BoundOp,
-        left: Vec<Record>,
-        right: Vec<Record>,
-        strategy: LocalStrategy,
-    ) -> Result<Vec<Record>, ExecError> {
-        let (kl, kr) = (&op.key_attrs[0], &op.key_attrs[1]);
-        let mut out = Vec::new();
-        match strategy {
-            LocalStrategy::SortMergeJoin => {
-                let mut l = left;
-                let mut r = right;
-                l.retain(|rec| !has_null(&key_of(rec, kl)));
-                r.retain(|rec| !has_null(&key_of(rec, kr)));
-                l.sort_by_key(|a| key_of(a, kl));
-                r.sort_by_key(|a| key_of(a, kr));
-                let (mut i, mut j) = (0, 0);
-                while i < l.len() && j < r.len() {
-                    let ki = key_of(&l[i], kl);
-                    let kj = key_of(&r[j], kr);
-                    match ki.cmp(&kj) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            let mut i2 = i;
-                            while i2 < l.len() && key_of(&l[i2], kl) == ki {
-                                i2 += 1;
-                            }
-                            let mut j2 = j;
-                            while j2 < r.len() && key_of(&r[j2], kr) == ki {
-                                j2 += 1;
-                            }
-                            for a in &l[i..i2] {
-                                for b in &r[j..j2] {
-                                    self.call(op, Invocation::Pair(a, b), &mut out)?;
-                                }
-                            }
-                            i = i2;
-                            j = j2;
-                        }
-                    }
-                }
-            }
-            LocalStrategy::HashJoinBuildRight => {
-                let mut table: BTreeMap<Vec<Value>, Vec<Record>> = BTreeMap::new();
-                for r in right {
-                    let k = key_of(&r, kr);
-                    if !has_null(&k) {
-                        table.entry(k).or_default().push(r);
-                    }
-                }
-                for l in &left {
-                    let k = key_of(l, kl);
-                    if has_null(&k) {
-                        continue;
-                    }
-                    if let Some(matches) = table.get(&k) {
-                        for r in matches {
-                            self.call(op, Invocation::Pair(l, r), &mut out)?;
-                        }
-                    }
-                }
-            }
-            // Build-left (also the default for logical execution).
-            _ => {
-                let mut table: BTreeMap<Vec<Value>, Vec<Record>> = BTreeMap::new();
-                for l in left {
-                    let k = key_of(&l, kl);
-                    if !has_null(&k) {
-                        table.entry(k).or_default().push(l);
-                    }
-                }
-                for r in &right {
-                    let k = key_of(r, kr);
-                    if has_null(&k) {
-                        continue;
-                    }
-                    if let Some(matches) = table.get(&k) {
-                        for l in matches {
-                            self.call(op, Invocation::Pair(l, r), &mut out)?;
-                        }
-                    }
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    fn run_cross(
-        &self,
-        op: &BoundOp,
-        left: Vec<Record>,
-        right: Vec<Record>,
-    ) -> Result<Vec<Record>, ExecError> {
-        let mut out = Vec::new();
-        for l in &left {
-            for r in &right {
-                self.call(op, Invocation::Pair(l, r), &mut out)?;
-            }
-        }
-        Ok(out)
-    }
-
-    fn run_cogroup(
-        &self,
-        op: &BoundOp,
-        left: Vec<Record>,
-        right: Vec<Record>,
-    ) -> Result<Vec<Record>, ExecError> {
-        let (kl, kr) = (&op.key_attrs[0], &op.key_attrs[1]);
-        let lgroups = group_by(left, kl);
-        let rgroups = group_by(right, kr);
-        let mut keys: Vec<&Vec<Value>> = lgroups.keys().chain(rgroups.keys()).collect();
-        keys.sort();
-        keys.dedup();
-        let empty: Vec<Record> = Vec::new();
-        let mut out = Vec::new();
-        for k in keys {
-            let lg = lgroups.get(k).unwrap_or(&empty);
-            let rg = rgroups.get(k).unwrap_or(&empty);
-            self.call(op, Invocation::CoGroup(lg, rg), &mut out)?;
-        }
-        Ok(out)
-    }
-
-    fn apply(
-        &self,
-        op: &BoundOp,
-        strategy: LocalStrategy,
-        mut inputs: Vec<Vec<Record>>,
-    ) -> Result<Vec<Record>, ExecError> {
-        match &op.pact {
-            Pact::Map => self.run_map(op, inputs.swap_remove(0)),
-            Pact::Reduce { .. } => self.run_reduce(op, inputs.swap_remove(0), strategy),
-            Pact::Match { .. } => {
-                let right = inputs.pop().expect("two inputs");
-                let left = inputs.pop().expect("two inputs");
-                self.run_match(op, left, right, strategy)
-            }
-            Pact::Cross => {
-                let right = inputs.pop().expect("two inputs");
-                let left = inputs.pop().expect("two inputs");
-                self.run_cross(op, left, right)
-            }
-            Pact::CoGroup { .. } => {
-                let right = inputs.pop().expect("two inputs");
-                let left = inputs.pop().expect("two inputs");
-                self.run_cogroup(op, left, right)
-            }
-        }
-    }
-}
-
-/// Profiler shim: applies one operator over materialized single-partition
-/// inputs with the default local strategy, charging the shared stats.
-pub(crate) fn apply_for_profiler(
-    op: &BoundOp,
-    interp: &Interp,
-    strategy: LocalStrategy,
-    inputs: Vec<Vec<Record>>,
-    stats: &ExecStats,
-) -> Result<Vec<Record>, ExecError> {
-    let runner = OpRunner {
-        interp: *interp,
-        stats,
-    };
-    runner.apply(op, strategy, inputs)
-}
-
-// ---------------------------------------------------------------------------
-// Logical execution (single partition) — the equivalence oracle.
-// ---------------------------------------------------------------------------
-
 /// Executes a logical plan on one partition, with default local strategies
 /// and no shipping. Deterministic; used as the semantics oracle by the
 /// plan-equivalence test harness.
 pub fn execute_logical(plan: &Plan, inputs: &Inputs) -> Result<(DataSet, ExecStats), ExecError> {
-    let stats = ExecStats::new();
-    let runner = OpRunner {
-        interp: Interp::default(),
-        stats: &stats,
-    };
-    let out = exec_node_logical(plan, &plan.root, inputs, &runner)?;
-    Ok((DataSet::from_records(out), stats))
+    execute_logical_with(plan, inputs, &ExecOptions::default())
 }
 
-fn exec_node_logical(
+/// [`execute_logical`] with explicit execution options.
+pub fn execute_logical_with(
     plan: &Plan,
-    node: &PlanNode,
     inputs: &Inputs,
-    runner: &OpRunner<'_>,
-) -> Result<Vec<Record>, ExecError> {
-    match node.kind {
-        NodeKind::Source(s) => {
-            let src = &plan.ctx.sources[s];
-            let ds = inputs
-                .get(&src.name)
-                .ok_or_else(|| ExecError::MissingInput(src.name.clone()))?;
-            Ok(widen(ds, &src.attrs, plan.ctx.width()))
-        }
-        NodeKind::Op(o) => {
-            let op = &plan.ctx.ops[o];
-            let child_outs: Result<Vec<Vec<Record>>, ExecError> = node
-                .children
-                .iter()
-                .map(|c| exec_node_logical(plan, c, inputs, runner))
-                .collect();
-            runner.apply(op, LocalStrategy::Pipe, child_outs?)
-        }
-    }
+    opts: &ExecOptions,
+) -> Result<(DataSet, ExecStats), ExecError> {
+    let compiled = pipeline::compile_logical(plan, &plan.root);
+    pipeline::run(plan, &compiled, inputs, 1, opts)
 }
-
-// ---------------------------------------------------------------------------
-// Physical execution (dop partitions, one worker thread each).
-// ---------------------------------------------------------------------------
 
 /// Executes a physical plan with `dop` partitions. Local operator work runs
-/// on one thread per partition (std scoped threads); ship strategies
-/// move serialized records between partitions and account their bytes.
+/// on one thread per partition (std scoped threads); ship strategies move
+/// batches between partitions and account records/bytes on [`ExecStats`].
 pub fn execute(
     plan: &Plan,
     phys: &PhysPlan,
     inputs: &Inputs,
     dop: usize,
 ) -> Result<(DataSet, ExecStats), ExecError> {
-    let stats = ExecStats::new();
-    let parts = exec_phys(plan, &phys.root, inputs, dop.max(1), &stats)?;
-    let mut all = Vec::new();
-    for p in parts {
-        all.extend(p);
-    }
-    Ok((DataSet::from_records(all), stats))
+    execute_with(plan, phys, inputs, dop, &ExecOptions::default())
 }
 
-/// Applies a ship strategy to partitioned data.
-fn ship(
-    parts: Vec<Vec<Record>>,
-    strategy: &Ship,
-    dop: usize,
-    stats: &ExecStats,
-) -> Vec<Vec<Record>> {
-    match strategy {
-        Ship::Forward => parts,
-        Ship::Partition(key) => {
-            let mut out: Vec<Vec<Record>> = (0..dop).map(|_| Vec::new()).collect();
-            let mut buf = BytesMut::new();
-            for p in parts {
-                for r in p {
-                    // Serialize across the "wire" and account the bytes.
-                    buf.clear();
-                    let n = wire::encode_record(&r, &mut buf) as u64;
-                    stats.add_shipped(1, n);
-                    let k = key_of(&r, key);
-                    let h = fx_hash(&k) as usize;
-                    let decoded =
-                        wire::decode_record(&mut buf.split().freeze()).expect("roundtrip");
-                    out[h % dop].push(decoded);
-                }
-            }
-            out
-        }
-        Ship::Broadcast => {
-            let mut all = Vec::new();
-            let mut bytes = 0u64;
-            for p in parts {
-                for r in p {
-                    bytes += r.encoded_len() as u64;
-                    all.push(r);
-                }
-            }
-            stats.add_shipped(all.len() as u64 * dop as u64, bytes * dop as u64);
-            (0..dop).map(|_| all.clone()).collect()
-        }
-    }
-}
-
-fn exec_phys(
+/// [`execute`] with explicit execution options.
+pub fn execute_with(
     plan: &Plan,
-    node: &PhysNode,
+    phys: &PhysPlan,
     inputs: &Inputs,
     dop: usize,
-    stats: &ExecStats,
-) -> Result<Vec<Vec<Record>>, ExecError> {
-    match node.logical.kind {
-        NodeKind::Source(s) => {
-            let src = &plan.ctx.sources[s];
-            let ds = inputs
-                .get(&src.name)
-                .ok_or_else(|| ExecError::MissingInput(src.name.clone()))?;
-            let wide = widen(ds, &src.attrs, plan.ctx.width());
-            // Round-robin initial placement, as a scan over splits would.
-            let mut parts: Vec<Vec<Record>> = (0..dop).map(|_| Vec::new()).collect();
-            for (i, r) in wide.into_iter().enumerate() {
-                parts[i % dop].push(r);
-            }
-            Ok(parts)
-        }
-        NodeKind::Op(o) => {
-            let op = &plan.ctx.ops[o];
-            // Execute children, then ship.
-            let mut shipped: Vec<Vec<Vec<Record>>> = Vec::new();
-            for (i, c) in node.children.iter().enumerate() {
-                let parts = exec_phys(plan, c, inputs, dop, stats)?;
-                shipped.push(ship(parts, &node.ships[i], dop, stats));
-            }
-            // Local work: one thread per partition.
-            let mut results: Vec<Result<Vec<Record>, ExecError>> =
-                (0..dop).map(|_| Ok(Vec::new())).collect();
-            // Pull each partition's inputs out (consume `shipped`).
-            let mut per_part: Vec<Vec<Vec<Record>>> = (0..dop).map(|_| Vec::new()).collect();
-            for input_parts in shipped {
-                for (pi, recs) in input_parts.into_iter().enumerate() {
-                    per_part[pi].push(recs);
-                }
-            }
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (pi, part_inputs) in per_part.into_iter().enumerate() {
-                    let local = node.local;
-                    handles.push((
-                        pi,
-                        scope.spawn(move || {
-                            let runner = OpRunner {
-                                interp: Interp::default(),
-                                stats,
-                            };
-                            runner.apply(op, local, part_inputs)
-                        }),
-                    ));
-                }
-                for (pi, h) in handles {
-                    results[pi] = h.join().expect("worker panicked");
-                }
-            });
-            results.into_iter().collect()
-        }
-    }
+    opts: &ExecOptions,
+) -> Result<(DataSet, ExecStats), ExecError> {
+    let compiled = pipeline::compile_physical(&phys.root);
+    pipeline::run(plan, &compiled, inputs, dop, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use strato_core::{cost::CostWeights, physical::best_physical, PropTable};
+    use crate::operators::{apply_single, OpCtx};
+    use strato_core::{cost::CostWeights, physical::best_physical, LocalStrategy, PropTable};
     use strato_dataflow::{CostHints, ProgramBuilder, PropertyMode, SourceDef};
+    use strato_ir::interp::Interp;
     use strato_ir::{BinOp, FuncBuilder, Function, UdfKind};
+    use strato_record::{Record, Value};
 
     fn filter_map(w: usize, field: usize) -> Function {
         let mut b = FuncBuilder::new("filter", UdfKind::Map, vec![w]);
@@ -548,6 +162,11 @@ mod tests {
         p.finish(r).unwrap().bind().unwrap()
     }
 
+    /// Widens a data set into global layout the way the scan stage does.
+    fn widen(plan: &Plan, src: usize, ds: &DataSet) -> Vec<Record> {
+        pipeline::widen(ds, &plan.ctx.sources[src].attrs, plan.ctx.width())
+    }
+
     #[test]
     fn logical_execution_end_to_end() {
         let plan = sum_plan();
@@ -595,6 +214,28 @@ mod tests {
         let (_, _, shipped, bytes, _) = stats.snapshot();
         assert!(shipped > 0, "reduce must repartition");
         assert!(bytes > 0);
+    }
+
+    #[test]
+    fn batch_size_one_and_wire_validation_agree_with_defaults() {
+        let plan = sum_plan();
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let phys = best_physical(&plan, &props, &CostWeights::default(), 3);
+        let mut inputs = Inputs::new();
+        inputs.insert(
+            "s".into(),
+            ds(&[&[1, 10], &[1, 20], &[2, 5], &[3, 4], &[3, 9]]),
+        );
+        let (reference, ref_stats) = execute(&plan, &phys, &inputs, 3).unwrap();
+        let opts = ExecOptions {
+            batch_size: 1,
+            validate_wire: true,
+        };
+        let (out, stats) = execute_with(&plan, &phys, &inputs, 3, &opts).unwrap();
+        assert_eq!(reference, out);
+        // Shipping accounting is independent of batch size and validation.
+        assert_eq!(ref_stats.snapshot().2, stats.snapshot().2);
+        assert_eq!(ref_stats.snapshot().3, stats.snapshot().3);
     }
 
     #[test]
@@ -699,6 +340,22 @@ mod tests {
         assert_eq!(diffs, vec![-1, 0, 2]);
     }
 
+    fn apply(
+        plan: &Plan,
+        op_name: &str,
+        strategy: LocalStrategy,
+        inputs: Vec<Vec<Record>>,
+    ) -> Vec<Record> {
+        let stats = ExecStats::new();
+        let ctx = OpCtx {
+            interp: Interp::default(),
+            stats: &stats,
+            batch_size: 64,
+        };
+        let op = plan.ctx.ops.iter().find(|o| o.name == op_name).unwrap();
+        apply_single(op, strategy, inputs, ctx).unwrap()
+    }
+
     #[test]
     fn sort_strategies_agree_with_hash() {
         let plan = sum_plan();
@@ -707,24 +364,11 @@ mod tests {
             "s".into(),
             ds(&[&[5, 1], &[5, 2], &[4, 3], &[4, 4], &[1, 9]]),
         );
-        let stats = ExecStats::new();
-        let runner = OpRunner {
-            interp: Interp::default(),
-            stats: &stats,
-        };
-        let wide = widen(
-            inputs.get("s").unwrap(),
-            &plan.ctx.sources[0].attrs,
-            plan.ctx.width(),
-        );
-        let op = plan.ctx.ops.iter().find(|o| o.name == "sum").unwrap();
-        let hash = runner
-            .run_reduce(op, wide.clone(), LocalStrategy::HashGroup)
-            .unwrap();
-        let sort = runner
-            .run_reduce(op, wide, LocalStrategy::SortGroup)
-            .unwrap();
-        assert_eq!(DataSet::from_records(hash), DataSet::from_records(sort));
+        let wide = widen(&plan, 0, inputs.get("s").unwrap());
+        let hash = apply(&plan, "sum", LocalStrategy::HashGroup, vec![wide.clone()]);
+        let sort = apply(&plan, "sum", LocalStrategy::SortGroup, vec![wide]);
+        // Same bag — and same canonical group order, record for record.
+        assert_eq!(hash, sort);
     }
 
     #[test]
@@ -734,41 +378,21 @@ mod tests {
         let r = p.source(SourceDef::new("r", &["k2"], 5));
         let j = p.match_("j", &[0], &[0], join_udf(2, 1), CostHints::default(), l, r);
         let plan = p.finish(j).unwrap().bind().unwrap();
-        let op = &plan.ctx.ops[0];
-        let stats = ExecStats::new();
-        let runner = OpRunner {
-            interp: Interp::default(),
-            stats: &stats,
-        };
-        let left = widen(
-            &ds(&[&[1, 10], &[2, 20], &[2, 21], &[3, 30]]),
-            &plan.ctx.sources[0].attrs,
-            plan.ctx.width(),
+        let left = widen(&plan, 0, &ds(&[&[1, 10], &[2, 20], &[2, 21], &[3, 30]]));
+        let right = widen(&plan, 1, &ds(&[&[2], &[2], &[3]]));
+        let h = apply(
+            &plan,
+            "j",
+            LocalStrategy::HashJoinBuildLeft,
+            vec![left.clone(), right.clone()],
         );
-        let right = widen(
-            &ds(&[&[2], &[2], &[3]]),
-            &plan.ctx.sources[1].attrs,
-            plan.ctx.width(),
+        let hr = apply(
+            &plan,
+            "j",
+            LocalStrategy::HashJoinBuildRight,
+            vec![left.clone(), right.clone()],
         );
-        let h = runner
-            .run_match(
-                op,
-                left.clone(),
-                right.clone(),
-                LocalStrategy::HashJoinBuildLeft,
-            )
-            .unwrap();
-        let hr = runner
-            .run_match(
-                op,
-                left.clone(),
-                right.clone(),
-                LocalStrategy::HashJoinBuildRight,
-            )
-            .unwrap();
-        let smj = runner
-            .run_match(op, left, right, LocalStrategy::SortMergeJoin)
-            .unwrap();
+        let smj = apply(&plan, "j", LocalStrategy::SortMergeJoin, vec![left, right]);
         let hd = DataSet::from_records(h);
         assert_eq!(hd, DataSet::from_records(hr));
         assert_eq!(hd, DataSet::from_records(smj));

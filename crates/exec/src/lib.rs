@@ -2,12 +2,21 @@
 //!
 //! The substitute for the paper's Nephele engine (see `DESIGN.md`): a
 //! partitioned, multi-threaded, in-process executor that runs bound plans
-//! by interpreting their UDFs' three-address code. It implements the ship
-//! strategies (forward / hash repartition / broadcast) and local strategies
-//! (pipelined map, hash/sort grouping, hash join with build side,
-//! sort-merge join, block nested loops, sort-merge co-group) chosen by the
-//! physical optimizer, and accounts network bytes by actually serializing
-//! shipped records with the wire format.
+//! by interpreting their UDFs' three-address code.
+//!
+//! The runtime is a composable batched operator pipeline:
+//!
+//! * [`operators`] — one physical [`operators::Operator`]
+//!   (open / push-batch / finish) per PACT, covering the ship-independent
+//!   local strategies (pipelined map, hash/sort grouping, hash join with
+//!   build side, sort-merge join, block nested loops, sort-merge
+//!   co-group);
+//! * [`ship`](crate::ship) (private) — data movement between partitions:
+//!   forward, hash repartition (no serialization on the hot path; bytes
+//!   accounted via `encoded_len`, with opt-in wire validation) and
+//!   `Arc`-shared broadcast;
+//! * [`pipeline`] — lowers `(Plan, PhysPlan)` to a stage DAG and drives
+//!   it; the **same** lowering and operators serve both entry points.
 //!
 //! Two entry points:
 //!
@@ -27,9 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod operators;
+pub mod pipeline;
 pub mod profile;
+mod ship;
 pub mod stats;
 
-pub use engine::{execute, execute_logical, ExecError, Inputs};
+pub use engine::{execute, execute_logical, execute_logical_with, execute_with, ExecError, Inputs};
+pub use pipeline::ExecOptions;
 pub use profile::{profile, profile_hints, sample_inputs, OpProfile};
 pub use stats::ExecStats;

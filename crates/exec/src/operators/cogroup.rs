@@ -1,0 +1,83 @@
+//! The CoGroup operator: sort-merge co-grouping over both key domains.
+
+use super::{canonical_cmp, key_cmp2, run_len, take_records, OpCtx, Operator};
+use crate::engine::ExecError;
+use std::cmp::Ordering;
+use std::sync::Arc;
+use strato_dataflow::BoundOp;
+use strato_ir::interp::Invocation;
+use strato_record::{Record, RecordBatch};
+
+/// Blocking CoGroup: buffers both inputs, sorts each side canonically by
+/// its key, and merge-walks the two sorted runs. One UDF invocation per
+/// key of the *combined* active domain — a key present on only one side
+/// still forms a group, with an empty slice for the absent side.
+pub struct CoGroupOp<'a> {
+    op: &'a BoundOp,
+    ctx: OpCtx<'a>,
+    sides: [Vec<Record>; 2],
+}
+
+impl<'a> CoGroupOp<'a> {
+    pub(crate) fn new(op: &'a BoundOp, ctx: OpCtx<'a>) -> Self {
+        CoGroupOp {
+            op,
+            ctx,
+            sides: [Vec::new(), Vec::new()],
+        }
+    }
+}
+
+impl Operator for CoGroupOp<'_> {
+    fn push(
+        &mut self,
+        port: usize,
+        batch: Arc<RecordBatch>,
+        _out: &mut Vec<Arc<RecordBatch>>,
+    ) -> Result<(), ExecError> {
+        self.sides[port].extend(take_records(batch));
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
+        let (kl, kr) = (&self.op.key_attrs[0], &self.op.key_attrs[1]);
+        let [mut left, mut right] = std::mem::take(&mut self.sides);
+        left.sort_unstable_by(|a, b| canonical_cmp(a, b, kl));
+        right.sort_unstable_by(|a, b| canonical_cmp(a, b, kr));
+        let mut emitted = Vec::new();
+        let empty: [Record; 0] = [];
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() || j < right.len() {
+            // Which side's next key is smaller (exhausted side = greater)?
+            let ord = if i == left.len() {
+                Ordering::Greater
+            } else if j == right.len() {
+                Ordering::Less
+            } else {
+                key_cmp2(&left[i], kl, &right[j], kr)
+            };
+            let li = if ord.is_gt() {
+                0
+            } else {
+                run_len(&left, i, kl)
+            };
+            let rj = if ord.is_lt() {
+                0
+            } else {
+                run_len(&right, j, kr)
+            };
+            self.ctx.call(
+                self.op,
+                Invocation::CoGroup(
+                    if li > 0 { &left[i..i + li] } else { &empty },
+                    if rj > 0 { &right[j..j + rj] } else { &empty },
+                ),
+                &mut emitted,
+            )?;
+            i += li;
+            j += rj;
+        }
+        self.ctx.emit(emitted, out);
+        Ok(())
+    }
+}

@@ -1,0 +1,57 @@
+//! The Cross operator: block-nested-loop Cartesian product.
+
+use super::{OpCtx, Operator};
+use crate::engine::ExecError;
+use std::sync::Arc;
+use strato_dataflow::BoundOp;
+use strato_ir::interp::Invocation;
+use strato_record::RecordBatch;
+
+/// Blocking Cartesian product: buffers both sides as shared batches and
+/// pairs every left record with every right record at `finish`. Batches
+/// double as the blocks of the nested loop — the inner side is scanned
+/// once per outer *record*, batch by batch, entirely over borrowed data.
+pub struct CrossOp<'a> {
+    op: &'a BoundOp,
+    ctx: OpCtx<'a>,
+    sides: [Vec<Arc<RecordBatch>>; 2],
+}
+
+impl<'a> CrossOp<'a> {
+    pub(crate) fn new(op: &'a BoundOp, ctx: OpCtx<'a>) -> Self {
+        CrossOp {
+            op,
+            ctx,
+            sides: [Vec::new(), Vec::new()],
+        }
+    }
+}
+
+impl Operator for CrossOp<'_> {
+    fn push(
+        &mut self,
+        port: usize,
+        batch: Arc<RecordBatch>,
+        _out: &mut Vec<Arc<RecordBatch>>,
+    ) -> Result<(), ExecError> {
+        self.sides[port].push(batch);
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
+        let mut emitted = Vec::new();
+        for lb in &self.sides[0] {
+            for l in lb.iter() {
+                for rb in &self.sides[1] {
+                    for r in rb.iter() {
+                        self.ctx
+                            .call(self.op, Invocation::Pair(l, r), &mut emitted)?;
+                    }
+                }
+            }
+        }
+        self.sides = [Vec::new(), Vec::new()];
+        self.ctx.emit(emitted, out);
+        Ok(())
+    }
+}

@@ -1,0 +1,156 @@
+//! The Match operator: equi-join with hash or sort-merge algorithms.
+
+use super::{key_cmp, key_cmp2, key_has_null, key_hash, OpCtx, Operator};
+use crate::engine::ExecError;
+use std::cmp::Ordering;
+use std::sync::Arc;
+use strato_core::LocalStrategy;
+use strato_dataflow::BoundOp;
+use strato_ir::interp::Invocation;
+use strato_record::hash::FxHashMap;
+use strato_record::{Record, RecordBatch};
+
+/// Blocking equi-join: buffers both sides as shared batches and joins at
+/// `finish`. Null join keys match nothing (SQL flavour).
+///
+/// All algorithms operate on *borrowed* records — buffered batches are
+/// never deep-copied, which makes a broadcast build side genuinely
+/// zero-copy per partition.
+pub struct MatchOp<'a> {
+    op: &'a BoundOp,
+    strategy: LocalStrategy,
+    ctx: OpCtx<'a>,
+    sides: [Vec<Arc<RecordBatch>>; 2],
+}
+
+impl<'a> MatchOp<'a> {
+    pub(crate) fn new(op: &'a BoundOp, strategy: LocalStrategy, ctx: OpCtx<'a>) -> Self {
+        MatchOp {
+            op,
+            strategy,
+            ctx,
+            sides: [Vec::new(), Vec::new()],
+        }
+    }
+}
+
+/// Hash join over borrowed records. `build_is_left` fixes which input is
+/// the build side; probe order follows the probe side's arrival order.
+/// Buckets verify key equality exactly, so hash collisions cannot produce
+/// false matches.
+fn hash_join(
+    op: &BoundOp,
+    ctx: &OpCtx<'_>,
+    left: &[&Record],
+    right: &[&Record],
+    build_is_left: bool,
+    out: &mut Vec<Record>,
+) -> Result<(), ExecError> {
+    let (kl, kr) = (&op.key_attrs[0], &op.key_attrs[1]);
+    let (build, probe, kb, kp) = if build_is_left {
+        (left, right, kl, kr)
+    } else {
+        (right, left, kr, kl)
+    };
+    let mut table: FxHashMap<u64, Vec<&Record>> = FxHashMap::default();
+    for &r in build {
+        if !key_has_null(r, kb) {
+            table.entry(key_hash(r, kb)).or_default().push(r);
+        }
+    }
+    for &p in probe {
+        if key_has_null(p, kp) {
+            continue;
+        }
+        if let Some(bucket) = table.get(&key_hash(p, kp)) {
+            for &b in bucket {
+                if key_cmp2(b, kb, p, kp).is_eq() {
+                    let (l, r) = if build_is_left { (b, p) } else { (p, b) };
+                    ctx.call(op, Invocation::Pair(l, r), out)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sort-merge join over borrowed records.
+fn sort_merge_join(
+    op: &BoundOp,
+    ctx: &OpCtx<'_>,
+    left: &[&Record],
+    right: &[&Record],
+    out: &mut Vec<Record>,
+) -> Result<(), ExecError> {
+    let (kl, kr) = (&op.key_attrs[0], &op.key_attrs[1]);
+    let mut l: Vec<&Record> = left
+        .iter()
+        .copied()
+        .filter(|r| !key_has_null(r, kl))
+        .collect();
+    let mut r: Vec<&Record> = right
+        .iter()
+        .copied()
+        .filter(|x| !key_has_null(x, kr))
+        .collect();
+    l.sort_unstable_by(|a, b| key_cmp(a, b, kl).then_with(|| a.cmp(b)));
+    r.sort_unstable_by(|a, b| key_cmp(a, b, kr).then_with(|| a.cmp(b)));
+    let (mut i, mut j) = (0, 0);
+    while i < l.len() && j < r.len() {
+        match key_cmp2(l[i], kl, r[j], kr) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                let mut i2 = i;
+                while i2 < l.len() && key_cmp(l[i], l[i2], kl).is_eq() {
+                    i2 += 1;
+                }
+                let mut j2 = j;
+                while j2 < r.len() && key_cmp(r[j], r[j2], kr).is_eq() {
+                    j2 += 1;
+                }
+                for &a in &l[i..i2] {
+                    for &b in &r[j..j2] {
+                        ctx.call(op, Invocation::Pair(a, b), out)?;
+                    }
+                }
+                i = i2;
+                j = j2;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Operator for MatchOp<'_> {
+    fn push(
+        &mut self,
+        port: usize,
+        batch: Arc<RecordBatch>,
+        _out: &mut Vec<Arc<RecordBatch>>,
+    ) -> Result<(), ExecError> {
+        self.sides[port].push(batch);
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
+        let left: Vec<&Record> = self.sides[0].iter().flat_map(|b| b.iter()).collect();
+        let right: Vec<&Record> = self.sides[1].iter().flat_map(|b| b.iter()).collect();
+        let mut emitted = Vec::new();
+        match self.strategy {
+            LocalStrategy::SortMergeJoin => {
+                sort_merge_join(self.op, &self.ctx, &left, &right, &mut emitted)?;
+            }
+            LocalStrategy::HashJoinBuildRight => {
+                hash_join(self.op, &self.ctx, &left, &right, false, &mut emitted)?;
+            }
+            // Build-left, and the default for `Pipe` (logical oracle).
+            _ => {
+                hash_join(self.op, &self.ctx, &left, &right, true, &mut emitted)?;
+            }
+        }
+        self.sides = [Vec::new(), Vec::new()];
+        self.ctx.emit(emitted, out);
+        Ok(())
+    }
+}

@@ -1,0 +1,43 @@
+//! The Map operator: streaming, record-at-a-time.
+
+use super::{OpCtx, Operator};
+use crate::engine::ExecError;
+use std::sync::Arc;
+use strato_dataflow::BoundOp;
+use strato_ir::interp::Invocation;
+use strato_record::RecordBatch;
+
+/// Pipelined Map: every pushed batch is transformed and emitted
+/// immediately; nothing is buffered across batches.
+pub struct MapOp<'a> {
+    op: &'a BoundOp,
+    ctx: OpCtx<'a>,
+}
+
+impl<'a> MapOp<'a> {
+    pub(crate) fn new(op: &'a BoundOp, ctx: OpCtx<'a>) -> Self {
+        MapOp { op, ctx }
+    }
+}
+
+impl Operator for MapOp<'_> {
+    fn push(
+        &mut self,
+        port: usize,
+        batch: Arc<RecordBatch>,
+        out: &mut Vec<Arc<RecordBatch>>,
+    ) -> Result<(), ExecError> {
+        debug_assert_eq!(port, 0, "Map is unary");
+        let mut emitted = Vec::new();
+        for r in batch.iter() {
+            self.ctx
+                .call(self.op, Invocation::Record(r), &mut emitted)?;
+        }
+        self.ctx.emit(emitted, out);
+        Ok(())
+    }
+
+    fn finish(&mut self, _out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
+        Ok(())
+    }
+}

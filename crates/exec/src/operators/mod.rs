@@ -1,0 +1,293 @@
+//! The composable physical-operator runtime.
+//!
+//! Every PACT has exactly **one** operator implementation here, shared by
+//! the single-partition logical oracle and the parallel engine: both paths
+//! lower plans to the same [`Operator`] objects (see
+//! [`crate::pipeline`]), so a semantics bug cannot hide in one executor
+//! and not the other.
+//!
+//! ## Contract
+//!
+//! An operator is driven through three phases:
+//!
+//! 1. [`Operator::open`] — once, before any data.
+//! 2. [`Operator::push`] — once per input [`RecordBatch`], tagged with the
+//!    input port (0 for unary PACTs; 0 = left, 1 = right for binary ones).
+//!    Streaming operators (Map) emit output batches immediately; blocking
+//!    operators (Reduce, Match, Cross, CoGroup) buffer.
+//! 3. [`Operator::finish`] — once, after all input; emits any buffered
+//!    output.
+//!
+//! Batches are shared as `Arc<RecordBatch>`: a broadcast ship hands the
+//! same allocation to every partition. Operators that need owned records
+//! (sorting, grouping) call [`take_records`], which moves when the operator
+//! holds the last reference and clones only when the batch is genuinely
+//! shared.
+//!
+//! ## Key handling
+//!
+//! Key extraction never clones `Value`s on the hot path: comparisons go
+//! through [`key_cmp`]/[`key_cmp2`] (field-by-field, allocation-free) and
+//! hash tables are keyed by [`key_hash`] (a 64-bit FxHash of the key
+//! fields) with exact-equality verification per bucket entry, so hash
+//! collisions cannot merge distinct keys.
+
+pub mod cogroup;
+pub mod cross;
+pub mod join;
+pub mod map;
+pub mod reduce;
+
+use crate::engine::ExecError;
+use crate::stats::ExecStats;
+use std::cmp::Ordering;
+use std::hash::Hasher;
+use std::sync::Arc;
+use strato_core::LocalStrategy;
+use strato_dataflow::{BoundOp, Pact};
+use strato_ir::interp::{Interp, Invocation};
+use strato_record::hash::FxHasher;
+use strato_record::{AttrId, Record, RecordBatch};
+
+/// A physical operator: consumes batches on numbered input ports, emits
+/// batches. See the module docs for the open / push / finish contract.
+pub trait Operator: Send {
+    /// Prepares the operator. Called exactly once, before any `push`.
+    fn open(&mut self) -> Result<(), ExecError> {
+        Ok(())
+    }
+
+    /// Consumes one input batch on `port`. Streaming operators append
+    /// output batches to `out`; blocking operators buffer until `finish`.
+    fn push(
+        &mut self,
+        port: usize,
+        batch: Arc<RecordBatch>,
+        out: &mut Vec<Arc<RecordBatch>>,
+    ) -> Result<(), ExecError>;
+
+    /// Signals end of input on all ports; emits any buffered output.
+    fn finish(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError>;
+}
+
+/// Shared per-worker context: the interpreter and the run's statistics.
+/// Cheap to construct; one per operator instance.
+#[derive(Clone, Copy)]
+pub struct OpCtx<'a> {
+    /// The UDF interpreter.
+    pub interp: Interp,
+    /// Shared counters of the enclosing execution.
+    pub stats: &'a ExecStats,
+    /// Target number of records per emitted batch.
+    pub batch_size: usize,
+}
+
+impl OpCtx<'_> {
+    /// Runs one UDF invocation, charging the stats.
+    pub(crate) fn call(
+        &self,
+        op: &BoundOp,
+        inv: Invocation<'_>,
+        out: &mut Vec<Record>,
+    ) -> Result<(), ExecError> {
+        let st = self
+            .interp
+            .run(&op.udf, inv, &op.layout, out)
+            .map_err(|e| ExecError::Udf(op.name.clone(), e))?;
+        self.stats.add_call(st.steps, st.emits);
+        Ok(())
+    }
+
+    /// Chunks emitted records into batches and appends them to `out`.
+    pub(crate) fn emit(&self, records: Vec<Record>, out: &mut Vec<Arc<RecordBatch>>) {
+        out.extend(into_batches(records, self.batch_size));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Key helpers — allocation-free on the hot path.
+// ---------------------------------------------------------------------------
+
+/// Compares two records on the same key attributes, field by field.
+#[inline]
+pub(crate) fn key_cmp(a: &Record, b: &Record, key: &[AttrId]) -> Ordering {
+    for &k in key {
+        match a.field(k.index()).cmp(b.field(k.index())) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compares record `a`'s key `ka` with record `b`'s key `kb` (two-input
+/// PACTs: the sides key on different global attributes).
+#[inline]
+pub(crate) fn key_cmp2(a: &Record, ka: &[AttrId], b: &Record, kb: &[AttrId]) -> Ordering {
+    debug_assert_eq!(ka.len(), kb.len());
+    for (&x, &y) in ka.iter().zip(kb) {
+        match a.field(x.index()).cmp(b.field(y.index())) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `true` iff any key field of the record is null (SQL flavour: such
+/// records match nothing in joins).
+#[inline]
+pub(crate) fn key_has_null(r: &Record, key: &[AttrId]) -> bool {
+    key.iter().any(|k| r.field(k.index()).is_null())
+}
+
+/// FxHash of the key fields of a record, without materializing the key.
+/// Equal keys hash equal (including `Null == Null`); collisions are
+/// resolved by exact comparison at the use sites.
+#[inline]
+pub(crate) fn key_hash(r: &Record, key: &[AttrId]) -> u64 {
+    let mut h = FxHasher::default();
+    for &k in key {
+        std::hash::Hash::hash(r.field(k.index()), &mut h);
+    }
+    h.finish()
+}
+
+/// Canonical ordering inside key groups: `(key, whole record)`. Sorting
+/// with this comparator makes group contents a function of the input bag,
+/// independent of partitioning and arrival order — the determinism
+/// property the paper's equivalence results assume.
+#[inline]
+pub(crate) fn canonical_cmp(a: &Record, b: &Record, key: &[AttrId]) -> Ordering {
+    key_cmp(a, b, key).then_with(|| a.cmp(b))
+}
+
+/// Length of the key run starting at `i` in a key-sorted slice — the
+/// single run-detection primitive shared by grouping, co-grouping and the
+/// profiler's distinct-key count. Works over owned records or references.
+#[inline]
+pub(crate) fn run_len<R: std::borrow::Borrow<Record>>(
+    recs: &[R],
+    i: usize,
+    key: &[AttrId],
+) -> usize {
+    let mut j = i + 1;
+    while j < recs.len() && key_cmp(recs[i].borrow(), recs[j].borrow(), key).is_eq() {
+        j += 1;
+    }
+    j - i
+}
+
+/// Takes ownership of a batch's records: moves when this is the last
+/// reference (the common forward/partition case), clones only for batches
+/// still shared with other partitions (broadcast).
+pub(crate) fn take_records(batch: Arc<RecordBatch>) -> Vec<Record> {
+    match Arc::try_unwrap(batch) {
+        Ok(b) => b.into_records(),
+        Err(shared) => shared.records().to_vec(),
+    }
+}
+
+/// Chunks records into `Arc`-wrapped batches of at most `batch_size` — the
+/// single batching point used by operator emission, partition shipping and
+/// the scan stage.
+pub(crate) fn into_batches(records: Vec<Record>, batch_size: usize) -> Vec<Arc<RecordBatch>> {
+    RecordBatch::chunked(records, batch_size)
+        .into_iter()
+        .map(Arc::new)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Factory + single-shot application.
+// ---------------------------------------------------------------------------
+
+/// Builds the operator realizing `(op, strategy)`. This is the single
+/// lowering point shared by the logical oracle, the parallel engine and
+/// the profiler. `LocalStrategy::Pipe` selects each PACT's default
+/// algorithm (hash grouping / build-left hash join).
+pub fn build<'a>(
+    op: &'a BoundOp,
+    strategy: LocalStrategy,
+    ctx: OpCtx<'a>,
+) -> Box<dyn Operator + 'a> {
+    match &op.pact {
+        Pact::Map => Box::new(map::MapOp::new(op, ctx)),
+        Pact::Reduce { .. } => Box::new(reduce::ReduceOp::new(op, strategy, ctx)),
+        Pact::Match { .. } => Box::new(join::MatchOp::new(op, strategy, ctx)),
+        Pact::Cross => Box::new(cross::CrossOp::new(op, ctx)),
+        Pact::CoGroup { .. } => Box::new(cogroup::CoGroupOp::new(op, ctx)),
+    }
+}
+
+/// Applies one operator over fully materialized single-partition inputs:
+/// builds it, pushes one batch per input port, finishes, and concatenates
+/// the output. Used by the profiler and by strategy-agreement tests.
+pub fn apply_single(
+    op: &BoundOp,
+    strategy: LocalStrategy,
+    inputs: Vec<Vec<Record>>,
+    ctx: OpCtx<'_>,
+) -> Result<Vec<Record>, ExecError> {
+    let mut oper = build(op, strategy, ctx);
+    oper.open()?;
+    let mut out = Vec::new();
+    for (port, records) in inputs.into_iter().enumerate() {
+        oper.push(port, Arc::new(RecordBatch::from_records(records)), &mut out)?;
+    }
+    oper.finish(&mut out)?;
+    let mut records = Vec::new();
+    for b in out {
+        records.extend(take_records(b));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_record::Value;
+
+    fn rec(vals: &[i64]) -> Record {
+        Record::from_values(vals.iter().map(|&v| Value::Int(v)))
+    }
+
+    #[test]
+    fn key_cmp_orders_by_key_fields_only() {
+        let key = [AttrId(1)];
+        assert_eq!(key_cmp(&rec(&[9, 1]), &rec(&[0, 2]), &key), Ordering::Less);
+        assert_eq!(key_cmp(&rec(&[9, 2]), &rec(&[0, 2]), &key), Ordering::Equal);
+    }
+
+    #[test]
+    fn key_hash_agrees_with_key_equality() {
+        let key = [AttrId(0), AttrId(2)];
+        let a = rec(&[5, 1, 7]);
+        let b = rec(&[5, 2, 7]);
+        assert_eq!(key_cmp(&a, &b, &key), Ordering::Equal);
+        assert_eq!(key_hash(&a, &key), key_hash(&b, &key));
+        let c = rec(&[5, 1, 8]);
+        assert_ne!(key_hash(&a, &key), key_hash(&c, &key));
+    }
+
+    #[test]
+    fn null_keys_hash_equal_and_group_together() {
+        let key = [AttrId(0)];
+        let a = Record::from_values([Value::Null, Value::Int(1)]);
+        let b = Record::from_values([Value::Null, Value::Int(2)]);
+        assert!(key_has_null(&a, &key));
+        assert_eq!(key_cmp(&a, &b, &key), Ordering::Equal);
+        assert_eq!(key_hash(&a, &key), key_hash(&b, &key));
+    }
+
+    #[test]
+    fn take_records_moves_unique_and_clones_shared() {
+        let batch = Arc::new(RecordBatch::from_records(vec![rec(&[1])]));
+        let keep = Arc::clone(&batch);
+        // Shared: cloned, original still intact.
+        assert_eq!(take_records(batch), vec![rec(&[1])]);
+        assert_eq!(keep.len(), 1);
+        // Unique: moved.
+        assert_eq!(take_records(keep), vec![rec(&[1])]);
+    }
+}

@@ -1,0 +1,100 @@
+//! The Reduce operator: hash or sort grouping.
+
+use super::{canonical_cmp, key_hash, run_len, take_records, OpCtx, Operator};
+use crate::engine::ExecError;
+use std::sync::Arc;
+use strato_core::LocalStrategy;
+use strato_dataflow::BoundOp;
+use strato_ir::interp::Invocation;
+use strato_record::hash::FxHashMap;
+use strato_record::{Record, RecordBatch};
+
+/// Blocking Reduce: buffers its input, forms key groups at `finish` with
+/// the chosen local algorithm, and invokes the UDF once per group.
+///
+/// Both algorithms present each group in canonical `(key, record)` order
+/// and emit groups deterministically — ascending key order, except that a
+/// 64-bit key-hash collision may locally reorder the colliding keys on the
+/// hash path — so output is a function of the input bag regardless of
+/// partitioning or batch boundaries.
+pub struct ReduceOp<'a> {
+    op: &'a BoundOp,
+    strategy: LocalStrategy,
+    ctx: OpCtx<'a>,
+    buffered: Vec<Record>,
+}
+
+impl<'a> ReduceOp<'a> {
+    pub(crate) fn new(op: &'a BoundOp, strategy: LocalStrategy, ctx: OpCtx<'a>) -> Self {
+        ReduceOp {
+            op,
+            strategy,
+            ctx,
+            buffered: Vec::new(),
+        }
+    }
+
+    /// Walks contiguous key runs of a sorted slice, invoking the UDF per
+    /// group.
+    fn call_groups(&self, recs: &[Record], out: &mut Vec<Record>) -> Result<(), ExecError> {
+        let key = &self.op.key_attrs[0];
+        let mut i = 0;
+        while i < recs.len() {
+            let n = run_len(recs, i, key);
+            self.ctx
+                .call(self.op, Invocation::Group(&recs[i..i + n]), out)?;
+            i += n;
+        }
+        Ok(())
+    }
+}
+
+impl Operator for ReduceOp<'_> {
+    fn push(
+        &mut self,
+        port: usize,
+        batch: Arc<RecordBatch>,
+        _out: &mut Vec<Arc<RecordBatch>>,
+    ) -> Result<(), ExecError> {
+        debug_assert_eq!(port, 0, "Reduce is unary");
+        self.buffered.extend(take_records(batch));
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
+        let key = &self.op.key_attrs[0];
+        let mut emitted = Vec::new();
+        match self.strategy {
+            LocalStrategy::SortGroup => {
+                // One global sort; groups are the contiguous key runs.
+                let mut recs = std::mem::take(&mut self.buffered);
+                recs.sort_unstable_by(|a, b| canonical_cmp(a, b, key));
+                self.call_groups(&recs, &mut emitted)?;
+            }
+            // HashGroup, and the default for `Pipe`.
+            _ => {
+                // Bucket by key hash, then sort each bucket: records of one
+                // key end up contiguous (hash collisions merely share a
+                // bucket and are split by the key-run walk).
+                let mut table: FxHashMap<u64, Vec<Record>> = FxHashMap::default();
+                for r in self.buffered.drain(..) {
+                    table.entry(key_hash(&r, key)).or_default().push(r);
+                }
+                let mut buckets: Vec<Vec<Record>> = table.into_values().collect();
+                for b in &mut buckets {
+                    b.sort_unstable_by(|a, x| canonical_cmp(a, x, key));
+                }
+                // Ordering buckets by their (sorted) first record restores
+                // the ascending-key emission order of the sort path; each
+                // bucket is then a run of one key (or, on a 64-bit hash
+                // collision, several sorted keys split by `call_groups`).
+                buckets.sort_unstable_by(|a, b| canonical_cmp(&a[0], &b[0], key));
+                for b in &buckets {
+                    self.call_groups(b, &mut emitted)?;
+                }
+            }
+        }
+        self.ctx.emit(emitted, out);
+        Ok(())
+    }
+}

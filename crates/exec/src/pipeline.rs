@@ -1,0 +1,241 @@
+//! Lowering plans to operator pipelines, and the shared driver.
+//!
+//! This module is the **single** execution path of the crate. Both entry
+//! points lower to the same [`Stage`] DAG and run through the same driver:
+//!
+//! * [`crate::execute_logical`] compiles the *logical* plan with
+//!   [`compile_logical`] (all-Forward ships, each PACT's default local
+//!   algorithm) and runs it at `dop = 1`;
+//! * [`crate::execute`] compiles the `(Plan, PhysPlan)` pair with
+//!   [`compile_physical`] (the optimizer's ship + local strategy choices)
+//!   and runs it at the requested degree of parallelism.
+//!
+//! Per stage, the driver ships each child's partitioned batch streams
+//! ([`crate::ship`]), then drives one [`crate::operators::Operator`]
+//! instance per partition through open → push-batch → finish, on one
+//! worker thread per partition when `dop > 1`.
+
+use crate::engine::{ExecError, Inputs};
+use crate::operators::{self, OpCtx};
+use crate::ship::{ship, PartedBatches};
+use crate::stats::ExecStats;
+use std::sync::Arc;
+use strato_core::{LocalStrategy, PhysNode, Ship};
+use strato_dataflow::{NodeKind, Plan, PlanNode};
+use strato_ir::interp::Interp;
+use strato_record::{DataSet, Record, RecordBatch};
+
+/// Tuning knobs of one execution. The defaults reproduce production
+/// behavior; tests sweep them.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Target records per batch flowing between operators.
+    pub batch_size: usize,
+    /// When set, hash-partition shipping round-trips every record through
+    /// the wire format and verifies the decode — the seed engine's
+    /// serialization check, now opt-in (off the hot path).
+    pub validate_wire: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            batch_size: RecordBatch::DEFAULT_SIZE,
+            validate_wire: false,
+        }
+    }
+}
+
+/// One node of the compiled operator DAG.
+#[derive(Debug, Clone)]
+pub(crate) enum StageKind {
+    /// Scan a source (index into `plan.ctx.sources`).
+    Scan(usize),
+    /// Apply operator `op` with the given strategies.
+    Apply {
+        /// Index into `plan.ctx.ops`.
+        op: usize,
+        /// Local algorithm.
+        local: LocalStrategy,
+        /// Ship strategy per input.
+        ships: Vec<Ship>,
+    },
+}
+
+/// A compiled execution stage: strategy-annotated plan structure, shared
+/// by the logical oracle and the parallel engine.
+#[derive(Debug, Clone)]
+pub(crate) struct Stage {
+    pub(crate) kind: StageKind,
+    pub(crate) children: Vec<Stage>,
+}
+
+/// Lowers a logical plan: every ship is `Forward`, every operator runs its
+/// PACT's default local algorithm (see [`LocalStrategy::default_for`]).
+pub(crate) fn compile_logical(plan: &Plan, node: &PlanNode) -> Stage {
+    match node.kind {
+        NodeKind::Source(s) => Stage {
+            kind: StageKind::Scan(s),
+            children: vec![],
+        },
+        NodeKind::Op(o) => Stage {
+            kind: StageKind::Apply {
+                op: o,
+                local: LocalStrategy::default_for(&plan.ctx.ops[o].pact),
+                ships: vec![Ship::Forward; node.children.len()],
+            },
+            children: node
+                .children
+                .iter()
+                .map(|c| compile_logical(plan, c))
+                .collect(),
+        },
+    }
+}
+
+/// Lowers a physical plan: ship and local strategies come from the
+/// optimizer's choices.
+pub(crate) fn compile_physical(node: &PhysNode) -> Stage {
+    match node.logical.kind {
+        NodeKind::Source(s) => Stage {
+            kind: StageKind::Scan(s),
+            children: vec![],
+        },
+        NodeKind::Op(o) => Stage {
+            kind: StageKind::Apply {
+                op: o,
+                local: node.local,
+                ships: node.ships.clone(),
+            },
+            children: node.children.iter().map(compile_physical).collect(),
+        },
+    }
+}
+
+/// Widens source records to global layout: field `i` of the source goes to
+/// its global attribute position.
+pub(crate) fn widen(
+    records: &DataSet,
+    attrs: &[strato_record::AttrId],
+    width: usize,
+) -> Vec<Record> {
+    records
+        .iter()
+        .map(|r| {
+            let mut out = Record::nulls(width);
+            for (i, &a) in attrs.iter().enumerate() {
+                out.set_field(a.index(), r.field(i).clone());
+            }
+            out
+        })
+        .collect()
+}
+
+/// Runs a compiled stage tree to completion and gathers the root's output.
+pub(crate) fn run(
+    plan: &Plan,
+    root: &Stage,
+    inputs: &Inputs,
+    dop: usize,
+    opts: &ExecOptions,
+) -> Result<(DataSet, ExecStats), ExecError> {
+    let dop = dop.max(1);
+    let stats = ExecStats::new();
+    let parts = run_stage(plan, root, inputs, dop, &stats, opts)?;
+    let mut all = Vec::new();
+    for part in parts {
+        for batch in part {
+            all.extend(operators::take_records(batch));
+        }
+    }
+    Ok((DataSet::from_records(all), stats))
+}
+
+fn run_stage(
+    plan: &Plan,
+    stage: &Stage,
+    inputs: &Inputs,
+    dop: usize,
+    stats: &ExecStats,
+    opts: &ExecOptions,
+) -> Result<PartedBatches, ExecError> {
+    match &stage.kind {
+        StageKind::Scan(s) => {
+            let src = &plan.ctx.sources[*s];
+            let ds = inputs
+                .get(&src.name)
+                .ok_or_else(|| ExecError::MissingInput(src.name.clone()))?;
+            let wide = widen(ds, &src.attrs, plan.ctx.width());
+            // Round-robin initial placement, as a scan over splits would.
+            let mut parts: Vec<Vec<Record>> = (0..dop).map(|_| Vec::new()).collect();
+            for (i, r) in wide.into_iter().enumerate() {
+                parts[i % dop].push(r);
+            }
+            Ok(parts
+                .into_iter()
+                .map(|recs| operators::into_batches(recs, opts.batch_size))
+                .collect())
+        }
+        StageKind::Apply { op, local, ships } => {
+            let op = &plan.ctx.ops[*op];
+            // Execute children, then ship their outputs.
+            let mut per_part: Vec<Vec<Vec<Arc<RecordBatch>>>> =
+                (0..dop).map(|_| Vec::new()).collect();
+            for (i, child) in stage.children.iter().enumerate() {
+                let parts = run_stage(plan, child, inputs, dop, stats, opts)?;
+                for (p, batches) in ship(parts, &ships[i], dop, stats, opts)?
+                    .into_iter()
+                    .enumerate()
+                {
+                    per_part[p].push(batches);
+                }
+            }
+            // Local work: one operator per partition, one thread each.
+            if dop == 1 {
+                let inputs = per_part.pop().expect("one partition");
+                return Ok(vec![run_partition(op, *local, inputs, stats, opts)?]);
+            }
+            let mut results: Vec<Result<Vec<Arc<RecordBatch>>, ExecError>> =
+                (0..dop).map(|_| Ok(Vec::new())).collect();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (p, part_inputs) in per_part.into_iter().enumerate() {
+                    handles.push((
+                        p,
+                        scope.spawn(move || run_partition(op, *local, part_inputs, stats, opts)),
+                    ));
+                }
+                for (p, h) in handles {
+                    results[p] = h.join().expect("worker panicked");
+                }
+            });
+            results.into_iter().collect()
+        }
+    }
+}
+
+/// Drives one operator instance over one partition's inputs:
+/// open → push every batch of every port → finish.
+fn run_partition(
+    op: &strato_dataflow::BoundOp,
+    local: LocalStrategy,
+    inputs: Vec<Vec<Arc<RecordBatch>>>,
+    stats: &ExecStats,
+    opts: &ExecOptions,
+) -> Result<Vec<Arc<RecordBatch>>, ExecError> {
+    let ctx = OpCtx {
+        interp: Interp::default(),
+        stats,
+        batch_size: opts.batch_size,
+    };
+    let mut oper = operators::build(op, local, ctx);
+    oper.open()?;
+    let mut out = Vec::new();
+    for (port, batches) in inputs.into_iter().enumerate() {
+        for b in batches {
+            oper.push(port, b, &mut out)?;
+        }
+    }
+    oper.finish(&mut out)?;
+    Ok(out)
+}

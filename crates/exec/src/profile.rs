@@ -11,13 +11,13 @@
 //! the black boxes.
 
 use crate::engine::{ExecError, Inputs};
+use crate::operators::OpCtx;
 use crate::stats::ExecStats;
-use std::collections::BTreeSet;
 use std::time::Instant;
 use strato_core::LocalStrategy;
 use strato_dataflow::{CostHints, NodeKind, Pact, Plan, PlanNode};
 use strato_ir::interp::Interp;
-use strato_record::{DataSet, Record, Value};
+use strato_record::{DataSet, Record};
 
 /// Raw per-operator observations from one profiled run.
 #[derive(Debug, Clone, Default)]
@@ -111,8 +111,41 @@ pub fn profile_hints(
         .collect())
 }
 
-fn key_of(rec: &Record, key: &[strato_record::AttrId]) -> Vec<Value> {
-    key.iter().map(|a| rec.field(a.index()).clone()).collect()
+/// Counts distinct key values without materializing keys: sorts record
+/// references with the borrowed key comparator and counts runs.
+fn distinct_keys(records: &[Record], key: &[strato_record::AttrId]) -> u64 {
+    let mut refs: Vec<&Record> = records.iter().collect();
+    refs.sort_unstable_by(|a, b| crate::operators::key_cmp(a, b, key));
+    let mut n = 0u64;
+    let mut i = 0;
+    while i < refs.len() {
+        n += 1;
+        i += crate::operators::run_len(&refs, i, key);
+    }
+    n
+}
+
+/// Applies one operator over materialized inputs (single partition) through
+/// the shared operator runtime, with each PACT's default local strategy.
+fn run_op(
+    plan: &Plan,
+    op_id: usize,
+    interp: &Interp,
+    inputs: &mut Vec<Vec<Record>>,
+    stats: &ExecStats,
+) -> Result<Vec<Record>, ExecError> {
+    let op = &plan.ctx.ops[op_id];
+    let ctx = OpCtx {
+        interp: *interp,
+        stats,
+        batch_size: strato_record::RecordBatch::DEFAULT_SIZE,
+    };
+    crate::operators::apply_single(
+        op,
+        LocalStrategy::default_for(&op.pact),
+        std::mem::take(inputs),
+        ctx,
+    )
 }
 
 fn exec_profiled(
@@ -154,11 +187,7 @@ fn exec_profiled(
                 op.pact,
                 Pact::Reduce { .. } | Pact::Match { .. } | Pact::CoGroup { .. }
             ) {
-                let keys: BTreeSet<Vec<Value>> = child_outs[0]
-                    .iter()
-                    .map(|r| key_of(r, &op.key_attrs[0]))
-                    .collect();
-                profiles[o].distinct_keys = keys.len() as u64;
+                profiles[o].distinct_keys = distinct_keys(&child_outs[0], &op.key_attrs[0]);
             }
 
             // Run the operator through an instrumented runner; the shared
@@ -182,30 +211,10 @@ fn exec_profiled(
     }
 }
 
-/// Applies one operator over materialized inputs (single partition),
-/// mirroring the engine's default strategies.
-fn run_op(
-    plan: &Plan,
-    op_id: usize,
-    interp: &Interp,
-    inputs: &mut Vec<Vec<Record>>,
-    stats: &ExecStats,
-) -> Result<Vec<Record>, ExecError> {
-    let op = &plan.ctx.ops[op_id];
-    // Reuse the engine's operator application by constructing a one-off
-    // runner. The engine's OpRunner is private; replicate the thin shim.
-    crate::engine::apply_for_profiler(
-        op,
-        interp,
-        LocalStrategy::Pipe,
-        std::mem::take(inputs),
-        stats,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use strato_record::Value;
 
     #[test]
     fn sampling_keeps_every_nth_record() {

@@ -1,0 +1,212 @@
+//! Ship strategies: moving batches between partitions.
+//!
+//! Shipping is where the simulated engine accounts "network" traffic.
+//! Byte accounting uses [`Record::encoded_len`] — the same approximation
+//! the cost model optimizes against — instead of serializing every record;
+//! the opt-in [`crate::ExecOptions::validate_wire`] mode additionally
+//! round-trips each hash-partitioned record through the wire format and
+//! asserts the decode reproduces the original, preserving the seed
+//! engine's serialization check for tests and debugging.
+//!
+//! Accounting rule (see [`ExecStats::add_shipped`]):
+//!
+//! * [`Ship::Forward`] ships nothing.
+//! * [`Ship::Partition`] counts every routed record once, including those
+//!   hash-routed back to their own partition — hash routing is
+//!   data-dependent, and the cost model prices a repartition as the full
+//!   input volume (cf. `ship_cost`'s "approximate with 1").
+//! * [`Ship::Broadcast`] counts `dop - 1` copies of every record: a
+//!   partition does not ship to itself. The batches themselves are shared
+//!   via [`Arc`], so broadcast performs **zero** record copies no matter
+//!   the fan-out.
+
+use crate::engine::ExecError;
+use crate::stats::ExecStats;
+use crate::ExecOptions;
+use bytes::BytesMut;
+use std::sync::Arc;
+use strato_core::Ship;
+use strato_record::{wire, Record, RecordBatch};
+
+/// Per-partition streams of batches: `parts[p]` is partition `p`'s data.
+pub(crate) type PartedBatches = Vec<Vec<Arc<RecordBatch>>>;
+
+/// Applies one ship strategy to partitioned data, accounting stats.
+pub(crate) fn ship(
+    parts: PartedBatches,
+    strategy: &Ship,
+    dop: usize,
+    stats: &ExecStats,
+    opts: &ExecOptions,
+) -> Result<PartedBatches, ExecError> {
+    match strategy {
+        Ship::Forward => Ok(parts),
+        Ship::Partition(key) => {
+            let mut routed: Vec<Vec<Record>> = (0..dop).map(|_| Vec::new()).collect();
+            let mut records = 0u64;
+            let mut bytes = 0u64;
+            let mut buf = BytesMut::new();
+            for part in parts {
+                for batch in part {
+                    for r in crate::operators::take_records(batch) {
+                        records += 1;
+                        bytes += r.encoded_len() as u64;
+                        if opts.validate_wire {
+                            validate_roundtrip(&r, &mut buf)?;
+                        }
+                        let h = crate::operators::key_hash(&r, key) as usize;
+                        routed[h % dop].push(r);
+                    }
+                }
+            }
+            stats.add_shipped(records, bytes);
+            Ok(routed
+                .into_iter()
+                .map(|recs| crate::operators::into_batches(recs, opts.batch_size))
+                .collect())
+        }
+        Ship::Broadcast => {
+            let mut all: Vec<Arc<RecordBatch>> = Vec::new();
+            let mut records = 0u64;
+            let mut bytes = 0u64;
+            for part in parts {
+                for batch in part {
+                    records += batch.len() as u64;
+                    bytes += batch.encoded_len() as u64;
+                    all.push(batch);
+                }
+            }
+            // `dop - 1` remote copies: a partition does not ship to itself.
+            let copies = dop.saturating_sub(1) as u64;
+            stats.add_shipped(records * copies, bytes * copies);
+            Ok((0..dop).map(|_| all.clone()).collect())
+        }
+    }
+}
+
+/// Encodes `r`, decodes it back, and checks the round-trip is lossless.
+fn validate_roundtrip(r: &Record, buf: &mut BytesMut) -> Result<(), ExecError> {
+    buf.clear();
+    wire::encode_record(r, buf);
+    let decoded = wire::decode_record(&mut buf.split().freeze())
+        .map_err(|e| ExecError::Wire(e.to_string()))?;
+    if &decoded != r {
+        return Err(ExecError::Wire(format!(
+            "round-trip mismatch: {r} decoded as {decoded}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_record::{AttrId, Value};
+
+    fn batch(vals: &[i64]) -> Arc<RecordBatch> {
+        Arc::new(
+            vals.iter()
+                .map(|&v| Record::from_values([Value::Int(v)]))
+                .collect(),
+        )
+    }
+
+    fn opts() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    #[test]
+    fn forward_is_identity_and_free() {
+        let stats = ExecStats::new();
+        let parts = vec![vec![batch(&[1])], vec![batch(&[2])]];
+        let out = ship(parts.clone(), &Ship::Forward, 2, &stats, &opts()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.snapshot().2, 0);
+    }
+
+    #[test]
+    fn partition_routes_by_key_hash_and_counts_all_records() {
+        let stats = ExecStats::new();
+        let parts = vec![vec![batch(&[1, 2, 3])], vec![batch(&[1, 4])]];
+        let out = ship(parts, &Ship::Partition(vec![AttrId(0)]), 4, &stats, &opts()).unwrap();
+        // All 5 records accounted; equal keys land on the same partition.
+        let (_, _, shipped, bytes, _) = stats.snapshot();
+        assert_eq!(shipped, 5);
+        assert_eq!(bytes, 5 * 13); // 4-byte header + 9-byte int each
+        let flat: Vec<Vec<i64>> = out
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .flat_map(|b| b.iter())
+                    .map(|r| r.field(0).as_int().unwrap())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(flat.iter().map(Vec::len).sum::<usize>(), 5);
+        let ones: Vec<usize> = flat
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.contains(&1))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(ones.len(), 1, "both key=1 records on one partition");
+    }
+
+    #[test]
+    fn broadcast_shares_batches_and_counts_remote_copies_only() {
+        let stats = ExecStats::new();
+        let b = batch(&[7, 8]);
+        let out = ship(
+            vec![vec![Arc::clone(&b)]],
+            &Ship::Broadcast,
+            3,
+            &stats,
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        // Zero-copy: every partition sees the same allocation.
+        for p in &out {
+            assert!(Arc::ptr_eq(&p[0], &b));
+        }
+        let (_, _, shipped, bytes, _) = stats.snapshot();
+        assert_eq!(shipped, 2 * 2, "2 records × (dop-1) copies");
+        assert_eq!(bytes, 2 * 13 * 2);
+    }
+
+    #[test]
+    fn broadcast_dop1_ships_nothing() {
+        let stats = ExecStats::new();
+        ship(
+            vec![vec![batch(&[1])]],
+            &Ship::Broadcast,
+            1,
+            &stats,
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(stats.snapshot().2, 0);
+    }
+
+    #[test]
+    fn validate_wire_mode_roundtrips_cleanly() {
+        let stats = ExecStats::new();
+        let o = ExecOptions {
+            validate_wire: true,
+            ..ExecOptions::default()
+        };
+        let parts = vec![vec![Arc::new(
+            [Record::from_values([
+                Value::Int(1),
+                Value::Null,
+                Value::str("x"),
+                Value::Float(2.5),
+                Value::Bool(true),
+            ])]
+            .into_iter()
+            .collect::<RecordBatch>(),
+        )]];
+        let out = ship(parts, &Ship::Partition(vec![AttrId(0)]), 2, &stats, &o).unwrap();
+        assert_eq!(out.iter().map(|p| p.len()).sum::<usize>(), 1);
+    }
+}

@@ -30,6 +30,18 @@ impl ExecStats {
         self.records_emitted.fetch_add(emits, Ordering::Relaxed);
     }
 
+    /// Accounts shipped data. The accounting rule is "count each record
+    /// copy that crosses a partition boundary":
+    ///
+    /// * `Forward` ships nothing and must not call this;
+    /// * `Partition` charges every routed record once — hash routing is
+    ///   data-dependent, and the cost model prices a repartition as the
+    ///   full input volume;
+    /// * `Broadcast` charges `dop - 1` copies per record: a partition does
+    ///   not ship to itself.
+    ///
+    /// Bytes are the `encoded_len` approximation of the wire size (null
+    /// fields cost nothing), matching the cost model's byte estimates.
     pub(crate) fn add_shipped(&self, records: u64, bytes: u64) {
         self.records_shipped.fetch_add(records, Ordering::Relaxed);
         self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);

@@ -1,0 +1,179 @@
+//! Record batches: the unit of data flow between physical operators.
+//!
+//! The execution engine moves records between operators in batches rather
+//! than as fully materialized per-operator vectors. A [`RecordBatch`] is an
+//! ordered run of records that is produced once and then treated as
+//! immutable; the engine wraps batches in [`std::sync::Arc`] so that
+//! broadcast shipping can hand the *same* batch to every partition without
+//! deep-cloning records.
+
+use crate::record::Record;
+
+/// An immutable-after-construction run of records.
+///
+/// Batches carry no schema of their own: records inside the engine are
+/// always in global-record layout (see the crate docs), so the batch is a
+/// plain container with byte accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordBatch {
+    records: Vec<Record>,
+}
+
+impl RecordBatch {
+    /// Default number of records per batch used by the execution engine.
+    pub const DEFAULT_SIZE: usize = 1024;
+
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a batch owning the given records.
+    pub fn from_records(records: Vec<Record>) -> Self {
+        RecordBatch { records }
+    }
+
+    /// Number of records in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff the batch holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record (only meaningful while building a batch).
+    pub fn push(&mut self, r: Record) {
+        self.records.push(r);
+    }
+
+    /// Read-only view of the records.
+    #[inline]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consumes the batch, returning its records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
+        self.records.iter()
+    }
+
+    /// Total approximate serialized size in bytes (sum of
+    /// [`Record::encoded_len`]). Used for shipping byte accounting.
+    pub fn encoded_len(&self) -> usize {
+        self.records.iter().map(Record::encoded_len).sum()
+    }
+
+    /// Splits a record vector into batches of at most `size` records.
+    /// `size == 0` is clamped to 1. An empty input yields no batches.
+    pub fn chunked(records: Vec<Record>, size: usize) -> Vec<RecordBatch> {
+        let size = size.max(1);
+        if records.len() <= size {
+            return if records.is_empty() {
+                Vec::new()
+            } else {
+                vec![RecordBatch::from_records(records)]
+            };
+        }
+        let mut out = Vec::with_capacity(records.len().div_ceil(size));
+        let mut it = records.into_iter();
+        loop {
+            let chunk: Vec<Record> = it.by_ref().take(size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            out.push(RecordBatch::from_records(chunk));
+        }
+        out
+    }
+}
+
+impl FromIterator<Record> for RecordBatch {
+    fn from_iter<T: IntoIterator<Item = Record>>(iter: T) -> Self {
+        RecordBatch {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for RecordBatch {
+    type Item = Record;
+    type IntoIter = std::vec::IntoIter<Record>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a RecordBatch {
+    type Item = &'a Record;
+    type IntoIter = std::slice::Iter<'a, Record>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn rec(v: i64) -> Record {
+        Record::from_values([Value::Int(v)])
+    }
+
+    #[test]
+    fn build_and_read() {
+        let mut b = RecordBatch::new();
+        assert!(b.is_empty());
+        b.push(rec(1));
+        b.push(rec(2));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.records()[1], rec(2));
+        assert_eq!(b.iter().count(), 2);
+    }
+
+    #[test]
+    fn chunking_splits_evenly_and_unevenly() {
+        let recs: Vec<Record> = (0..7).map(rec).collect();
+        let chunks = RecordBatch::chunked(recs, 3);
+        assert_eq!(
+            chunks.iter().map(RecordBatch::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        // Order is preserved across chunks.
+        let flat: Vec<Record> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..7).map(rec).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunking_edge_cases() {
+        assert!(RecordBatch::chunked(vec![], 4).is_empty());
+        // Zero size is clamped to 1.
+        assert_eq!(RecordBatch::chunked(vec![rec(1), rec(2)], 0).len(), 2);
+        // Fits in one batch: no re-allocation of the record vector.
+        let one = RecordBatch::chunked(vec![rec(1)], 10);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].len(), 1);
+    }
+
+    #[test]
+    fn encoded_len_sums_records() {
+        let b: RecordBatch = [rec(1), rec(2)].into_iter().collect();
+        assert_eq!(b.encoded_len(), 2 * (4 + 9));
+    }
+
+    #[test]
+    fn into_records_roundtrip() {
+        let recs: Vec<Record> = (0..3).map(rec).collect();
+        let b = RecordBatch::from_records(recs.clone());
+        assert_eq!(b.into_records(), recs);
+    }
+}

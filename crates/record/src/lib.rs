@@ -17,9 +17,10 @@
 //!   sets, write sets and all ROC/KGP condition checks.
 //!
 //! The crate also provides a small wire format ([`wire`]) used by the
-//! execution engine to account for shipped bytes, and a fast
-//! non-cryptographic hasher ([`hash::FxHasher`]) used for hash partitioning
-//! and memo tables.
+//! execution engine to account for shipped bytes, a fast non-cryptographic
+//! hasher ([`hash::FxHasher`]) used for hash partitioning and memo tables,
+//! and [`RecordBatch`] — the unit in which the execution engine moves
+//! records between physical operators.
 //!
 //! ## Null-as-absent convention
 //!
@@ -33,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod attr;
+pub mod batch;
 pub mod dataset;
 pub mod hash;
 pub mod record;
@@ -40,6 +42,7 @@ pub mod value;
 pub mod wire;
 
 pub use attr::{AttrId, AttrSet, GlobalRecord, Redirection};
+pub use batch::RecordBatch;
 pub use dataset::DataSet;
 pub use record::Record;
 pub use value::Value;

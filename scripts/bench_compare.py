@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Report-only comparison of a bench run against BENCH_baseline.json.
+
+Usage: bench_compare.py <bench-stdout-file> <baseline-json>
+
+Reads the `BENCH_JSON {...}` lines the vendored criterion shim prints
+(one per bench), matches them to baseline entries by (group, bench), and
+prints a median-vs-median table. Always exits 0: benchmark numbers on
+shared CI runners are too noisy to gate on, so this step reports the
+trajectory and leaves judgement to the reviewer.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_out, baseline_path = sys.argv[1], sys.argv[2]
+
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = {
+            (e["group"], e["bench"]): e["median_ns"]
+            for e in json.load(f)["benches"]
+        }
+
+    results = []
+    with open(bench_out, encoding="utf-8") as f:
+        for line in f:
+            if not line.startswith("BENCH_JSON "):
+                continue
+            e = json.loads(line[len("BENCH_JSON "):])
+            results.append((e["group"], e["bench"], e["median_ns"]))
+
+    if not results:
+        print("bench_compare: no BENCH_JSON lines found (report only)")
+        return 0
+
+    print(f"{'bench':<42} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for group, bench, median in results:
+        name = f"{group}/{bench}" if group else bench
+        base = baseline.get((group, bench))
+        if base is None:
+            print(f"{name:<42} {'—':>12} {fmt(median):>12} {'new':>8}")
+        else:
+            ratio = median / base if base else float("inf")
+            flag = "" if 0.8 <= ratio <= 1.25 else "  <-- check"
+            print(
+                f"{name:<42} {fmt(base):>12} {fmt(median):>12} "
+                f"{ratio:>7.2f}x{flag}"
+            )
+    print("bench_compare: report only — never fails the build")
+    return 0
+
+
+def fmt(ns: float) -> str:
+    if ns < 1e3:
+        return f"{ns:.1f}ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.2f}µs"
+    if ns < 1e9:
+        return f"{ns / 1e6:.2f}ms"
+    return f"{ns / 1e9:.3f}s"
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,9 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 use strato::core::{enumerate_all, Optimizer, PropTable};
 use strato::dataflow::{CostHints, Plan, ProgramBuilder, PropertyMode, SourceDef};
-use strato::exec::{execute, execute_logical, Inputs};
+use strato::exec::{execute, execute_logical, execute_with, ExecOptions, Inputs};
 use strato::ir::{BinOp, FuncBuilder, Function, UdfKind, UnOp};
-use strato::record::{DataSet, Record, Value};
+use strato::record::{DataSet, Record, RecordBatch, Value};
 
 // ---------------------------------------------------------------------------
 // UDF zoo
@@ -475,6 +475,159 @@ fn physical_plans_agree_with_logical_for_every_alternative() {
             );
         }
     }
+}
+
+#[test]
+fn physical_agrees_with_logical_across_dop_and_batch_size() {
+    // The operator runtime must be invariant under both the degree of
+    // parallelism and the batch boundaries. Sweep dop ∈ {1, 2, 4, 8} ×
+    // batch size ∈ {1, default} over a join + filter + reduce plan, with
+    // wire validation enabled so the opt-in round-trip check also runs.
+    let mut p = ProgramBuilder::new();
+    let l = p.source(SourceDef::new("l", &["lk", "lv"], 50));
+    let r = p.source(SourceDef::new("r", &["rk"], 20).with_unique_key(&[0]));
+    let j = p.match_(
+        "j",
+        &[0],
+        &[0],
+        join_concat(2, 1),
+        CostHints::default(),
+        l,
+        r,
+    );
+    let f = p.map("flt", filter_lt_zero(3, 1), CostHints::default(), j);
+    let g = p.reduce("sum", &[0], sum_group(3, 1), CostHints::default(), f);
+    let plan = p.finish(g).unwrap().bind().unwrap();
+
+    let mut rng = StdRng::seed_from_u64(37);
+    let mut inputs = Inputs::new();
+    inputs.insert("l".into(), random_ds(&mut rng, 50, 2, 7));
+    let r_ds: DataSet = (-7..=7i64)
+        .map(|k| Record::from_values([Value::Int(k)]))
+        .collect();
+    inputs.insert("r".into(), r_ds);
+
+    let (reference, _) = execute_logical(&plan, &inputs).unwrap();
+    for dop in [1usize, 2, 4, 8] {
+        let opt = Optimizer::new(PropertyMode::Sca).with_dop(dop);
+        let report = opt.optimize(&plan);
+        let best = &report.ranked[0];
+        for batch_size in [1usize, RecordBatch::DEFAULT_SIZE] {
+            let opts = ExecOptions {
+                batch_size,
+                validate_wire: true,
+            };
+            let (out, _) = execute_with(&best.plan, &best.phys, &inputs, dop, &opts).unwrap();
+            if let Err(diff) = reference.bag_diff(&out) {
+                panic!(
+                    "divergence at dop={dop} batch_size={batch_size}:\n{}\ndiff: {diff}",
+                    best.phys.render(&best.plan)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_ship_stats_are_exact_on_a_known_plan() {
+    // source → reduce on a fresh key: the reduce input must hash-repartition
+    // every record exactly once, at any dop and batch size. Bytes follow the
+    // `encoded_len` rule: widened two-int records cost 4 (header) + 2 × 9.
+    let mut p = ProgramBuilder::new();
+    let s = p.source(SourceDef::new("s", &["k", "v"], 8));
+    let r = p.reduce("sum", &[0], sum_group(2, 1), CostHints::default(), s);
+    let plan = p.finish(r).unwrap().bind().unwrap();
+    let records: Vec<&[i64]> = vec![
+        &[1, 10],
+        &[1, 20],
+        &[2, 5],
+        &[2, -7],
+        &[3, -1],
+        &[7, 2],
+        &[7, 3],
+        &[9, 4],
+    ];
+    let mut inputs = Inputs::new();
+    inputs.insert(
+        "s".into(),
+        records
+            .iter()
+            .map(|row| Record::from_values(row.iter().map(|&v| Value::Int(v))))
+            .collect::<DataSet>(),
+    );
+    let props = PropTable::build(&plan, PropertyMode::Sca);
+    for dop in [1usize, 2, 4, 8] {
+        let phys = strato::core::physical::best_physical(
+            &plan,
+            &props,
+            &strato::core::cost::CostWeights::default(),
+            dop,
+        );
+        for batch_size in [1usize, RecordBatch::DEFAULT_SIZE] {
+            let opts = ExecOptions {
+                batch_size,
+                validate_wire: false,
+            };
+            let (_, stats) = execute_with(&plan, &phys, &inputs, dop, &opts).unwrap();
+            let (_, _, shipped, bytes, _) = stats.snapshot();
+            assert_eq!(shipped, 8, "dop={dop} batch={batch_size}");
+            assert_eq!(bytes, 8 * (4 + 2 * 9), "dop={dop} batch={batch_size}");
+        }
+    }
+}
+
+#[test]
+fn broadcast_ship_stats_count_remote_copies_only() {
+    // A join whose tiny build side the optimizer broadcasts: each of the
+    // t records is shipped to the dop - 1 *other* partitions — a partition
+    // does not ship to itself — and the big probe side stays put.
+    let mut p = ProgramBuilder::new();
+    let big = p.source(SourceDef::new("big", &["k", "v"], 1_000_000).with_bytes_per_row(64));
+    let tiny = p.source(SourceDef::new("tiny", &["k2"], 10).with_bytes_per_row(8));
+    let j = p.match_(
+        "j",
+        &[0],
+        &[0],
+        join_concat(2, 1),
+        CostHints::default().with_distinct_keys(10),
+        big,
+        tiny,
+    );
+    let plan = p.finish(j).unwrap().bind().unwrap();
+    let props = PropTable::build(&plan, PropertyMode::Sca);
+    let dop = 3usize;
+    let phys = strato::core::physical::best_physical(
+        &plan,
+        &props,
+        &strato::core::cost::CostWeights::default(),
+        dop,
+    );
+    assert_eq!(
+        phys.root.ships[1],
+        strato::core::Ship::Broadcast,
+        "precondition: tiny side must broadcast:\n{}",
+        phys.render(&plan)
+    );
+    let mut inputs = Inputs::new();
+    inputs.insert(
+        "big".into(),
+        (0..6i64)
+            .map(|k| Record::from_values([Value::Int(k), Value::Int(k * 10)]))
+            .collect::<DataSet>(),
+    );
+    inputs.insert(
+        "tiny".into(),
+        (0..3i64)
+            .map(|k| Record::from_values([Value::Int(k)]))
+            .collect::<DataSet>(),
+    );
+    let (out, stats) = execute(&plan, &phys, &inputs, dop).unwrap();
+    assert_eq!(out.len(), 3, "keys 0..3 match");
+    let (_, _, shipped, bytes, _) = stats.snapshot();
+    // 3 tiny records × (dop - 1) remote copies; each widened tiny record
+    // carries one non-null int: 4 + 9 bytes.
+    assert_eq!(shipped, 3 * (dop as u64 - 1));
+    assert_eq!(bytes, 3 * (4 + 9) * (dop as u64 - 1));
 }
 
 #[test]
