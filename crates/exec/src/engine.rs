@@ -9,10 +9,12 @@
 //!   *logical* plan (default strategies, no shipping). Deterministic; the
 //!   oracle the plan-equivalence test harness uses.
 //! * [`execute`] — full physical execution of a [`strato_core::PhysPlan`]
-//!   with `dop` worker partitions (one thread each for local work).
+//!   with `dop` partitions, streamed as a task graph over a fixed worker
+//!   pool (see [`crate::pipeline`]).
 //!
-//! The `_with` variants take [`ExecOptions`] to tune the batch size or to
-//! enable wire-format validation on hash-partition shipping.
+//! The `_with` variants take [`ExecOptions`] to tune batch size, worker
+//! count, channel capacity, Map fusion, or to enable wire-format
+//! validation on hash-partition shipping.
 
 use crate::pipeline::{self, ExecOptions};
 use crate::stats::ExecStats;
@@ -37,6 +39,16 @@ pub enum ExecError {
     /// Wire-format validation failed (only with
     /// [`ExecOptions::validate_wire`]).
     Wire(String),
+    /// A worker task panicked — e.g. a buggy third-party component inside
+    /// a UDF aborted instead of erroring. The scheduler catches the unwind
+    /// at the task boundary, so the panic fails the query (with the
+    /// offending operator named) rather than the process.
+    Panic {
+        /// Name of the operator (or source) whose task panicked.
+        op: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -45,6 +57,9 @@ impl std::fmt::Display for ExecError {
             ExecError::MissingInput(s) => write!(f, "no input data for source {s}"),
             ExecError::Udf(op, e) => write!(f, "UDF of operator {op} failed: {e}"),
             ExecError::Wire(msg) => write!(f, "wire validation failed: {msg}"),
+            ExecError::Panic { op, message } => {
+                write!(f, "operator {op} panicked: {message}")
+            }
         }
     }
 }
@@ -68,9 +83,10 @@ pub fn execute_logical_with(
     pipeline::run(plan, &compiled, inputs, 1, opts)
 }
 
-/// Executes a physical plan with `dop` partitions. Local operator work runs
-/// on one thread per partition (std scoped threads); ship strategies move
-/// batches between partitions and account records/bytes on [`ExecStats`].
+/// Executes a physical plan with `dop` partitions. Every `stage ×
+/// partition` pair becomes one task on a fixed worker pool; ship
+/// strategies route batches between partitions through bounded channels
+/// and account records/bytes on [`ExecStats`].
 pub fn execute(
     plan: &Plan,
     phys: &PhysPlan,
@@ -230,6 +246,7 @@ mod tests {
         let opts = ExecOptions {
             batch_size: 1,
             validate_wire: true,
+            ..ExecOptions::default()
         };
         let (out, stats) = execute_with(&plan, &phys, &inputs, 3, &opts).unwrap();
         assert_eq!(reference, out);
@@ -278,6 +295,70 @@ mod tests {
         inputs.insert("r".into(), right);
         let (out, _) = execute_logical(&plan, &inputs).unwrap();
         assert_eq!(out.len(), 1, "only the non-null key matches");
+    }
+
+    /// Map UDF that calls `abort_if(field)` — panics on any truthy field,
+    /// modelling a buggy third-party component crashing mid-query.
+    fn abort_on_truthy(w: usize, field: usize) -> Function {
+        let mut b = FuncBuilder::new("boom", UdfKind::Map, vec![w]);
+        let v = b.get_input(0, field);
+        b.call(strato_ir::Intrinsic::AbortIf, vec![v]);
+        let or = b.copy_input(0);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn panicking_udf_fails_the_query_not_the_process() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["v"], 8));
+        let m = p.map("boom", abort_on_truthy(1, 0), CostHints::default(), s);
+        let plan = p.finish(m).unwrap().bind().unwrap();
+        let mut inputs = Inputs::new();
+        inputs.insert("s".into(), ds(&[&[0], &[0], &[7], &[0]]));
+
+        // Silence the default panic hook while the deliberate panics fire
+        // (the unwinds themselves are caught at the task boundary); an RAII
+        // guard restores it even if an assertion below fails.
+        type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+        struct HookGuard(Option<PanicHook>);
+        impl Drop for HookGuard {
+            fn drop(&mut self) {
+                if let Some(prev) = self.0.take() {
+                    std::panic::set_hook(prev);
+                }
+            }
+        }
+        let _guard = HookGuard(Some(std::panic::take_hook()));
+        std::panic::set_hook(Box::new(|_| {}));
+
+        // Inline single-worker path.
+        let err = execute_logical(&plan, &inputs).unwrap_err();
+        // Pooled path, parallel partitions.
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let phys = best_physical(&plan, &props, &CostWeights::default(), 2);
+        let opts = ExecOptions {
+            workers: Some(2),
+            ..ExecOptions::default()
+        };
+        let pooled = execute_with(&plan, &phys, &inputs, 2, &opts).unwrap_err();
+        drop(_guard);
+
+        match err {
+            ExecError::Panic { op, message } => {
+                assert_eq!(op, "boom", "panic names the operator");
+                assert!(message.contains("abort_if"), "payload preserved: {message}");
+            }
+            other => panic!("expected Panic, got {other}"),
+        }
+        assert!(matches!(pooled, ExecError::Panic { .. }), "{pooled}");
+
+        // Falsy inputs do not trip it, and the engine stays usable after a
+        // contained panic.
+        inputs.insert("s".into(), ds(&[&[0], &[0]]));
+        let (out, _) = execute_logical(&plan, &inputs).unwrap();
+        assert_eq!(out.len(), 2);
     }
 
     #[test]
@@ -351,6 +432,7 @@ mod tests {
             interp: Interp::default(),
             stats: &stats,
             batch_size: 64,
+            op_id: 0,
         };
         let op = plan.ctx.ops.iter().find(|o| o.name == op_name).unwrap();
         apply_single(op, strategy, inputs, ctx).unwrap()

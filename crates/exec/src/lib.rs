@@ -4,19 +4,24 @@
 //! partitioned, multi-threaded, in-process executor that runs bound plans
 //! by interpreting their UDFs' three-address code.
 //!
-//! The runtime is a composable batched operator pipeline:
+//! The runtime is a streaming task-graph pipeline over a fixed worker
+//! pool:
 //!
 //! * [`operators`] — one physical [`operators::Operator`]
 //!   (open / push-batch / finish) per PACT, covering the ship-independent
-//!   local strategies (pipelined map, hash/sort grouping, hash join with
-//!   build side, sort-merge join, block nested loops, sort-merge
-//!   co-group);
-//! * [`ship`](crate::ship) (private) — data movement between partitions:
-//!   forward, hash repartition (no serialization on the hot path; bytes
-//!   accounted via `encoded_len`, with opt-in wire validation) and
-//!   `Arc`-shared broadcast;
-//! * [`pipeline`] — lowers `(Plan, PhysPlan)` to a stage DAG and drives
-//!   it; the **same** lowering and operators serve both entry points.
+//!   local strategies (pipelined map — optionally a fused map chain —
+//!   hash/sort grouping, hash join with build side, sort-merge join, block
+//!   nested loops, sort-merge co-group);
+//! * [`ship`](crate::ship) (private) — per-batch routing between
+//!   partitions: forward, hash repartition (no serialization on the hot
+//!   path; bytes accounted via `encoded_len`, with opt-in wire validation)
+//!   and `Arc`-shared broadcast;
+//! * [`pipeline`] — lowers `(Plan, PhysPlan)` to a stage tree, fuses
+//!   adjacent Forward-shipped Maps, flattens to one task per
+//!   `stage × partition`, and schedules the tasks cooperatively on
+//!   [`ExecOptions::workers`] threads with bounded-channel backpressure;
+//!   the **same** lowering and operators serve both entry points. Worker
+//!   panics are contained per task and surfaced as [`ExecError::Panic`].
 //!
 //! Two entry points:
 //!
@@ -24,7 +29,7 @@
 //!   *logical* plan (no strategies). Deterministic and simple; this is the
 //!   oracle the plan-equivalence test harness uses.
 //! * [`execute`] — full physical execution of a [`strato_core::PhysPlan`]
-//!   with `dop` worker partitions (one thread each for local work).
+//!   with `dop` partitions streamed across the worker pool.
 //!
 //! ## Semantics notes
 //!
@@ -45,4 +50,4 @@ pub mod stats;
 pub use engine::{execute, execute_logical, execute_logical_with, execute_with, ExecError, Inputs};
 pub use pipeline::ExecOptions;
 pub use profile::{profile, profile_hints, sample_inputs, OpProfile};
-pub use stats::ExecStats;
+pub use stats::{ExecStats, OpSnapshot};

@@ -46,6 +46,7 @@ impl Operator for CoGroupOp<'_> {
         right.sort_unstable_by(|a, b| canonical_cmp(a, b, kr));
         let mut emitted = Vec::new();
         let empty: [Record; 0] = [];
+        let mut left_keys = 0u64;
         let (mut i, mut j) = (0, 0);
         while i < left.len() || j < right.len() {
             // Which side's next key is smaller (exhausted side = greater)?
@@ -74,8 +75,18 @@ impl Operator for CoGroupOp<'_> {
                 ),
                 &mut emitted,
             )?;
+            if li > 0 {
+                left_keys += 1;
+            }
             i += li;
             j += rj;
+        }
+        if self.ctx.stats.detail() {
+            // Profiling observation: distinct input-0 keys (the left runs
+            // of the merge walk; null keys group like any other).
+            self.ctx
+                .stats
+                .add_op_distinct_keys(self.ctx.op_id, left_keys);
         }
         self.ctx.emit(emitted, out);
         Ok(())

@@ -136,6 +136,21 @@ impl Operator for MatchOp<'_> {
     fn finish(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
         let left: Vec<&Record> = self.sides[0].iter().flat_map(|b| b.iter()).collect();
         let right: Vec<&Record> = self.sides[1].iter().flat_map(|b| b.iter()).collect();
+        if self.ctx.stats.detail() {
+            // Profiling observation: distinct input-0 keys (nulls count as
+            // one key, matching the runtime profiler's historic rule —
+            // unlike the join itself, which drops null keys).
+            let kl = &self.op.key_attrs[0];
+            let mut refs = left.clone();
+            refs.sort_unstable_by(|a, b| key_cmp(a, b, kl));
+            let mut n = 0u64;
+            let mut i = 0;
+            while i < refs.len() {
+                n += 1;
+                i += super::run_len(&refs, i, kl);
+            }
+            self.ctx.stats.add_op_distinct_keys(self.ctx.op_id, n);
+        }
         let mut emitted = Vec::new();
         match self.strategy {
             LocalStrategy::SortMergeJoin => {

@@ -1,4 +1,5 @@
-//! The Map operator: streaming, record-at-a-time.
+//! The Map operator: streaming, record-at-a-time — optionally a fused
+//! chain of several Maps running as one operator.
 
 use super::{OpCtx, Operator};
 use crate::engine::ExecError;
@@ -9,14 +10,28 @@ use strato_record::RecordBatch;
 
 /// Pipelined Map: every pushed batch is transformed and emitted
 /// immediately; nothing is buffered across batches.
+///
+/// A `MapOp` holds one or more `(op, ctx)` stages. With several stages it
+/// is a **fused** chain produced by compile-time Map fusion: records pass
+/// from stage to stage as plain vectors, so adjacent Forward-shipped Maps
+/// pay neither intermediate batch formation nor a channel hop. Each stage
+/// keeps its own [`OpCtx`] (and thus its own `op_id`), so per-operator
+/// call/emit attribution is identical to the unfused plan.
 pub struct MapOp<'a> {
-    op: &'a BoundOp,
-    ctx: OpCtx<'a>,
+    stages: Vec<(&'a BoundOp, OpCtx<'a>)>,
 }
 
 impl<'a> MapOp<'a> {
     pub(crate) fn new(op: &'a BoundOp, ctx: OpCtx<'a>) -> Self {
-        MapOp { op, ctx }
+        MapOp {
+            stages: vec![(op, ctx)],
+        }
+    }
+
+    /// A fused chain; `stages[0]` runs first.
+    pub(crate) fn chained(stages: Vec<(&'a BoundOp, OpCtx<'a>)>) -> Self {
+        debug_assert!(!stages.is_empty());
+        MapOp { stages }
     }
 }
 
@@ -28,12 +43,20 @@ impl Operator for MapOp<'_> {
         out: &mut Vec<Arc<RecordBatch>>,
     ) -> Result<(), ExecError> {
         debug_assert_eq!(port, 0, "Map is unary");
+        let (head, head_ctx) = self.stages[0];
         let mut emitted = Vec::new();
         for r in batch.iter() {
-            self.ctx
-                .call(self.op, Invocation::Record(r), &mut emitted)?;
+            head_ctx.call(head, Invocation::Record(r), &mut emitted)?;
         }
-        self.ctx.emit(emitted, out);
+        for &(op, ctx) in &self.stages[1..] {
+            let mut next = Vec::new();
+            for r in &emitted {
+                ctx.call(op, Invocation::Record(r), &mut next)?;
+            }
+            emitted = next;
+        }
+        let (_, last_ctx) = self.stages[self.stages.len() - 1];
+        last_ctx.emit(emitted, out);
         Ok(())
     }
 

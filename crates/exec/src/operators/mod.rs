@@ -80,6 +80,9 @@ pub struct OpCtx<'a> {
     pub stats: &'a ExecStats,
     /// Target number of records per emitted batch.
     pub batch_size: usize,
+    /// Operator id inside the plan — the per-operator counter slot this
+    /// instance charges. Harmless when the stats carry no per-op slots.
+    pub op_id: usize,
 }
 
 impl OpCtx<'_> {
@@ -90,11 +93,16 @@ impl OpCtx<'_> {
         inv: Invocation<'_>,
         out: &mut Vec<Record>,
     ) -> Result<(), ExecError> {
+        let before = out.len();
         let st = self
             .interp
             .run(&op.udf, inv, &op.layout, out)
             .map_err(|e| ExecError::Udf(op.name.clone(), e))?;
-        self.stats.add_call(st.steps, st.emits);
+        self.stats.add_call(self.op_id, st.steps, st.emits);
+        if self.stats.detail() {
+            let bytes: usize = out[before..].iter().map(Record::encoded_len).sum();
+            self.stats.add_op_out_bytes(self.op_id, bytes as u64);
+        }
         Ok(())
     }
 
@@ -218,6 +226,15 @@ pub fn build<'a>(
         Pact::Cross => Box::new(cross::CrossOp::new(op, ctx)),
         Pact::CoGroup { .. } => Box::new(cogroup::CoGroupOp::new(op, ctx)),
     }
+}
+
+/// Builds a fused chain of Map operators running as **one** task: records
+/// flow stage-to-stage as plain `Vec<Record>`s, skipping intermediate batch
+/// formation and channel hops. Every element must be a Map; each carries
+/// its own [`OpCtx`] so per-operator stats stay attributed correctly.
+pub(crate) fn build_map_chain<'a>(stages: Vec<(&'a BoundOp, OpCtx<'a>)>) -> Box<dyn Operator + 'a> {
+    debug_assert!(stages.iter().all(|(op, _)| matches!(op.pact, Pact::Map)));
+    Box::new(map::MapOp::chained(stages))
 }
 
 /// Applies one operator over fully materialized single-partition inputs:

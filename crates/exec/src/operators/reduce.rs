@@ -35,17 +35,19 @@ impl<'a> ReduceOp<'a> {
     }
 
     /// Walks contiguous key runs of a sorted slice, invoking the UDF per
-    /// group.
-    fn call_groups(&self, recs: &[Record], out: &mut Vec<Record>) -> Result<(), ExecError> {
+    /// group. Returns the number of groups walked.
+    fn call_groups(&self, recs: &[Record], out: &mut Vec<Record>) -> Result<u64, ExecError> {
         let key = &self.op.key_attrs[0];
         let mut i = 0;
+        let mut groups = 0u64;
         while i < recs.len() {
             let n = run_len(recs, i, key);
             self.ctx
                 .call(self.op, Invocation::Group(&recs[i..i + n]), out)?;
             i += n;
+            groups += 1;
         }
-        Ok(())
+        Ok(groups)
     }
 }
 
@@ -64,12 +66,13 @@ impl Operator for ReduceOp<'_> {
     fn finish(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
         let key = &self.op.key_attrs[0];
         let mut emitted = Vec::new();
+        let mut groups = 0u64;
         match self.strategy {
             LocalStrategy::SortGroup => {
                 // One global sort; groups are the contiguous key runs.
                 let mut recs = std::mem::take(&mut self.buffered);
                 recs.sort_unstable_by(|a, b| canonical_cmp(a, b, key));
-                self.call_groups(&recs, &mut emitted)?;
+                groups += self.call_groups(&recs, &mut emitted)?;
             }
             // HashGroup, and the default for `Pipe`.
             _ => {
@@ -90,9 +93,13 @@ impl Operator for ReduceOp<'_> {
                 // collision, several sorted keys split by `call_groups`).
                 buckets.sort_unstable_by(|a, b| canonical_cmp(&a[0], &b[0], key));
                 for b in &buckets {
-                    self.call_groups(b, &mut emitted)?;
+                    groups += self.call_groups(b, &mut emitted)?;
                 }
             }
+        }
+        if self.ctx.stats.detail() {
+            // Groups == distinct input-0 keys for Reduce (nulls group).
+            self.ctx.stats.add_op_distinct_keys(self.ctx.op_id, groups);
         }
         self.ctx.emit(emitted, out);
         Ok(())

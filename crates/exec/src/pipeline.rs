@@ -1,7 +1,9 @@
-//! Lowering plans to operator pipelines, and the shared driver.
+//! Lowering plans to a streaming task graph, and the worker-pool scheduler
+//! that drives it.
 //!
 //! This module is the **single** execution path of the crate. Both entry
-//! points lower to the same [`Stage`] DAG and run through the same driver:
+//! points lower to the same [`Stage`] tree, flatten it into a [`TaskGraph`]
+//! and run through the same scheduler:
 //!
 //! * [`crate::execute_logical`] compiles the *logical* plan with
 //!   [`compile_logical`] (all-Forward ships, each PACT's default local
@@ -10,18 +12,52 @@
 //!   [`compile_physical`] (the optimizer's ship + local strategy choices)
 //!   and runs it at the requested degree of parallelism.
 //!
-//! Per stage, the driver ships each child's partitioned batch streams
-//! ([`crate::ship`]), then drives one [`crate::operators::Operator`]
-//! instance per partition through open → push-batch → finish, on one
-//! worker thread per partition when `dop > 1`.
+//! ## Execution model
+//!
+//! The stage tree is flattened into one **task** per `stage × partition`.
+//! Tasks communicate through bounded channels of `Arc<RecordBatch>`es: a
+//! task pulls arriving batches from its input channels, drives its
+//! [`crate::operators::Operator`] incrementally (open → push per batch →
+//! finish once every input channel closes), and routes its output batches
+//! downstream through a per-task [`crate::ship::Router`] — so shipping is
+//! per-batch and producer stages overlap consumer stages, instead of the
+//! old materialize-everything-then-ship barrier.
+//!
+//! Tasks are *cooperatively* scheduled onto a fixed pool of
+//! [`ExecOptions::workers`] threads (morsel style): a task never blocks a
+//! worker. It yields when its inputs are momentarily empty (re-queued when
+//! a batch arrives) or when a downstream channel is at
+//! [`ExecOptions::channel_capacity`] (re-queued when the consumer drains —
+//! this is the backpressure that bounds in-flight memory). Because the
+//! graph is a tree whose sink never blocks, a full channel always implies
+//! a runnable consumer, so the scheduler cannot deadlock at any pool size.
+//!
+//! Worker panics (e.g. a buggy third-party UDF component that aborts
+//! instead of erroring) are caught at the task boundary and surfaced as
+//! [`ExecError::Panic`] with the operator's name — a panicking UDF fails
+//! the query, not the process.
+//!
+//! Adjacent Forward-shipped Map stages are **fused** at lowering time into
+//! a single task (a [`crate::operators`] map chain): records flow through
+//! the chained UDFs without intermediate batch formation or a channel hop.
+//! [`ExecOptions::fuse_maps`] disables this (the profiler does, to keep
+//! per-task timing attribution exactly per-operator).
+//!
+//! Blocking operators (Reduce, Match, Cross, CoGroup) keep buffering
+//! internally, so operator semantics — and the equivalence oracle — are
+//! unchanged; only the transport is streaming.
 
 use crate::engine::{ExecError, Inputs};
-use crate::operators::{self, OpCtx};
-use crate::ship::{ship, PartedBatches};
+use crate::operators::{self, OpCtx, Operator};
+use crate::ship::{Outbound, Router};
 use crate::stats::ExecStats;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 use strato_core::{LocalStrategy, PhysNode, Ship};
-use strato_dataflow::{NodeKind, Plan, PlanNode};
+use strato_dataflow::{NodeKind, Pact, Plan, PlanNode};
 use strato_ir::interp::Interp;
 use strato_record::{DataSet, Record, RecordBatch};
 
@@ -35,6 +71,20 @@ pub struct ExecOptions {
     /// the wire format and verifies the decode — the seed engine's
     /// serialization check, now opt-in (off the hot path).
     pub validate_wire: bool,
+    /// Worker threads driving the task graph. `None` picks the machine's
+    /// available parallelism for parallel runs and `1` for `dop = 1` runs
+    /// (which then execute inline on the calling thread, keeping the
+    /// logical oracle deterministic and allocation-light). Always clamped
+    /// to the number of tasks.
+    pub workers: Option<usize>,
+    /// Bound of each inter-task channel, in batches. Full channels park
+    /// the producer task (backpressure); capacity 1 forces strict
+    /// lock-step streaming.
+    pub channel_capacity: usize,
+    /// Fuse adjacent Forward-shipped Map stages into one task at lowering
+    /// time. On by default; the profiler turns it off so task timing is
+    /// attributed exactly per operator.
+    pub fuse_maps: bool,
 }
 
 impl Default for ExecOptions {
@@ -42,6 +92,9 @@ impl Default for ExecOptions {
         ExecOptions {
             batch_size: RecordBatch::DEFAULT_SIZE,
             validate_wire: false,
+            workers: None,
+            channel_capacity: 8,
+            fuse_maps: true,
         }
     }
 }
@@ -131,6 +184,511 @@ pub(crate) fn widen(
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Task graph: the Stage tree flattened, with Map fusion.
+// ---------------------------------------------------------------------------
+
+/// One input edge of a flattened stage.
+#[derive(Debug, Clone)]
+struct FlatInput {
+    /// Producer stage id.
+    child: usize,
+    /// How the producer's partitions reach this stage's partitions.
+    ship: Ship,
+}
+
+#[derive(Debug, Clone)]
+enum FlatKind {
+    /// Scan a source (index into `plan.ctx.sources`).
+    Scan(usize),
+    /// Apply `op`, then the `fused` Map chain, as one task.
+    Apply {
+        op: usize,
+        local: LocalStrategy,
+        /// Map operator ids fused behind `op` (applied in order).
+        fused: Vec<usize>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct FlatStage {
+    kind: FlatKind,
+    inputs: Vec<FlatInput>,
+    /// `(consumer stage, port)` — `None` for the root.
+    consumer: Option<(usize, usize)>,
+    /// First channel id of each input port; port `i`, partition `p` reads
+    /// channel `chan_base[i] + p`.
+    chan_base: Vec<usize>,
+}
+
+/// The flattened, fusion-applied form of a [`Stage`] tree. Stage ids are
+/// post-order; the root is always the last stage.
+pub(crate) struct TaskGraph {
+    stages: Vec<FlatStage>,
+    n_chans: usize,
+}
+
+impl TaskGraph {
+    pub(crate) fn build(plan: &Plan, root: &Stage, dop: usize, fuse_maps: bool) -> TaskGraph {
+        let mut stages: Vec<FlatStage> = Vec::new();
+        flatten(plan, root, fuse_maps, &mut stages);
+        // Wire consumers and assign contiguous channel ranges per edge.
+        let mut n_chans = 0;
+        for s in 0..stages.len() {
+            let inputs = stages[s].inputs.clone();
+            for (port, inp) in inputs.iter().enumerate() {
+                stages[inp.child].consumer = Some((s, port));
+                stages[s].chan_base.push(n_chans);
+                n_chans += dop;
+            }
+        }
+        TaskGraph { stages, n_chans }
+    }
+
+    /// Number of stages after fusion (one task per stage per partition).
+    #[cfg(test)]
+    pub(crate) fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Post-order flattening; returns the flat id realizing `stage`. A
+/// Forward-shipped Map whose producer is a Map (chain) is fused into the
+/// producer's stage instead of becoming its own.
+fn flatten(plan: &Plan, stage: &Stage, fuse_maps: bool, stages: &mut Vec<FlatStage>) -> usize {
+    let children: Vec<usize> = stage
+        .children
+        .iter()
+        .map(|c| flatten(plan, c, fuse_maps, stages))
+        .collect();
+    match &stage.kind {
+        StageKind::Scan(s) => {
+            stages.push(FlatStage {
+                kind: FlatKind::Scan(*s),
+                inputs: vec![],
+                consumer: None,
+                chan_base: vec![],
+            });
+            stages.len() - 1
+        }
+        StageKind::Apply { op, local, ships } => {
+            if fuse_maps
+                && matches!(plan.ctx.ops[*op].pact, Pact::Map)
+                && ships.len() == 1
+                && ships[0] == Ship::Forward
+            {
+                let c = children[0];
+                if let FlatKind::Apply {
+                    op: head, fused, ..
+                } = &mut stages[c].kind
+                {
+                    if matches!(plan.ctx.ops[*head].pact, Pact::Map) {
+                        fused.push(*op);
+                        return c;
+                    }
+                }
+            }
+            stages.push(FlatStage {
+                kind: FlatKind::Apply {
+                    op: *op,
+                    local: *local,
+                    fused: vec![],
+                },
+                inputs: children
+                    .into_iter()
+                    .zip(ships.iter().cloned())
+                    .map(|(child, ship)| FlatInput { child, ship })
+                    .collect(),
+                consumer: None,
+                chan_base: vec![],
+            });
+            stages.len() - 1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler core: bounded channels + cooperative task states.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Waiting for input data or output space; not queued.
+    Idle,
+    /// In the ready queue.
+    Ready,
+    /// A worker is executing a step.
+    Running,
+    /// Running, and new input/space arrived meanwhile: re-queue on yield.
+    RunningDirty,
+    Done,
+}
+
+struct Chan {
+    queue: VecDeque<Arc<RecordBatch>>,
+    /// Producer tasks that have not yet closed this channel.
+    senders: usize,
+    /// The task reading this channel.
+    consumer: usize,
+    /// Producer tasks parked on this channel being full.
+    waiting: Vec<usize>,
+}
+
+struct Core {
+    chans: Vec<Chan>,
+    state: Vec<TState>,
+    ready: VecDeque<usize>,
+    /// Tasks not yet `Done`.
+    live: usize,
+    error: Option<ExecError>,
+}
+
+impl Core {
+    /// Makes `t` runnable after new input/space. Returns whether a worker
+    /// should be notified.
+    fn wake(&mut self, t: usize) -> bool {
+        match self.state[t] {
+            TState::Idle => {
+                self.state[t] = TState::Ready;
+                self.ready.push_back(t);
+                true
+            }
+            TState::Running => {
+                self.state[t] = TState::RunningDirty;
+                false
+            }
+            _ => false,
+        }
+    }
+}
+
+enum Recv {
+    Batch(Arc<RecordBatch>),
+    /// Channel momentarily empty but producers remain.
+    Empty,
+    /// All producers closed and the queue is drained.
+    Eof,
+    /// The run is failing; unwind the step.
+    Abort,
+}
+
+enum SendRes {
+    Sent,
+    /// Channel at capacity; the sender has been parked on it.
+    Full(Arc<RecordBatch>),
+    Abort,
+}
+
+struct Sched<'e> {
+    core: Mutex<Core>,
+    cv: Condvar,
+    capacity: usize,
+    /// Root output: unbounded, so the sink task never blocks (this is what
+    /// makes the whole graph deadlock-free under backpressure).
+    sink: Mutex<Vec<Arc<RecordBatch>>>,
+    stats: &'e ExecStats,
+}
+
+impl Sched<'_> {
+    fn try_send(&self, chan: usize, batch: Arc<RecordBatch>, me: usize) -> SendRes {
+        let mut core = self.core.lock().unwrap();
+        if core.error.is_some() {
+            return SendRes::Abort;
+        }
+        let c = &mut core.chans[chan];
+        if c.queue.len() >= self.capacity {
+            if !c.waiting.contains(&me) {
+                c.waiting.push(me);
+            }
+            return SendRes::Full(batch);
+        }
+        c.queue.push_back(batch);
+        let consumer = c.consumer;
+        if core.wake(consumer) {
+            self.cv.notify_one();
+        }
+        SendRes::Sent
+    }
+
+    fn try_recv(&self, chan: usize) -> Recv {
+        let mut core = self.core.lock().unwrap();
+        if core.error.is_some() {
+            return Recv::Abort;
+        }
+        let c = &mut core.chans[chan];
+        match c.queue.pop_front() {
+            Some(b) => {
+                // Space freed: unpark every producer parked on this channel
+                // (they re-check and may re-park; the list is ≤ dop long).
+                let unparked = std::mem::take(&mut c.waiting);
+                let mut notify = false;
+                for w in unparked {
+                    notify |= core.wake(w);
+                }
+                if notify {
+                    self.cv.notify_all();
+                }
+                Recv::Batch(b)
+            }
+            None if c.senders == 0 => Recv::Eof,
+            None => Recv::Empty,
+        }
+    }
+
+    /// Marks `t` finished: closes its outbound channels (waking consumers
+    /// that must now observe EOF) and releases waiting workers when the
+    /// whole run drains.
+    fn finish_task(&self, t: usize, closes: &[usize]) {
+        let mut core = self.core.lock().unwrap();
+        core.state[t] = TState::Done;
+        core.live -= 1;
+        let mut notify = false;
+        for &chan in closes {
+            let c = &mut core.chans[chan];
+            c.senders -= 1;
+            if c.senders == 0 {
+                let consumer = c.consumer;
+                notify |= core.wake(consumer);
+            }
+        }
+        if notify || core.live == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Parks a yielded task — unless something arrived while it ran, in
+    /// which case it goes straight back on the queue.
+    fn park(&self, t: usize) {
+        let mut core = self.core.lock().unwrap();
+        match core.state[t] {
+            TState::RunningDirty => {
+                core.state[t] = TState::Ready;
+                core.ready.push_back(t);
+                self.cv.notify_one();
+            }
+            TState::Running => core.state[t] = TState::Idle,
+            _ => unreachable!("yielded task in state {:?}", core.state[t]),
+        }
+    }
+
+    /// Records the first error and aborts the run.
+    fn fail(&self, t: usize, e: ExecError) {
+        let mut core = self.core.lock().unwrap();
+        if core.error.is_none() {
+            core.error = Some(e);
+        }
+        core.state[t] = TState::Done;
+        core.live -= 1;
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Task bodies and the cooperative step function.
+// ---------------------------------------------------------------------------
+
+struct Port {
+    chan: usize,
+    open: bool,
+}
+
+enum Work<'a> {
+    /// Produce a source partition's widened records, one batch at a time.
+    Scan {
+        it: std::vec::IntoIter<Record>,
+        batch_size: usize,
+    },
+    /// Drive one operator instance over arriving batches.
+    Op {
+        oper: Box<dyn Operator + 'a>,
+        ports: Vec<Port>,
+        opened: bool,
+        /// Round-robin cursor over ports, for receive fairness.
+        rr: usize,
+    },
+}
+
+enum Output<'a> {
+    /// Root: collect into the shared sink.
+    Sink,
+    Route(Router<'a>),
+}
+
+struct TaskBody<'a> {
+    id: usize,
+    /// Operator (or source) name, for panic attribution.
+    name: &'a str,
+    /// Operator id for per-op time attribution (`None` for scans).
+    op_id: Option<usize>,
+    work: Work<'a>,
+    out: Output<'a>,
+    /// Batches routed but not yet accepted by their channel.
+    pending: Outbound,
+    /// Production finished; only `pending` remains.
+    finished: bool,
+    /// Channels this task closes when done.
+    closes: Vec<usize>,
+}
+
+enum StepOutcome {
+    /// Task completed (production finished and outbound drained).
+    Done,
+    /// Waiting for input or output space; the scheduler re-queues it.
+    Yield,
+}
+
+/// Runs one cooperative step of a task: drain outbound, then produce until
+/// inputs run dry, the output backs up, or the task completes. Never
+/// blocks.
+fn step(body: &mut TaskBody<'_>, sched: &Sched<'_>) -> Result<StepOutcome, ExecError> {
+    let mut scratch: Vec<Arc<RecordBatch>> = Vec::new();
+    loop {
+        // 1. Flush routed batches; a full channel parks us (the try_send
+        //    registered us on its waiting list).
+        while let Some((chan, batch)) = body.pending.pop_front() {
+            match sched.try_send(chan, batch, body.id) {
+                SendRes::Sent => {}
+                SendRes::Full(batch) => {
+                    body.pending.push_front((chan, batch));
+                    return Ok(StepOutcome::Yield);
+                }
+                SendRes::Abort => return Ok(StepOutcome::Yield),
+            }
+        }
+        if body.finished {
+            return Ok(StepOutcome::Done);
+        }
+
+        // 2. Produce the next output batches into `scratch`.
+        let mut produced_final = false;
+        match &mut body.work {
+            Work::Scan { it, batch_size } => {
+                let n = (*batch_size).min(it.len());
+                if n == 0 {
+                    produced_final = true;
+                } else {
+                    let recs: Vec<Record> = it.by_ref().take(n).collect();
+                    scratch.push(Arc::new(RecordBatch::from_records(recs)));
+                }
+            }
+            Work::Op {
+                oper,
+                ports,
+                opened,
+                rr,
+            } => {
+                if !*opened {
+                    oper.open()?;
+                    *opened = true;
+                }
+                let np = ports.len();
+                let mut got = None;
+                let mut any_open = false;
+                for k in 0..np {
+                    let i = (*rr + k) % np;
+                    if !ports[i].open {
+                        continue;
+                    }
+                    match sched.try_recv(ports[i].chan) {
+                        Recv::Batch(b) => {
+                            got = Some((i, b));
+                            *rr = (i + 1) % np;
+                            break;
+                        }
+                        Recv::Empty => any_open = true,
+                        Recv::Eof => ports[i].open = false,
+                        Recv::Abort => return Ok(StepOutcome::Yield),
+                    }
+                }
+                match got {
+                    Some((port, b)) => oper.push(port, b, &mut scratch)?,
+                    None if any_open => return Ok(StepOutcome::Yield),
+                    None => {
+                        oper.finish(&mut scratch)?;
+                        produced_final = true;
+                    }
+                }
+            }
+        }
+
+        // 3. Route what was produced.
+        match &mut body.out {
+            Output::Sink => sched.sink.lock().unwrap().extend(scratch.drain(..)),
+            Output::Route(r) => {
+                for b in scratch.drain(..) {
+                    r.route(b, &mut body.pending, sched.stats)?;
+                }
+                if produced_final {
+                    r.finish(&mut body.pending);
+                }
+            }
+        }
+        if produced_final {
+            body.finished = true;
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One worker of the pool: pop a ready task, run a step, file the outcome.
+/// Panics unwinding out of a step become [`ExecError::Panic`] carrying the
+/// operator name.
+fn worker_loop(sched: &Sched<'_>, bodies: &[Mutex<TaskBody<'_>>]) {
+    loop {
+        let t = {
+            let mut core = sched.core.lock().unwrap();
+            loop {
+                if core.error.is_some() {
+                    return;
+                }
+                if let Some(t) = core.ready.pop_front() {
+                    core.state[t] = TState::Running;
+                    break t;
+                }
+                if core.live == 0 {
+                    return;
+                }
+                core = sched.cv.wait(core).unwrap();
+            }
+        };
+        // Only the worker that moved `t` to Running touches its body, so
+        // this lock is uncontended; it exists to make the borrow safe.
+        let mut body = bodies[t].lock().unwrap();
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| step(&mut body, sched)));
+        if let Some(op) = body.op_id {
+            sched
+                .stats
+                .add_op_nanos(op, started.elapsed().as_nanos() as u64);
+        }
+        match result {
+            Ok(Ok(StepOutcome::Done)) => sched.finish_task(t, &body.closes),
+            Ok(Ok(StepOutcome::Yield)) => sched.park(t),
+            Ok(Err(e)) => sched.fail(t, e),
+            Err(payload) => sched.fail(
+                t,
+                ExecError::Panic {
+                    op: body.name.to_string(),
+                    message: panic_message(payload),
+                },
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver: build bodies, run the pool, gather the sink.
+// ---------------------------------------------------------------------------
+
 /// Runs a compiled stage tree to completion and gathers the root's output.
 pub(crate) fn run(
     plan: &Plan,
@@ -139,103 +697,348 @@ pub(crate) fn run(
     dop: usize,
     opts: &ExecOptions,
 ) -> Result<(DataSet, ExecStats), ExecError> {
-    let dop = dop.max(1);
-    let stats = ExecStats::new();
-    let parts = run_stage(plan, root, inputs, dop, &stats, opts)?;
-    let mut all = Vec::new();
-    for part in parts {
-        for batch in part {
-            all.extend(operators::take_records(batch));
-        }
-    }
-    Ok((DataSet::from_records(all), stats))
+    let stats = ExecStats::with_ops(plan.ctx.ops.len());
+    let out = run_streaming(plan, root, inputs, dop, opts, &stats)?;
+    Ok((out, stats))
 }
 
-fn run_stage(
+/// [`run`] against caller-provided stats (the profiler passes detailed
+/// ones).
+pub(crate) fn run_streaming(
     plan: &Plan,
-    stage: &Stage,
+    root: &Stage,
     inputs: &Inputs,
     dop: usize,
-    stats: &ExecStats,
     opts: &ExecOptions,
-) -> Result<PartedBatches, ExecError> {
-    match &stage.kind {
-        StageKind::Scan(s) => {
-            let src = &plan.ctx.sources[*s];
+    stats: &ExecStats,
+) -> Result<DataSet, ExecError> {
+    let dop = dop.max(1);
+    let graph = TaskGraph::build(plan, root, dop, opts.fuse_maps);
+    let n_tasks = graph.stages.len() * dop;
+
+    // Channel table: consumer stage × port × partition, ids matching the
+    // `chan_base` ranges assigned at graph build.
+    let mut chans: Vec<Chan> = Vec::with_capacity(graph.n_chans);
+    for (sid, s) in graph.stages.iter().enumerate() {
+        for inp in &s.inputs {
+            let senders = match inp.ship {
+                Ship::Forward => 1,
+                Ship::Partition(_) | Ship::Broadcast => dop,
+            };
+            for p in 0..dop {
+                chans.push(Chan {
+                    queue: VecDeque::new(),
+                    senders,
+                    consumer: sid * dop + p,
+                    waiting: Vec::new(),
+                });
+            }
+        }
+    }
+    debug_assert_eq!(chans.len(), graph.n_chans);
+
+    // Task bodies: one per (stage, partition).
+    let mut bodies: Vec<Mutex<TaskBody<'_>>> = Vec::with_capacity(n_tasks);
+    for (sid, s) in graph.stages.iter().enumerate() {
+        // Scans widen + split once per stage, then hand partitions out.
+        let mut scan_parts: Vec<Vec<Record>> = Vec::new();
+        if let FlatKind::Scan(src_id) = &s.kind {
+            let src = &plan.ctx.sources[*src_id];
             let ds = inputs
                 .get(&src.name)
                 .ok_or_else(|| ExecError::MissingInput(src.name.clone()))?;
             let wide = widen(ds, &src.attrs, plan.ctx.width());
             // Round-robin initial placement, as a scan over splits would.
-            let mut parts: Vec<Vec<Record>> = (0..dop).map(|_| Vec::new()).collect();
+            scan_parts = (0..dop).map(|_| Vec::new()).collect();
             for (i, r) in wide.into_iter().enumerate() {
-                parts[i % dop].push(r);
+                scan_parts[i % dop].push(r);
             }
-            Ok(parts
-                .into_iter()
-                .map(|recs| operators::into_batches(recs, opts.batch_size))
-                .collect())
         }
-        StageKind::Apply { op, local, ships } => {
-            let op = &plan.ctx.ops[*op];
-            // Execute children, then ship their outputs.
-            let mut per_part: Vec<Vec<Vec<Arc<RecordBatch>>>> =
-                (0..dop).map(|_| Vec::new()).collect();
-            for (i, child) in stage.children.iter().enumerate() {
-                let parts = run_stage(plan, child, inputs, dop, stats, opts)?;
-                for (p, batches) in ship(parts, &ships[i], dop, stats, opts)?
-                    .into_iter()
-                    .enumerate()
-                {
-                    per_part[p].push(batches);
+        let mut scan_parts = scan_parts.into_iter();
+
+        for p in 0..dop {
+            let id = sid * dop + p;
+            let (work, name, op_id) = match &s.kind {
+                FlatKind::Scan(src_id) => {
+                    let recs = scan_parts.next().expect("one split per partition");
+                    (
+                        Work::Scan {
+                            it: recs.into_iter(),
+                            batch_size: opts.batch_size.max(1),
+                        },
+                        plan.ctx.sources[*src_id].name.as_str(),
+                        None,
+                    )
                 }
-            }
-            // Local work: one operator per partition, one thread each.
-            if dop == 1 {
-                let inputs = per_part.pop().expect("one partition");
-                return Ok(vec![run_partition(op, *local, inputs, stats, opts)?]);
-            }
-            let mut results: Vec<Result<Vec<Arc<RecordBatch>>, ExecError>> =
-                (0..dop).map(|_| Ok(Vec::new())).collect();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (p, part_inputs) in per_part.into_iter().enumerate() {
-                    handles.push((
-                        p,
-                        scope.spawn(move || run_partition(op, *local, part_inputs, stats, opts)),
-                    ));
+                FlatKind::Apply { op, local, fused } => {
+                    let make_ctx = |op_id: usize| OpCtx {
+                        interp: Interp::default(),
+                        stats,
+                        batch_size: opts.batch_size,
+                        op_id,
+                    };
+                    let head = &plan.ctx.ops[*op];
+                    let oper: Box<dyn Operator + '_> = if fused.is_empty() {
+                        operators::build(head, *local, make_ctx(*op))
+                    } else {
+                        let mut chain = vec![(head, make_ctx(*op))];
+                        for &f in fused {
+                            chain.push((&plan.ctx.ops[f], make_ctx(f)));
+                        }
+                        operators::build_map_chain(chain)
+                    };
+                    let ports = s
+                        .chan_base
+                        .iter()
+                        .map(|&base| Port {
+                            chan: base + p,
+                            open: true,
+                        })
+                        .collect();
+                    (
+                        Work::Op {
+                            oper,
+                            ports,
+                            opened: false,
+                            rr: 0,
+                        },
+                        head.name.as_str(),
+                        Some(*op),
+                    )
                 }
-                for (p, h) in handles {
-                    results[p] = h.join().expect("worker panicked");
+            };
+            // Output routing: determined by the (unique) consumer edge.
+            let (out, closes) = match s.consumer {
+                None => (Output::Sink, Vec::new()),
+                Some((cons, port)) => {
+                    let base = graph.stages[cons].chan_base[port];
+                    match &graph.stages[cons].inputs[port].ship {
+                        Ship::Forward => (Output::Route(Router::forward(base + p)), vec![base + p]),
+                        Ship::Partition(key) => (
+                            Output::Route(Router::partition(
+                                base,
+                                dop,
+                                key,
+                                opts.batch_size,
+                                opts.validate_wire,
+                            )),
+                            (base..base + dop).collect(),
+                        ),
+                        Ship::Broadcast => (
+                            Output::Route(Router::broadcast(base, dop)),
+                            (base..base + dop).collect(),
+                        ),
+                    }
                 }
-            });
-            results.into_iter().collect()
+            };
+            bodies.push(Mutex::new(TaskBody {
+                id,
+                name,
+                op_id,
+                work,
+                out,
+                pending: Outbound::new(),
+                finished: false,
+                closes,
+            }));
         }
     }
+
+    let sched = Sched {
+        core: Mutex::new(Core {
+            chans,
+            state: vec![TState::Ready; n_tasks],
+            ready: (0..n_tasks).collect(),
+            live: n_tasks,
+            error: None,
+        }),
+        cv: Condvar::new(),
+        capacity: opts.channel_capacity.max(1),
+        sink: Mutex::new(Vec::new()),
+        stats,
+    };
+
+    let workers = opts
+        .workers
+        .unwrap_or_else(|| {
+            if dop == 1 {
+                1
+            } else {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }
+        })
+        .clamp(1, n_tasks.max(1));
+
+    if workers == 1 {
+        // Inline: no threads at all. Same code path, deterministic order.
+        worker_loop(&sched, &bodies);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(&sched, &bodies));
+            }
+        });
+    }
+
+    let core = sched.core.into_inner().unwrap();
+    if let Some(e) = core.error {
+        return Err(e);
+    }
+    let mut all = Vec::new();
+    for b in sched.sink.into_inner().unwrap() {
+        all.extend(operators::take_records(b));
+    }
+    Ok(DataSet::from_records(all))
 }
 
-/// Drives one operator instance over one partition's inputs:
-/// open → push every batch of every port → finish.
-fn run_partition(
-    op: &strato_dataflow::BoundOp,
-    local: LocalStrategy,
-    inputs: Vec<Vec<Arc<RecordBatch>>>,
-    stats: &ExecStats,
-    opts: &ExecOptions,
-) -> Result<Vec<Arc<RecordBatch>>, ExecError> {
-    let ctx = OpCtx {
-        interp: Interp::default(),
-        stats,
-        batch_size: opts.batch_size,
-    };
-    let mut oper = operators::build(op, local, ctx);
-    oper.open()?;
-    let mut out = Vec::new();
-    for (port, batches) in inputs.into_iter().enumerate() {
-        for b in batches {
-            oper.push(port, b, &mut out)?;
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_dataflow::{CostHints, ProgramBuilder, SourceDef};
+    use strato_ir::{BinOp, FuncBuilder, Function, UdfKind};
+    use strato_record::Value;
+
+    fn add_const(w: usize, field: usize, k: i64) -> Function {
+        let mut b = FuncBuilder::new("addc", UdfKind::Map, vec![w]);
+        let v = b.get_input(0, field);
+        let c = b.konst(k);
+        let s = b.bin(BinOp::Add, v, c);
+        let or = b.copy_input(0);
+        b.set(or, field, s);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn sum_reduce(w: usize, field: usize) -> Function {
+        let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![w]);
+        let sum = b.konst(0i64);
+        let it = b.iter_open(0);
+        let done = b.new_label();
+        let head = b.new_label();
+        b.place(head);
+        let r = b.iter_next(it, done);
+        let v = b.get(r, field);
+        b.bin_into(sum, BinOp::Add, sum, v);
+        b.jump(head);
+        b.place(done);
+        let it2 = b.iter_open(0);
+        let nil = b.new_label();
+        let first = b.iter_next(it2, nil);
+        let or = b.copy(first);
+        b.set(or, w, sum);
+        b.emit(or);
+        b.place(nil);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn three_map_plan() -> Plan {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["a", "b"], 16));
+        let m1 = p.map("m1", add_const(2, 0, 1), CostHints::default(), s);
+        let m2 = p.map("m2", add_const(2, 1, 2), CostHints::default(), m1);
+        let m3 = p.map("m3", add_const(2, 0, 3), CostHints::default(), m2);
+        p.finish(m3).unwrap().bind().unwrap()
+    }
+
+    fn inputs_for(plan: &Plan, rows: &[&[i64]]) -> Inputs {
+        let name = plan.ctx.sources[0].name.clone();
+        let ds: DataSet = rows
+            .iter()
+            .map(|r| Record::from_values(r.iter().map(|&v| Value::Int(v))))
+            .collect();
+        let mut inputs = Inputs::new();
+        inputs.insert(name, ds);
+        inputs
+    }
+
+    #[test]
+    fn adjacent_forward_maps_fuse_into_one_stage() {
+        let plan = three_map_plan();
+        let compiled = compile_logical(&plan, &plan.root);
+        // Fused: scan + one chained-map stage.
+        let fused = TaskGraph::build(&plan, &compiled, 1, true);
+        assert_eq!(fused.stage_count(), 2);
+        // Unfused: scan + three map stages.
+        let unfused = TaskGraph::build(&plan, &compiled, 1, false);
+        assert_eq!(unfused.stage_count(), 4);
+    }
+
+    #[test]
+    fn fusion_stops_at_blocking_operators() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], 16));
+        let m1 = p.map("m1", add_const(2, 1, 1), CostHints::default(), s);
+        let r = p.reduce("sum", &[0], sum_reduce(2, 1), CostHints::default(), m1);
+        let m2 = p.map("m2", add_const(3, 1, 2), CostHints::default(), r);
+        let plan = p.finish(m2).unwrap().bind().unwrap();
+        let compiled = compile_logical(&plan, &plan.root);
+        // Nothing fuses: scan, m1, reduce, m2 (the map after the reduce has
+        // no map producer; the map before it feeds a non-map).
+        assert_eq!(TaskGraph::build(&plan, &compiled, 1, true).stage_count(), 4);
+    }
+
+    #[test]
+    fn fused_run_matches_unfused_run_and_stats() {
+        let plan = three_map_plan();
+        let compiled = compile_logical(&plan, &plan.root);
+        let inputs = inputs_for(&plan, &[&[1, 10], &[2, 20], &[3, 30], &[4, 40], &[5, 50]]);
+        let fused_opts = ExecOptions::default();
+        let unfused_opts = ExecOptions {
+            fuse_maps: false,
+            ..ExecOptions::default()
+        };
+        let (out_f, st_f) = run(&plan, &compiled, &inputs, 1, &fused_opts).unwrap();
+        let (out_u, st_u) = run(&plan, &compiled, &inputs, 1, &unfused_opts).unwrap();
+        assert_eq!(out_f, out_u);
+        // Fusion changes transport, not semantics: identical UDF call and
+        // emit counts, globally and per operator.
+        assert_eq!(st_f.snapshot().0, st_u.snapshot().0);
+        assert_eq!(st_f.snapshot().1, st_u.snapshot().1);
+        let (ops_f, ops_u) = (st_f.op_snapshots(), st_u.op_snapshots());
+        for (a, b) in ops_f.iter().zip(&ops_u) {
+            assert_eq!((a.calls, a.emits), (b.calls, b.emits));
+        }
+        assert_eq!(
+            ops_f.iter().map(|o| o.calls).sum::<u64>(),
+            15,
+            "3 ops × 5 records"
+        );
+    }
+
+    #[test]
+    fn scheduler_is_invariant_under_workers_capacity_and_batch() {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], 64));
+        let m = p.map("m", add_const(2, 1, 5), CostHints::default(), s);
+        let r = p.reduce("sum", &[0], sum_reduce(2, 1), CostHints::default(), m);
+        let plan = p.finish(r).unwrap().bind().unwrap();
+        let compiled = compile_logical(&plan, &plan.root);
+        let rows: Vec<Vec<i64>> = (0..64).map(|i| vec![i % 7, i]).collect();
+        let rows_ref: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let inputs = inputs_for(&plan, &rows_ref);
+        let (reference, ref_stats) =
+            run(&plan, &compiled, &inputs, 1, &ExecOptions::default()).unwrap();
+        for workers in [1usize, 2, 4] {
+            for capacity in [1usize, 8] {
+                for batch_size in [1usize, 1024] {
+                    let opts = ExecOptions {
+                        batch_size,
+                        workers: Some(workers),
+                        channel_capacity: capacity,
+                        ..ExecOptions::default()
+                    };
+                    let (out, stats) = run(&plan, &compiled, &inputs, 1, &opts).unwrap();
+                    assert_eq!(
+                        out, reference,
+                        "workers={workers} capacity={capacity} batch={batch_size}"
+                    );
+                    assert_eq!(stats.snapshot(), ref_stats.snapshot());
+                }
+            }
         }
     }
-    oper.finish(&mut out)?;
-    Ok(out)
 }

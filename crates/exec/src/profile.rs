@@ -9,15 +9,20 @@
 //! emit count, key cardinality and CPU time, and turn the observations
 //! into [`CostHints`] — no user input, no semantics, just measurement of
 //! the black boxes.
+//!
+//! Profiling runs through the **production streaming runtime** (the same
+//! task graph and scheduler as [`crate::execute`], at `dop = 1`) with the
+//! per-operator detail counters of [`ExecStats::for_profiling`] switched
+//! on: each task's step time is attributed to its operator, keyed
+//! operators report the distinct input keys they observed while grouping,
+//! and the UDF call path records emitted bytes. Map fusion is disabled for
+//! the profiled run so timing attribution stays exactly per-operator.
 
 use crate::engine::{ExecError, Inputs};
-use crate::operators::OpCtx;
+use crate::pipeline::{self, ExecOptions};
 use crate::stats::ExecStats;
-use std::time::Instant;
-use strato_core::LocalStrategy;
-use strato_dataflow::{CostHints, NodeKind, Pact, Plan, PlanNode};
-use strato_ir::interp::Interp;
-use strato_record::{DataSet, Record};
+use strato_dataflow::{CostHints, Plan};
+use strato_record::DataSet;
 
 /// Raw per-operator observations from one profiled run.
 #[derive(Debug, Clone, Default)]
@@ -28,7 +33,8 @@ pub struct OpProfile {
     pub emits: u64,
     /// Distinct key values seen on input 0 (keyed PACTs only).
     pub distinct_keys: u64,
-    /// Nanoseconds spent inside the UDF (interpreter time).
+    /// Nanoseconds spent inside the operator's tasks (UDF interpretation
+    /// plus the operator's own grouping/joining work).
     pub udf_nanos: u64,
     /// Average emitted-record width in bytes.
     pub avg_record_bytes: u64,
@@ -82,14 +88,29 @@ pub fn sample_inputs(inputs: &Inputs, step: usize) -> Inputs {
         .collect()
 }
 
-/// Executes `plan` once (logically, single partition) on `inputs`,
-/// recording per-operator observations. Returns one [`OpProfile`] per
-/// operator id of `plan.ctx`.
+/// Executes `plan` once through the streaming runtime (single partition,
+/// logical strategies, fusion off), recording per-operator observations.
+/// Returns one [`OpProfile`] per operator id of `plan.ctx`.
 pub fn profile(plan: &Plan, inputs: &Inputs) -> Result<Vec<OpProfile>, ExecError> {
-    let mut profiles = vec![OpProfile::default(); plan.ctx.ops.len()];
-    let stats = ExecStats::new();
-    exec_profiled(plan, &plan.root, inputs, &mut profiles, &stats)?;
-    Ok(profiles)
+    let compiled = pipeline::compile_logical(plan, &plan.root);
+    let opts = ExecOptions {
+        // One task per operator: step time is per-operator time.
+        fuse_maps: false,
+        ..ExecOptions::default()
+    };
+    let stats = ExecStats::for_profiling(plan.ctx.ops.len());
+    pipeline::run_streaming(plan, &compiled, inputs, 1, &opts, &stats)?;
+    Ok(stats
+        .op_snapshots()
+        .into_iter()
+        .map(|s| OpProfile {
+            calls: s.calls,
+            emits: s.emits,
+            distinct_keys: s.distinct_keys,
+            udf_nanos: s.nanos,
+            avg_record_bytes: s.out_bytes.checked_div(s.emits).unwrap_or(0),
+        })
+        .collect())
 }
 
 /// Profiles a sampled run and converts to hints in one step.
@@ -111,110 +132,10 @@ pub fn profile_hints(
         .collect())
 }
 
-/// Counts distinct key values without materializing keys: sorts record
-/// references with the borrowed key comparator and counts runs.
-fn distinct_keys(records: &[Record], key: &[strato_record::AttrId]) -> u64 {
-    let mut refs: Vec<&Record> = records.iter().collect();
-    refs.sort_unstable_by(|a, b| crate::operators::key_cmp(a, b, key));
-    let mut n = 0u64;
-    let mut i = 0;
-    while i < refs.len() {
-        n += 1;
-        i += crate::operators::run_len(&refs, i, key);
-    }
-    n
-}
-
-/// Applies one operator over materialized inputs (single partition) through
-/// the shared operator runtime, with each PACT's default local strategy.
-fn run_op(
-    plan: &Plan,
-    op_id: usize,
-    interp: &Interp,
-    inputs: &mut Vec<Vec<Record>>,
-    stats: &ExecStats,
-) -> Result<Vec<Record>, ExecError> {
-    let op = &plan.ctx.ops[op_id];
-    let ctx = OpCtx {
-        interp: *interp,
-        stats,
-        batch_size: strato_record::RecordBatch::DEFAULT_SIZE,
-    };
-    crate::operators::apply_single(
-        op,
-        LocalStrategy::default_for(&op.pact),
-        std::mem::take(inputs),
-        ctx,
-    )
-}
-
-fn exec_profiled(
-    plan: &Plan,
-    node: &PlanNode,
-    inputs: &Inputs,
-    profiles: &mut Vec<OpProfile>,
-    stats: &ExecStats,
-) -> Result<Vec<Record>, ExecError> {
-    match node.kind {
-        NodeKind::Source(s) => {
-            let src = &plan.ctx.sources[s];
-            let ds = inputs
-                .get(&src.name)
-                .ok_or_else(|| ExecError::MissingInput(src.name.clone()))?;
-            // Widen to global layout (same as the engine's scan).
-            Ok(ds
-                .iter()
-                .map(|r| {
-                    let mut out = Record::nulls(plan.ctx.width());
-                    for (i, &a) in src.attrs.iter().enumerate() {
-                        out.set_field(a.index(), r.field(i).clone());
-                    }
-                    out
-                })
-                .collect())
-        }
-        NodeKind::Op(o) => {
-            let op = &plan.ctx.ops[o];
-            let child_outs: Result<Vec<Vec<Record>>, ExecError> = node
-                .children
-                .iter()
-                .map(|c| exec_profiled(plan, c, inputs, profiles, stats))
-                .collect();
-            let mut child_outs = child_outs?;
-
-            // Observe input-0 key cardinality for keyed PACTs.
-            if matches!(
-                op.pact,
-                Pact::Reduce { .. } | Pact::Match { .. } | Pact::CoGroup { .. }
-            ) {
-                profiles[o].distinct_keys = distinct_keys(&child_outs[0], &op.key_attrs[0]);
-            }
-
-            // Run the operator through an instrumented runner; the shared
-            // counters are delta-ed around the call.
-            let interp = Interp::default();
-            let (c0, e0, ..) = stats.snapshot();
-            let t0 = Instant::now();
-            let out = run_op(plan, o, &interp, &mut child_outs, stats)?;
-            let nanos = t0.elapsed().as_nanos() as u64;
-            let (c1, e1, ..) = stats.snapshot();
-            let p = &mut profiles[o];
-            p.calls = c1 - c0;
-            p.emits = e1 - e0;
-            p.udf_nanos = nanos;
-            if !out.is_empty() {
-                p.avg_record_bytes =
-                    (out.iter().map(Record::encoded_len).sum::<usize>() / out.len()) as u64;
-            }
-            Ok(out)
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use strato_record::Value;
+    use strato_record::{Record, Value};
 
     #[test]
     fn sampling_keeps_every_nth_record() {

@@ -1,6 +1,13 @@
-//! Ship strategies: moving batches between partitions.
+//! Ship strategies: routing batches between partitions, one batch at a
+//! time.
 //!
-//! Shipping is where the simulated engine accounts "network" traffic.
+//! Shipping is where the simulated engine accounts "network" traffic. In
+//! the streaming runtime every producer task owns one [`Router`] for its
+//! (single) consumer edge; as the task emits batches, the router charges
+//! the shipping stats and appends `(channel, batch)` pairs to the task's
+//! outbound queue — there is no whole-dataset ship step anymore, so ship
+//! overlaps the local work of both producer and consumer stages.
+//!
 //! Byte accounting uses [`Record::encoded_len`] — the same approximation
 //! the cost model optimizes against — instead of serializing every record;
 //! the opt-in [`crate::ExecOptions::validate_wire`] mode additionally
@@ -19,67 +26,139 @@
 //!   partition does not ship to itself. The batches themselves are shared
 //!   via [`Arc`], so broadcast performs **zero** record copies no matter
 //!   the fan-out.
+//!
+//! All three totals are per-record sums, so routing batch-by-batch charges
+//! exactly what the old stage-synchronous driver charged for the whole
+//! partition — the equivalence suite pins this byte-for-byte.
 
 use crate::engine::ExecError;
 use crate::stats::ExecStats;
-use crate::ExecOptions;
 use bytes::BytesMut;
+use std::collections::VecDeque;
 use std::sync::Arc;
-use strato_core::Ship;
-use strato_record::{wire, Record, RecordBatch};
+use strato_record::{wire, AttrId, Record, RecordBatch};
 
-/// Per-partition streams of batches: `parts[p]` is partition `p`'s data.
-pub(crate) type PartedBatches = Vec<Vec<Arc<RecordBatch>>>;
+/// A producer task's outbound queue: batches routed to scheduler channels
+/// but not yet accepted (bounded channels apply backpressure).
+pub(crate) type Outbound = VecDeque<(usize, Arc<RecordBatch>)>;
 
-/// Applies one ship strategy to partitioned data, accounting stats.
-pub(crate) fn ship(
-    parts: PartedBatches,
-    strategy: &Ship,
-    dop: usize,
-    stats: &ExecStats,
-    opts: &ExecOptions,
-) -> Result<PartedBatches, ExecError> {
-    match strategy {
-        Ship::Forward => Ok(parts),
-        Ship::Partition(key) => {
-            let mut routed: Vec<Vec<Record>> = (0..dop).map(|_| Vec::new()).collect();
-            let mut records = 0u64;
-            let mut bytes = 0u64;
-            let mut buf = BytesMut::new();
-            for part in parts {
-                for batch in part {
-                    for r in crate::operators::take_records(batch) {
-                        records += 1;
-                        bytes += r.encoded_len() as u64;
-                        if opts.validate_wire {
-                            validate_roundtrip(&r, &mut buf)?;
-                        }
-                        let h = crate::operators::key_hash(&r, key) as usize;
-                        routed[h % dop].push(r);
+/// Per-task incremental ship router. Channels of one consumer edge are
+/// contiguous: partition `p` of the consumer reads channel `first + p`.
+pub(crate) enum Router<'a> {
+    /// Stay put: partition `p` feeds the consumer's partition `p` directly.
+    Forward {
+        /// The single channel this producer feeds.
+        chan: usize,
+    },
+    /// Hash-repartition records by key; batches rebuilt per destination.
+    Partition {
+        first: usize,
+        dop: usize,
+        key: &'a [AttrId],
+        /// Per-destination records accumulated up to `batch_size`.
+        builders: Vec<Vec<Record>>,
+        batch_size: usize,
+        validate: bool,
+        buf: BytesMut,
+    },
+    /// Every consumer partition gets the same `Arc`'d batch.
+    Broadcast { first: usize, dop: usize },
+}
+
+impl<'a> Router<'a> {
+    pub(crate) fn forward(chan: usize) -> Self {
+        Router::Forward { chan }
+    }
+
+    pub(crate) fn partition(
+        first: usize,
+        dop: usize,
+        key: &'a [AttrId],
+        batch_size: usize,
+        validate: bool,
+    ) -> Self {
+        Router::Partition {
+            first,
+            dop,
+            key,
+            builders: (0..dop).map(|_| Vec::new()).collect(),
+            batch_size: batch_size.max(1),
+            validate,
+            buf: BytesMut::new(),
+        }
+    }
+
+    pub(crate) fn broadcast(first: usize, dop: usize) -> Self {
+        Router::Broadcast { first, dop }
+    }
+
+    /// Routes one produced batch, charging shipping stats and appending the
+    /// resulting `(channel, batch)` pairs to `out`.
+    pub(crate) fn route(
+        &mut self,
+        batch: Arc<RecordBatch>,
+        out: &mut Outbound,
+        stats: &ExecStats,
+    ) -> Result<(), ExecError> {
+        match self {
+            Router::Forward { chan } => {
+                out.push_back((*chan, batch));
+            }
+            Router::Partition {
+                first,
+                dop,
+                key,
+                builders,
+                batch_size,
+                validate,
+                buf,
+            } => {
+                let mut records = 0u64;
+                let mut bytes = 0u64;
+                for r in crate::operators::take_records(batch) {
+                    records += 1;
+                    bytes += r.encoded_len() as u64;
+                    if *validate {
+                        validate_roundtrip(&r, buf)?;
+                    }
+                    let p = (crate::operators::key_hash(&r, key) as usize) % *dop;
+                    builders[p].push(r);
+                    if builders[p].len() >= *batch_size {
+                        let full = std::mem::take(&mut builders[p]);
+                        out.push_back((*first + p, Arc::new(RecordBatch::from_records(full))));
                     }
                 }
+                stats.add_shipped(records, bytes);
             }
-            stats.add_shipped(records, bytes);
-            Ok(routed
-                .into_iter()
-                .map(|recs| crate::operators::into_batches(recs, opts.batch_size))
-                .collect())
-        }
-        Ship::Broadcast => {
-            let mut all: Vec<Arc<RecordBatch>> = Vec::new();
-            let mut records = 0u64;
-            let mut bytes = 0u64;
-            for part in parts {
-                for batch in part {
-                    records += batch.len() as u64;
-                    bytes += batch.encoded_len() as u64;
-                    all.push(batch);
+            Router::Broadcast { first, dop } => {
+                // `dop - 1` remote copies: a partition does not ship to
+                // itself.
+                let copies = dop.saturating_sub(1) as u64;
+                stats.add_shipped(
+                    batch.len() as u64 * copies,
+                    batch.encoded_len() as u64 * copies,
+                );
+                for p in 0..*dop {
+                    out.push_back((*first + p, Arc::clone(&batch)));
                 }
             }
-            // `dop - 1` remote copies: a partition does not ship to itself.
-            let copies = dop.saturating_sub(1) as u64;
-            stats.add_shipped(records * copies, bytes * copies);
-            Ok((0..dop).map(|_| all.clone()).collect())
+        }
+        Ok(())
+    }
+
+    /// Flushes any partially filled destination batches (end of the
+    /// producer's output).
+    pub(crate) fn finish(&mut self, out: &mut Outbound) {
+        if let Router::Partition {
+            first, builders, ..
+        } = self
+        {
+            for (p, b) in builders.iter_mut().enumerate() {
+                if !b.is_empty() {
+                    let rest = std::mem::take(b);
+                    out.push_back((*first + p, Arc::new(RecordBatch::from_records(rest))));
+                }
+            }
         }
     }
 }
@@ -101,7 +180,7 @@ fn validate_roundtrip(r: &Record, buf: &mut BytesMut) -> Result<(), ExecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use strato_record::{AttrId, Value};
+    use strato_record::Value;
 
     fn batch(vals: &[i64]) -> Arc<RecordBatch> {
         Arc::new(
@@ -111,63 +190,77 @@ mod tests {
         )
     }
 
-    fn opts() -> ExecOptions {
-        ExecOptions::default()
+    fn flat(out: &Outbound) -> Vec<(usize, Vec<i64>)> {
+        out.iter()
+            .map(|(c, b)| (*c, b.iter().map(|r| r.field(0).as_int().unwrap()).collect()))
+            .collect()
     }
 
     #[test]
     fn forward_is_identity_and_free() {
         let stats = ExecStats::new();
-        let parts = vec![vec![batch(&[1])], vec![batch(&[2])]];
-        let out = ship(parts.clone(), &Ship::Forward, 2, &stats, &opts()).unwrap();
-        assert_eq!(out.len(), 2);
+        let mut out = Outbound::new();
+        let mut r = Router::forward(3);
+        r.route(batch(&[1, 2]), &mut out, &stats).unwrap();
+        r.finish(&mut out);
+        assert_eq!(flat(&out), vec![(3, vec![1, 2])]);
         assert_eq!(stats.snapshot().2, 0);
     }
 
     #[test]
     fn partition_routes_by_key_hash_and_counts_all_records() {
         let stats = ExecStats::new();
-        let parts = vec![vec![batch(&[1, 2, 3])], vec![batch(&[1, 4])]];
-        let out = ship(parts, &Ship::Partition(vec![AttrId(0)]), 4, &stats, &opts()).unwrap();
-        // All 5 records accounted; equal keys land on the same partition.
+        let key = [AttrId(0)];
+        let mut out = Outbound::new();
+        let mut r = Router::partition(10, 4, &key, 1024, false);
+        r.route(batch(&[1, 2, 3]), &mut out, &stats).unwrap();
+        r.route(batch(&[1, 4]), &mut out, &stats).unwrap();
+        r.finish(&mut out);
+        // All 5 records accounted; equal keys land on the same channel.
         let (_, _, shipped, bytes, _) = stats.snapshot();
         assert_eq!(shipped, 5);
         assert_eq!(bytes, 5 * 13); // 4-byte header + 9-byte int each
-        let flat: Vec<Vec<i64>> = out
+        let routed = flat(&out);
+        assert_eq!(routed.iter().map(|(_, v)| v.len()).sum::<usize>(), 5);
+        assert!(routed.iter().all(|(c, _)| (10..14).contains(c)));
+        let ones: Vec<usize> = routed
             .iter()
-            .map(|p| {
-                p.iter()
-                    .flat_map(|b| b.iter())
-                    .map(|r| r.field(0).as_int().unwrap())
-                    .collect()
-            })
+            .filter(|(_, v)| v.contains(&1))
+            .map(|(c, _)| *c)
             .collect();
-        assert_eq!(flat.iter().map(Vec::len).sum::<usize>(), 5);
-        let ones: Vec<usize> = flat
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.contains(&1))
-            .map(|(i, _)| i)
-            .collect();
-        assert_eq!(ones.len(), 1, "both key=1 records on one partition");
+        assert!(
+            ones.iter().all(|&c| c == ones[0]),
+            "both key=1 records on one channel"
+        );
+    }
+
+    #[test]
+    fn partition_respects_batch_size_incrementally() {
+        let stats = ExecStats::new();
+        let key = [AttrId(0)];
+        let mut out = Outbound::new();
+        // Same key → same destination; batch_size 2 → flush every 2 records.
+        let mut r = Router::partition(0, 2, &key, 2, false);
+        r.route(batch(&[7, 7, 7, 7, 7]), &mut out, &stats).unwrap();
+        assert_eq!(out.len(), 2, "two full batches flushed eagerly");
+        r.finish(&mut out);
+        assert_eq!(out.len(), 3, "remainder flushed at finish");
+        assert_eq!(out.iter().map(|(_, b)| b.len()).sum::<usize>(), 5);
     }
 
     #[test]
     fn broadcast_shares_batches_and_counts_remote_copies_only() {
         let stats = ExecStats::new();
         let b = batch(&[7, 8]);
-        let out = ship(
-            vec![vec![Arc::clone(&b)]],
-            &Ship::Broadcast,
-            3,
-            &stats,
-            &opts(),
-        )
-        .unwrap();
+        let mut out = Outbound::new();
+        let mut r = Router::broadcast(5, 3);
+        r.route(Arc::clone(&b), &mut out, &stats).unwrap();
+        r.finish(&mut out);
         assert_eq!(out.len(), 3);
-        // Zero-copy: every partition sees the same allocation.
-        for p in &out {
-            assert!(Arc::ptr_eq(&p[0], &b));
+        // Zero-copy: every destination sees the same allocation.
+        for (c, sent) in &out {
+            assert!((5..8).contains(c));
+            assert!(Arc::ptr_eq(sent, &b));
         }
         let (_, _, shipped, bytes, _) = stats.snapshot();
         assert_eq!(shipped, 2 * 2, "2 records × (dop-1) copies");
@@ -177,36 +270,36 @@ mod tests {
     #[test]
     fn broadcast_dop1_ships_nothing() {
         let stats = ExecStats::new();
-        ship(
-            vec![vec![batch(&[1])]],
-            &Ship::Broadcast,
-            1,
-            &stats,
-            &opts(),
-        )
-        .unwrap();
+        let mut out = Outbound::new();
+        let mut r = Router::broadcast(0, 1);
+        r.route(batch(&[1]), &mut out, &stats).unwrap();
+        assert_eq!(out.len(), 1, "still delivered to the one partition");
         assert_eq!(stats.snapshot().2, 0);
     }
 
     #[test]
     fn validate_wire_mode_roundtrips_cleanly() {
         let stats = ExecStats::new();
-        let o = ExecOptions {
-            validate_wire: true,
-            ..ExecOptions::default()
-        };
-        let parts = vec![vec![Arc::new(
-            [Record::from_values([
-                Value::Int(1),
-                Value::Null,
-                Value::str("x"),
-                Value::Float(2.5),
-                Value::Bool(true),
-            ])]
-            .into_iter()
-            .collect::<RecordBatch>(),
-        )]];
-        let out = ship(parts, &Ship::Partition(vec![AttrId(0)]), 2, &stats, &o).unwrap();
-        assert_eq!(out.iter().map(|p| p.len()).sum::<usize>(), 1);
+        let key = [AttrId(0)];
+        let mut out = Outbound::new();
+        let mut r = Router::partition(0, 2, &key, 1024, true);
+        r.route(
+            Arc::new(
+                [Record::from_values([
+                    Value::Int(1),
+                    Value::Null,
+                    Value::str("x"),
+                    Value::Float(2.5),
+                    Value::Bool(true),
+                ])]
+                .into_iter()
+                .collect::<RecordBatch>(),
+            ),
+            &mut out,
+            &stats,
+        )
+        .unwrap();
+        r.finish(&mut out);
+        assert_eq!(out.iter().map(|(_, b)| b.len()).sum::<usize>(), 1);
     }
 }

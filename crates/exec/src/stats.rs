@@ -1,6 +1,55 @@
 //! Execution statistics.
+//!
+//! Two granularities share one thread-safe structure:
+//!
+//! * **Global counters** — UDF calls, emitted/shipped records, bytes and
+//!   interpreter steps across the whole execution. Always collected.
+//! * **Per-operator counters** — the same call/emit numbers broken down by
+//!   operator id, plus wall-clock nanoseconds attributed *per task* by the
+//!   worker-pool scheduler (a task is one `stage × partition` unit of the
+//!   compiled graph; its step time is charged to the stage's operator).
+//!   Allocated by [`ExecStats::with_ops`]; the extra profiling detail
+//!   (emitted bytes, observed distinct keys) only when the stats were
+//!   created with [`ExecStats::for_profiling`].
+//!
+//! Workers update every counter concurrently with relaxed atomics; totals
+//! are exact because each record/call is charged exactly once, by exactly
+//! one task.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-operator counter slots. All relaxed atomics, charged by whichever
+/// worker runs the operator's tasks.
+#[derive(Debug, Default)]
+struct OpSlot {
+    calls: AtomicU64,
+    emits: AtomicU64,
+    /// Wall-clock nanoseconds of scheduler steps attributed to this
+    /// operator's tasks (operator work + outbound routing; blocking time is
+    /// excluded — steps never wait).
+    nanos: AtomicU64,
+    /// Total `encoded_len` of UDF-emitted records (profiling detail only).
+    out_bytes: AtomicU64,
+    /// Distinct key values observed on input 0 by keyed operators
+    /// (profiling detail only).
+    distinct_keys: AtomicU64,
+}
+
+/// Plain-integer snapshot of one operator's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// UDF invocations of this operator.
+    pub calls: u64,
+    /// Records emitted by this operator's UDF.
+    pub emits: u64,
+    /// Task step nanoseconds attributed to this operator.
+    pub nanos: u64,
+    /// Total emitted bytes (0 unless profiling detail was enabled).
+    pub out_bytes: u64,
+    /// Distinct input-0 keys (0 unless profiling detail was enabled and the
+    /// operator is keyed).
+    pub distinct_keys: u64,
+}
 
 /// Counters collected during one plan execution. Thread-safe; workers
 /// update them concurrently.
@@ -16,18 +65,74 @@ pub struct ExecStats {
     pub bytes_shipped: AtomicU64,
     /// IR interpreter steps executed.
     pub interp_steps: AtomicU64,
+    /// Per-operator slots (empty unless created via [`ExecStats::with_ops`]
+    /// or [`ExecStats::for_profiling`]).
+    per_op: Vec<OpSlot>,
+    /// Collect profiling detail (emitted bytes, distinct keys)?
+    detail: bool,
 }
 
 impl ExecStats {
-    /// Fresh zeroed stats.
+    /// Fresh zeroed stats, global counters only.
     pub fn new() -> Self {
         Self::default()
     }
 
-    pub(crate) fn add_call(&self, steps: u64, emits: u64) {
+    /// Fresh stats with per-operator slots for `n_ops` operators.
+    pub fn with_ops(n_ops: usize) -> Self {
+        ExecStats {
+            per_op: (0..n_ops).map(|_| OpSlot::default()).collect(),
+            ..ExecStats::default()
+        }
+    }
+
+    /// [`ExecStats::with_ops`] plus profiling detail: operators additionally
+    /// record emitted bytes and observed distinct keys (the runtime
+    /// profiler's inputs). Slightly slows the UDF hot path; off everywhere
+    /// else.
+    pub fn for_profiling(n_ops: usize) -> Self {
+        ExecStats {
+            detail: true,
+            ..ExecStats::with_ops(n_ops)
+        }
+    }
+
+    /// Whether profiling detail should be collected.
+    #[inline]
+    pub(crate) fn detail(&self) -> bool {
+        self.detail
+    }
+
+    pub(crate) fn add_call(&self, op: usize, steps: u64, emits: u64) {
         self.udf_calls.fetch_add(1, Ordering::Relaxed);
         self.interp_steps.fetch_add(steps, Ordering::Relaxed);
         self.records_emitted.fetch_add(emits, Ordering::Relaxed);
+        if let Some(slot) = self.per_op.get(op) {
+            slot.calls.fetch_add(1, Ordering::Relaxed);
+            slot.emits.fetch_add(emits, Ordering::Relaxed);
+        }
+    }
+
+    /// Charges task step time to an operator.
+    pub(crate) fn add_op_nanos(&self, op: usize, nanos: u64) {
+        if let Some(slot) = self.per_op.get(op) {
+            slot.nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Charges emitted bytes to an operator (profiling detail).
+    pub(crate) fn add_op_out_bytes(&self, op: usize, bytes: u64) {
+        if let Some(slot) = self.per_op.get(op) {
+            slot.out_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records distinct input-0 keys observed by a keyed operator
+    /// (profiling detail).
+    pub(crate) fn add_op_distinct_keys(&self, op: usize, n: u64) {
+        if let Some(slot) = self.per_op.get(op) {
+            slot.distinct_keys.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Accounts shipped data. The accounting rule is "count each record
@@ -42,6 +147,9 @@ impl ExecStats {
     ///
     /// Bytes are the `encoded_len` approximation of the wire size (null
     /// fields cost nothing), matching the cost model's byte estimates.
+    /// The totals are a sum over individual records, so they are identical
+    /// whether shipping happens batch-by-batch (the streaming runtime) or
+    /// over a whole materialized partition.
     pub(crate) fn add_shipped(&self, records: u64, bytes: u64) {
         self.records_shipped.fetch_add(records, Ordering::Relaxed);
         self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
@@ -58,6 +166,21 @@ impl ExecStats {
             self.bytes_shipped.load(Ordering::Relaxed),
             self.interp_steps.load(Ordering::Relaxed),
         )
+    }
+
+    /// Per-operator snapshots, indexed by operator id. Empty when the stats
+    /// were created without per-op slots.
+    pub fn op_snapshots(&self) -> Vec<OpSnapshot> {
+        self.per_op
+            .iter()
+            .map(|s| OpSnapshot {
+                calls: s.calls.load(Ordering::Relaxed),
+                emits: s.emits.load(Ordering::Relaxed),
+                nanos: s.nanos.load(Ordering::Relaxed),
+                out_bytes: s.out_bytes.load(Ordering::Relaxed),
+                distinct_keys: s.distinct_keys.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -78,8 +201,8 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = ExecStats::new();
-        s.add_call(100, 2);
-        s.add_call(50, 0);
+        s.add_call(0, 100, 2);
+        s.add_call(0, 50, 0);
         s.add_shipped(10, 640);
         let (calls, emitted, shipped, bytes, steps) = s.snapshot();
         assert_eq!(calls, 2);
@@ -90,9 +213,43 @@ mod tests {
     }
 
     #[test]
+    fn per_op_slots_track_by_operator() {
+        let s = ExecStats::with_ops(2);
+        s.add_call(0, 10, 1);
+        s.add_call(1, 20, 3);
+        s.add_call(1, 30, 0);
+        s.add_op_nanos(1, 500);
+        let ops = s.op_snapshots();
+        assert_eq!(ops.len(), 2);
+        assert_eq!((ops[0].calls, ops[0].emits), (1, 1));
+        assert_eq!((ops[1].calls, ops[1].emits, ops[1].nanos), (2, 3, 500));
+        // Globals see the union.
+        assert_eq!(s.snapshot().0, 3);
+    }
+
+    #[test]
+    fn per_op_is_safe_without_slots() {
+        let s = ExecStats::new();
+        // Out-of-range ops are ignored, not a panic.
+        s.add_call(7, 1, 1);
+        s.add_op_nanos(7, 1);
+        s.add_op_out_bytes(7, 1);
+        s.add_op_distinct_keys(7, 1);
+        assert!(s.op_snapshots().is_empty());
+        assert_eq!(s.snapshot().0, 1);
+    }
+
+    #[test]
+    fn profiling_detail_flag() {
+        assert!(!ExecStats::new().detail());
+        assert!(!ExecStats::with_ops(1).detail());
+        assert!(ExecStats::for_profiling(1).detail());
+    }
+
+    #[test]
     fn display_renders() {
         let s = ExecStats::new();
-        s.add_call(1, 1);
+        s.add_call(0, 1, 1);
         assert!(format!("{s}").contains("udf_calls=1"));
     }
 }

@@ -28,6 +28,12 @@ pub enum Intrinsic {
     Year,
     /// `to_int(v) -> int` (best effort; null on failure).
     ToInt,
+    /// `abort_if(cond) -> 0`: **panics** when `cond` is truthy (a non-zero
+    /// int or `true`). Deliberately not total — it models a buggy
+    /// third-party component that crashes instead of erroring, which is
+    /// exactly the failure the execution engine's worker pool must contain
+    /// (a panicking UDF fails the query, not the process).
+    AbortIf,
 }
 
 impl Intrinsic {
@@ -35,12 +41,17 @@ impl Intrinsic {
     pub fn arity(self) -> usize {
         match self {
             Intrinsic::Burn | Intrinsic::StrContains | Intrinsic::Concat => 2,
-            Intrinsic::StrLen | Intrinsic::Hash | Intrinsic::Year | Intrinsic::ToInt => 1,
+            Intrinsic::StrLen
+            | Intrinsic::Hash
+            | Intrinsic::Year
+            | Intrinsic::ToInt
+            | Intrinsic::AbortIf => 1,
         }
     }
 
-    /// Evaluates the intrinsic. Total: never panics, returns `Value::Null`
-    /// on domain errors (black-box UDFs must not crash the engine).
+    /// Evaluates the intrinsic. Total — never panics, returns `Value::Null`
+    /// on domain errors (black-box UDFs must not crash the engine) — with
+    /// the sole, deliberate exception of [`Intrinsic::AbortIf`].
     pub fn eval(self, args: &[Value]) -> Value {
         match self {
             Intrinsic::Burn => {
@@ -73,6 +84,14 @@ impl Intrinsic {
                 Value::Str(s) => s.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
                 Value::Null => Value::Null,
             },
+            Intrinsic::AbortIf => {
+                let truthy = matches!(&args[0], Value::Bool(true))
+                    || args[0].as_int().is_some_and(|i| i != 0);
+                if truthy {
+                    panic!("abort_if tripped on {}", args[0]);
+                }
+                Value::Int(0)
+            }
         }
     }
 }
@@ -160,6 +179,18 @@ mod tests {
         assert_eq!(Intrinsic::ToInt.eval(&[Value::str("nope")]), Value::Null);
         assert_eq!(Intrinsic::ToInt.eval(&[Value::Float(2.9)]), Value::Int(2));
         assert_eq!(Intrinsic::ToInt.eval(&[Value::Bool(true)]), Value::Int(1));
+    }
+
+    #[test]
+    fn abort_if_is_quiet_on_falsy_and_panics_on_truthy() {
+        assert_eq!(Intrinsic::AbortIf.eval(&[Value::Int(0)]), Value::Int(0));
+        assert_eq!(Intrinsic::AbortIf.eval(&[Value::Null]), Value::Int(0));
+        assert_eq!(
+            Intrinsic::AbortIf.eval(&[Value::Bool(false)]),
+            Value::Int(0)
+        );
+        let caught = std::panic::catch_unwind(|| Intrinsic::AbortIf.eval(&[Value::Int(3)]));
+        assert!(caught.is_err(), "truthy argument must panic");
     }
 
     #[test]

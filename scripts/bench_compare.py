@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Report-only comparison of a bench run against BENCH_baseline.json.
+"""Compare a bench run against BENCH_baseline.json.
 
-Usage: bench_compare.py <bench-stdout-file> <baseline-json>
+Usage: bench_compare.py <bench-stdout-file> <baseline-json> [--fail-above PCT]
 
 Reads the `BENCH_JSON {...}` lines the vendored criterion shim prints
 (one per bench), matches them to baseline entries by (group, bench), and
-prints a median-vs-median table. Always exits 0: benchmark numbers on
-shared CI runners are too noisy to gate on, so this step reports the
-trajectory and leaves judgement to the reviewer.
+prints a median-vs-median table.
+
+Without --fail-above the comparison is report-only and always exits 0.
+With --fail-above PCT the script exits 1 when any matched bench's median
+regressed by more than PCT percent over its baseline (new benches without
+a baseline entry never fail). Benchmark numbers on shared CI runners are
+noisy, so pick a generous threshold — the CI gate uses 25.
 """
 
 import json
@@ -15,10 +19,20 @@ import sys
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    fail_above = None
+    if "--fail-above" in args:
+        i = args.index("--fail-above")
+        try:
+            fail_above = float(args[i + 1])
+        except (IndexError, ValueError):
+            print("bench_compare: --fail-above needs a numeric percent", file=sys.stderr)
+            return 2
+        del args[i : i + 2]
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    bench_out, baseline_path = sys.argv[1], sys.argv[2]
+    bench_out, baseline_path = args
 
     with open(baseline_path, encoding="utf-8") as f:
         baseline = {
@@ -35,23 +49,37 @@ def main() -> int:
             results.append((e["group"], e["bench"], e["median_ns"]))
 
     if not results:
-        print("bench_compare: no BENCH_JSON lines found (report only)")
+        print("bench_compare: no BENCH_JSON lines found")
         return 0
 
+    regressions = []
     print(f"{'bench':<42} {'baseline':>12} {'current':>12} {'ratio':>8}")
     for group, bench, median in results:
         name = f"{group}/{bench}" if group else bench
         base = baseline.get((group, bench))
         if base is None:
             print(f"{name:<42} {'—':>12} {fmt(median):>12} {'new':>8}")
-        else:
-            ratio = median / base if base else float("inf")
-            flag = "" if 0.8 <= ratio <= 1.25 else "  <-- check"
+            continue
+        ratio = median / base if base else float("inf")
+        flag = "" if 0.8 <= ratio <= 1.25 else "  <-- check"
+        print(
+            f"{name:<42} {fmt(base):>12} {fmt(median):>12} "
+            f"{ratio:>7.2f}x{flag}"
+        )
+        if fail_above is not None and ratio > 1.0 + fail_above / 100.0:
+            regressions.append((name, ratio))
+
+    if fail_above is None:
+        print("bench_compare: report only — never fails the build")
+        return 0
+    if regressions:
+        for name, ratio in regressions:
             print(
-                f"{name:<42} {fmt(base):>12} {fmt(median):>12} "
-                f"{ratio:>7.2f}x{flag}"
+                f"bench_compare: FAIL {name} regressed {ratio:.2f}x "
+                f"(> +{fail_above:g}% over baseline median)"
             )
-    print("bench_compare: report only — never fails the build")
+        return 1
+    print(f"bench_compare: all medians within +{fail_above:g}% of baseline")
     return 0
 
 

@@ -516,6 +516,7 @@ fn physical_agrees_with_logical_across_dop_and_batch_size() {
             let opts = ExecOptions {
                 batch_size,
                 validate_wire: true,
+                ..ExecOptions::default()
             };
             let (out, _) = execute_with(&best.plan, &best.phys, &inputs, dop, &opts).unwrap();
             if let Err(diff) = reference.bag_diff(&out) {
@@ -523,6 +524,77 @@ fn physical_agrees_with_logical_across_dop_and_batch_size() {
                     "divergence at dop={dop} batch_size={batch_size}:\n{}\ndiff: {diff}",
                     best.phys.render(&best.plan)
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_runtime_invariant_under_workers_and_channel_capacity() {
+    // The worker-pool scheduler must be a pure transport change: for every
+    // dop × batch-size point of the existing sweep, sweeping the pool size
+    // and the channel bound (workers ∈ {1, 2, num_cpus} × capacity ∈
+    // {1, 8}, wire validation on) must reproduce the oracle's output bag
+    // AND the exact shipped-record/byte accounting of the reference
+    // configuration — shipping charges per record, so backpressure and
+    // scheduling interleavings must never change the totals.
+    let mut p = ProgramBuilder::new();
+    let l = p.source(SourceDef::new("l", &["lk", "lv"], 50));
+    let r = p.source(SourceDef::new("r", &["rk"], 20).with_unique_key(&[0]));
+    let j = p.match_(
+        "j",
+        &[0],
+        &[0],
+        join_concat(2, 1),
+        CostHints::default(),
+        l,
+        r,
+    );
+    let f = p.map("flt", filter_lt_zero(3, 1), CostHints::default(), j);
+    let g = p.reduce("sum", &[0], sum_group(3, 1), CostHints::default(), f);
+    let plan = p.finish(g).unwrap().bind().unwrap();
+
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut inputs = Inputs::new();
+    inputs.insert("l".into(), random_ds(&mut rng, 50, 2, 7));
+    let r_ds: DataSet = (-7..=7i64)
+        .map(|k| Record::from_values([Value::Int(k)]))
+        .collect();
+    inputs.insert("r".into(), r_ds);
+
+    let (reference, _) = execute_logical(&plan, &inputs).unwrap();
+    let num_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut workers: Vec<usize> = vec![1, 2, num_cpus];
+    workers.sort_unstable();
+    workers.dedup();
+    for dop in [1usize, 2, 4, 8] {
+        let opt = Optimizer::new(PropertyMode::Sca).with_dop(dop);
+        let report = opt.optimize(&plan);
+        let best = &report.ranked[0];
+        // Shipping reference for this dop: the default configuration.
+        let (_, ref_stats) = execute(&best.plan, &best.phys, &inputs, dop).unwrap();
+        let (_, _, ref_shipped, ref_bytes, _) = ref_stats.snapshot();
+        for batch_size in [1usize, RecordBatch::DEFAULT_SIZE] {
+            for &w in &workers {
+                for capacity in [1usize, 8] {
+                    let opts = ExecOptions {
+                        batch_size,
+                        validate_wire: true,
+                        workers: Some(w),
+                        channel_capacity: capacity,
+                        ..ExecOptions::default()
+                    };
+                    let (out, stats) =
+                        execute_with(&best.plan, &best.phys, &inputs, dop, &opts).unwrap();
+                    let tag =
+                        format!("dop={dop} batch={batch_size} workers={w} capacity={capacity}");
+                    if let Err(diff) = reference.bag_diff(&out) {
+                        panic!("divergence at {tag}:\ndiff: {diff}");
+                    }
+                    let (_, _, shipped, bytes, _) = stats.snapshot();
+                    assert_eq!(shipped, ref_shipped, "shipped records at {tag}");
+                    assert_eq!(bytes, ref_bytes, "shipped bytes at {tag}");
+                }
             }
         }
     }
@@ -564,14 +636,23 @@ fn partition_ship_stats_are_exact_on_a_known_plan() {
             dop,
         );
         for batch_size in [1usize, RecordBatch::DEFAULT_SIZE] {
-            let opts = ExecOptions {
-                batch_size,
-                validate_wire: false,
-            };
-            let (_, stats) = execute_with(&plan, &phys, &inputs, dop, &opts).unwrap();
-            let (_, _, shipped, bytes, _) = stats.snapshot();
-            assert_eq!(shipped, 8, "dop={dop} batch={batch_size}");
-            assert_eq!(bytes, 8 * (4 + 2 * 9), "dop={dop} batch={batch_size}");
+            for workers in [1usize, 3] {
+                for capacity in [1usize, 8] {
+                    let opts = ExecOptions {
+                        batch_size,
+                        validate_wire: false,
+                        workers: Some(workers),
+                        channel_capacity: capacity,
+                        ..ExecOptions::default()
+                    };
+                    let (_, stats) = execute_with(&plan, &phys, &inputs, dop, &opts).unwrap();
+                    let (_, _, shipped, bytes, _) = stats.snapshot();
+                    let tag =
+                        format!("dop={dop} batch={batch_size} workers={workers} cap={capacity}");
+                    assert_eq!(shipped, 8, "{tag}");
+                    assert_eq!(bytes, 8 * (4 + 2 * 9), "{tag}");
+                }
+            }
         }
     }
 }
