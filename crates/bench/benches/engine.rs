@@ -12,6 +12,31 @@ use strato_record::hash::fx_hash;
 use strato_record::{wire, DataSet, Record, Value};
 use strato_workloads::{tpch, udfs};
 
+/// A grouped-aggregate workload with heavy key duplication: `rows`
+/// two-int records over `keys` distinct keys into an **in-place sum** —
+/// the combinable aggregate. The optimizer inserts the pre-ship combiner,
+/// so only one partial per key per partition crosses the Partition ship
+/// and the final reduce streams over partials instead of buffering.
+fn grouped_agg_workload(rows: usize, keys: usize) -> (Plan, Inputs) {
+    let mut p = ProgramBuilder::new();
+    let s = p.source(SourceDef::new("s", &["k", "v"], rows as u64).with_bytes_per_row(22));
+    let r = p.reduce(
+        "sum",
+        &[0],
+        udfs::sum_group_inplace(2, 1),
+        CostHints::default().with_distinct_keys(keys as u64),
+        s,
+    );
+    let plan = p.finish(r).unwrap().bind().unwrap();
+
+    let ds: DataSet = (0..rows)
+        .map(|i| Record::from_values([Value::Int((i % keys) as i64), Value::Int(i as i64)]))
+        .collect();
+    let mut inputs = Inputs::new();
+    inputs.insert("s".into(), ds);
+    (plan, inputs)
+}
+
 /// A shuffle-bound workload: `rows` two-field records (int key with
 /// `keys` distinct values, ~32-byte string payload) into a first-of-group
 /// reduce. The reduce forces a hash repartition of the full input.
@@ -131,6 +156,17 @@ fn bench_engine(c: &mut Criterion) {
     let sh_phys = best_physical(&sh_plan, &sh_props, &CostWeights::default(), 4);
     g2.bench_function("shuffle_50k_dop4", |b| {
         b.iter(|| execute(&sh_plan, &sh_phys, &sh_inputs, 4).unwrap().0.len())
+    });
+
+    // Grouped-aggregate shuffle with high key duplication (50k rows, 64
+    // keys): exercises the combiner path end-to-end — streaming pre-ship
+    // partial aggregation plus the StreamAgg local strategy.
+    let (ga_plan, ga_inputs) = grouped_agg_workload(50_000, 64);
+    let ga_props = PropTable::build(&ga_plan, PropertyMode::Sca);
+    let ga_phys = best_physical(&ga_plan, &ga_props, &CostWeights::default(), 4);
+    assert!(ga_phys.root.combine, "combiner must be planned");
+    g2.bench_function("grouped_agg_50k_dop4", |b| {
+        b.iter(|| execute(&ga_plan, &ga_phys, &ga_inputs, 4).unwrap().0.len())
     });
     g2.finish();
 }

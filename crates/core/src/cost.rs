@@ -8,7 +8,7 @@
 //! hint-driven cardinality propagation plus weighted cost terms. Absolute
 //! values are unit-less; only plan *ranking* matters.
 
-use strato_dataflow::{NodeKind, Pact, Plan, PlanNode};
+use strato_dataflow::{BoundOp, NodeKind, Pact, Plan, PlanNode};
 
 /// Weights combining the three cost dimensions, plus the memory budget that
 /// decides when sort/hash strategies spill to disk.
@@ -56,6 +56,19 @@ impl Est {
 /// Default ratio of distinct keys to input rows when no hint is given.
 const DEFAULT_KEY_RATIO: f64 = 0.1;
 
+/// Estimated number of groups a Reduce forms over `input_rows` records:
+/// the distinct-keys hint when present, else the default key ratio,
+/// clamped to `[1, input_rows]`. Shared by cardinality estimation and the
+/// combiner's shipped-volume estimate in physical selection.
+pub fn reduce_groups(op: &BoundOp, input_rows: f64) -> f64 {
+    op.hints
+        .distinct_keys
+        .map(|k| k as f64)
+        .unwrap_or(input_rows * DEFAULT_KEY_RATIO)
+        .min(input_rows)
+        .max(1.0)
+}
+
 /// Estimates output cardinality, width and UDF calls for a subtree.
 ///
 /// Hints travel with operators, so an operator's selectivity and CPU cost
@@ -91,13 +104,7 @@ pub fn estimate(plan: &Plan, node: &PlanNode) -> Est {
                 }
                 Pact::Reduce { .. } => {
                     let c = estimate(plan, &node.children[0]);
-                    let groups = op
-                        .hints
-                        .distinct_keys
-                        .map(|k| k as f64)
-                        .unwrap_or(c.rows * DEFAULT_KEY_RATIO)
-                        .min(c.rows)
-                        .max(1.0);
+                    let groups = reduce_groups(op, c.rows);
                     Est {
                         rows: groups * sel,
                         bytes_per_row: op

@@ -47,6 +47,11 @@ pub enum LocalStrategy {
     HashGroup,
     /// Sort by key, then group.
     SortGroup,
+    /// Streaming hash pre-aggregation: fold one partial record per key as
+    /// batches arrive, then invoke the UDF once per partial. Legal only
+    /// for *combinable* reduces (see `Plan::combinable_reduce`); holds one
+    /// record per distinct key instead of buffering the whole input.
+    StreamAgg,
     /// Hash join building on the left input.
     HashJoinBuildLeft,
     /// Hash join building on the right input.
@@ -83,6 +88,10 @@ pub struct PhysNode {
     pub ships: Vec<Ship>,
     /// Local strategy.
     pub local: LocalStrategy,
+    /// Insert a pre-ship combiner stage ahead of input 0: partial
+    /// aggregation on the producing partitions before the Partition ship.
+    /// Only ever set on combinable Partition-shipped Reduces.
+    pub combine: bool,
     /// Children.
     pub children: Vec<PhysNode>,
     /// Output estimate.
@@ -113,10 +122,11 @@ impl PhysNode {
                     })
                     .collect();
                 out.push_str(&format!(
-                    "{} [{} | {:?} | ships {}] rows≈{:.0}\n",
+                    "{} [{} | {:?}{} | ships {}] rows≈{:.0}\n",
                     op.name,
                     op.pact.kind_name(),
                     self.local,
+                    if self.combine { " +combine" } else { "" },
                     ships.join(","),
                     self.est.rows
                 ));
@@ -190,6 +200,13 @@ fn hash_build_cost(e: &Est, w: &CostWeights) -> f64 {
     1.2 * e.rows * w.cpu + spill(e.bytes(), w)
 }
 
+/// Streaming pre-aggregation: one hash probe + fold per record, no
+/// buffering or re-grouping pass, and the memory (hence spill) footprint
+/// is one partial per distinct key rather than the whole input.
+fn stream_agg_cost(e: &Est, groups: f64, w: &CostWeights) -> f64 {
+    e.rows * w.cpu + spill(groups * e.bytes_per_row, w)
+}
+
 fn ship_cost(ship: &Ship, e: &Est, w: &CostWeights, dop: usize) -> f64 {
     match ship {
         Ship::Forward => 0.0,
@@ -240,6 +257,7 @@ fn candidates(
                     logical: node.clone(),
                     ships: vec![],
                     local: LocalStrategy::Pipe,
+                    combine: false,
                     children: vec![],
                     est,
                     cost,
@@ -269,6 +287,7 @@ fn candidates(
                                 logical: node.clone(),
                                 ships: vec![Ship::Forward],
                                 local: LocalStrategy::Pipe,
+                                combine: false,
                                 children: vec![c.phys],
                                 est,
                                 cost,
@@ -279,6 +298,7 @@ fn candidates(
                 }
                 Pact::Reduce { .. } => {
                     let key = op.key_attrs[0].clone();
+                    let combinable = plan.combinable_reduce(node);
                     for c in candidates(plan, props, w, dop, &node.children[0]) {
                         let reuse = satisfies(&c.partitioning, &key);
                         let ship = if reuse {
@@ -287,22 +307,60 @@ fn candidates(
                             Ship::Partition(key.clone())
                         };
                         let in_est = c.phys.est;
-                        let base = c.phys.cost + ship_cost(&ship, &in_est, w, dop) + udf_cpu;
-                        for (local, lcost) in [
-                            (LocalStrategy::HashGroup, hash_build_cost(&in_est, w)),
-                            (LocalStrategy::SortGroup, sort_cost(&in_est, w)),
-                        ] {
-                            out.push(Candidate {
-                                phys: PhysNode {
-                                    logical: node.clone(),
-                                    ships: vec![ship.clone()],
-                                    local,
-                                    children: vec![c.phys.clone()],
-                                    est,
-                                    cost: base + lcost,
-                                },
-                                partitioning: Some(key.clone()),
-                            });
+                        let groups = crate::cost::reduce_groups(op, in_est.rows);
+                        for combine in [false, true] {
+                            // A pre-ship combiner only exists for
+                            // combinable, Partition-shipped reduces.
+                            if combine && !(combinable && matches!(ship, Ship::Partition(_))) {
+                                continue;
+                            }
+                            // Combining caps the shipped volume at one
+                            // partial per key per producing partition —
+                            // the shipped-bytes reduction that lets plan
+                            // enumeration prefer combined plans.
+                            let shipped_est = if combine {
+                                Est {
+                                    rows: (groups * dop as f64).min(in_est.rows),
+                                    ..in_est
+                                }
+                            } else {
+                                in_est
+                            };
+                            // The combiner's own work: a hash probe and
+                            // fold per input record on the producing side.
+                            let combiner_cpu = if combine {
+                                0.5 * in_est.rows * w.cpu
+                            } else {
+                                0.0
+                            };
+                            let base = c.phys.cost
+                                + ship_cost(&ship, &shipped_est, w, dop)
+                                + udf_cpu
+                                + combiner_cpu;
+                            let mut locals = vec![
+                                (LocalStrategy::HashGroup, hash_build_cost(&shipped_est, w)),
+                                (LocalStrategy::SortGroup, sort_cost(&shipped_est, w)),
+                            ];
+                            if combinable {
+                                locals.push((
+                                    LocalStrategy::StreamAgg,
+                                    stream_agg_cost(&shipped_est, groups, w),
+                                ));
+                            }
+                            for (local, lcost) in locals {
+                                out.push(Candidate {
+                                    phys: PhysNode {
+                                        logical: node.clone(),
+                                        ships: vec![ship.clone()],
+                                        local,
+                                        combine,
+                                        children: vec![c.phys.clone()],
+                                        est,
+                                        cost: base + lcost,
+                                    },
+                                    partitioning: Some(key.clone()),
+                                });
+                            }
                         }
                     }
                 }
@@ -365,6 +423,7 @@ fn candidates(
                                             logical: node.clone(),
                                             ships: vec![ship_l.clone(), ship_r.clone()],
                                             local,
+                                            combine: false,
                                             children: vec![lc.phys.clone(), rc.phys.clone()],
                                             est,
                                             cost: base + ship_cost_ab + lcost2,
@@ -395,6 +454,7 @@ fn candidates(
                                     logical: node.clone(),
                                     ships,
                                     local,
+                                    combine: false,
                                     children: vec![lc.phys.clone(), rc.phys.clone()],
                                     est,
                                     cost: lc.phys.cost + rc.phys.cost + udf_cpu + bcost2,
@@ -427,6 +487,7 @@ fn candidates(
                                     logical: node.clone(),
                                     ships,
                                     local: LocalStrategy::BlockNestedLoop,
+                                    combine: false,
                                     children: vec![lc.phys.clone(), rc.phys.clone()],
                                     est,
                                     cost,
@@ -457,6 +518,7 @@ fn candidates(
                                     logical: node.clone(),
                                     ships: vec![ship_l, ship_r],
                                     local: LocalStrategy::CoGroupSortMerge,
+                                    combine: false,
                                     children: vec![lc.phys.clone(), rc.phys.clone()],
                                     est,
                                     cost,
@@ -609,6 +671,96 @@ mod tests {
         let big = cost_for(1_000_000);
         assert!(small > 0.0);
         assert!(big > small);
+    }
+
+    /// In-place sum over `field` — combinable (decomposable) by SCA.
+    fn sum_inplace(w: usize, field: usize) -> Function {
+        use strato_ir::BinOp;
+        let mut b = FuncBuilder::new("sum_ip", UdfKind::Group, vec![w]);
+        let acc = b.konst(0i64);
+        let it = b.iter_open(0);
+        let done = b.new_label();
+        let head = b.new_label();
+        b.place(head);
+        let r = b.iter_next(it, done);
+        let v = b.get(r, field);
+        b.bin_into(acc, BinOp::Add, acc, v);
+        b.jump(head);
+        b.place(done);
+        let it2 = b.iter_open(0);
+        let nil = b.new_label();
+        let first = b.iter_next(it2, nil);
+        let or = b.copy(first);
+        b.set(or, field, acc);
+        b.emit(or);
+        b.place(nil);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn combinable_reduce_prefers_combiner_and_stream_agg() {
+        // Duplicate-heavy grouped aggregate: shipping one partial per key
+        // per partition beats shipping 200k raw rows, so the cost model
+        // must pick the combined plan — and the streaming local strategy.
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], 200_000).with_bytes_per_row(40));
+        let g = p.reduce(
+            "agg",
+            &[0],
+            sum_inplace(2, 1),
+            CostHints::default().with_distinct_keys(64),
+            s,
+        );
+        let plan = p.finish(g).unwrap().bind().unwrap();
+        let phys = phys_of(&plan);
+        assert!(phys.root.combine, "{}", phys.render(&plan));
+        assert_eq!(phys.root.local, LocalStrategy::StreamAgg);
+        assert!(matches!(phys.root.ships[0], Ship::Partition(_)));
+        assert!(phys.render(&plan).contains("+combine"));
+    }
+
+    #[test]
+    fn combined_plan_is_strictly_cheaper_on_duplicate_heavy_input() {
+        // Same shape, combinable vs not (append-style sum): the combinable
+        // one must cost less because the ship volume collapses.
+        let cost_with = |udf: Function| {
+            let mut p = ProgramBuilder::new();
+            let s = p.source(SourceDef::new("s", &["k", "v"], 200_000).with_bytes_per_row(40));
+            let g = p.reduce(
+                "agg",
+                &[0],
+                udf,
+                CostHints::default().with_distinct_keys(64),
+                s,
+            );
+            let plan = p.finish(g).unwrap().bind().unwrap();
+            phys_of(&plan).total_cost
+        };
+        let combined = cost_with(sum_inplace(2, 1));
+        let uncombined = cost_with(group_first(2));
+        assert!(
+            combined < uncombined,
+            "combined {combined} vs uncombined {uncombined}"
+        );
+    }
+
+    #[test]
+    fn non_combinable_reduce_never_combines() {
+        // group_first passes a non-key payload through: not decomposable.
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], 200_000).with_bytes_per_row(40));
+        let g = p.reduce(
+            "agg",
+            &[0],
+            group_first(2),
+            CostHints::default().with_distinct_keys(64),
+            s,
+        );
+        let plan = p.finish(g).unwrap().bind().unwrap();
+        let phys = phys_of(&plan);
+        assert!(!phys.root.combine);
+        assert_ne!(phys.root.local, LocalStrategy::StreamAgg);
     }
 
     #[test]

@@ -104,7 +104,7 @@ pub fn execute_with(
     dop: usize,
     opts: &ExecOptions,
 ) -> Result<(DataSet, ExecStats), ExecError> {
-    let compiled = pipeline::compile_physical(&phys.root);
+    let compiled = pipeline::compile_physical(&phys.root, opts.combine);
     pipeline::run(plan, &compiled, inputs, dop, opts)
 }
 

@@ -51,3 +51,34 @@ pub use engine::{execute, execute_logical, execute_logical_with, execute_with, E
 pub use pipeline::ExecOptions;
 pub use profile::{profile, profile_hints, sample_inputs, OpProfile};
 pub use stats::{ExecStats, OpSnapshot};
+
+/// Shared IR builders for this crate's test modules.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use strato_ir::{BinOp, FuncBuilder, Function, UdfKind};
+
+    /// In-place `Σ field` — the canonical *combinable* reduce UDF (fold
+    /// written back to the field it was read from).
+    pub(crate) fn sum_inplace(w: usize, field: usize) -> Function {
+        let mut b = FuncBuilder::new("sum_ip", UdfKind::Group, vec![w]);
+        let acc = b.konst(0i64);
+        let it = b.iter_open(0);
+        let done = b.new_label();
+        let head = b.new_label();
+        b.place(head);
+        let r = b.iter_next(it, done);
+        let v = b.get(r, field);
+        b.bin_into(acc, BinOp::Add, acc, v);
+        b.jump(head);
+        b.place(done);
+        let it2 = b.iter_open(0);
+        let nil = b.new_label();
+        let first = b.iter_next(it2, nil);
+        let or = b.copy(first);
+        b.set(or, field, acc);
+        b.emit(or);
+        b.place(nil);
+        b.ret();
+        b.finish().unwrap()
+    }
+}

@@ -37,6 +37,7 @@ pub mod cross;
 pub mod join;
 pub mod map;
 pub mod reduce;
+pub mod streamagg;
 
 use crate::engine::ExecError;
 use crate::stats::ExecStats;
@@ -221,11 +222,39 @@ pub fn build<'a>(
 ) -> Box<dyn Operator + 'a> {
     match &op.pact {
         Pact::Map => Box::new(map::MapOp::new(op, ctx)),
+        // StreamAgg is only chosen by the optimizer where the schema-level
+        // legality holds (structural fold proof, pass-through fields are
+        // keys, no fold targets a key); fall back to buffered hash
+        // grouping defensively if a hand-built physical plan requests it
+        // for a reduce that fails any of those conditions.
+        Pact::Reduce { .. } if strategy == LocalStrategy::StreamAgg => {
+            if op.stream_aggregable() {
+                Box::new(streamagg::StreamAggOp::new(
+                    op,
+                    streamagg::AggRole::Final,
+                    ctx,
+                ))
+            } else {
+                Box::new(reduce::ReduceOp::new(op, LocalStrategy::HashGroup, ctx))
+            }
+        }
         Pact::Reduce { .. } => Box::new(reduce::ReduceOp::new(op, strategy, ctx)),
         Pact::Match { .. } => Box::new(join::MatchOp::new(op, strategy, ctx)),
         Pact::Cross => Box::new(cross::CrossOp::new(op, ctx)),
         Pact::CoGroup { .. } => Box::new(cogroup::CoGroupOp::new(op, ctx)),
     }
+}
+
+/// Builds the pre-ship combiner stage of a combinable Reduce: a streaming
+/// pre-aggregator that emits raw partials (no UDF calls). Panics when the
+/// operator is not a proven in-place fold — the lowering only inserts
+/// combiner stages where `PhysNode::combine` was legally set.
+pub(crate) fn build_combiner<'a>(op: &'a BoundOp, ctx: OpCtx<'a>) -> Box<dyn Operator + 'a> {
+    Box::new(streamagg::StreamAggOp::new(
+        op,
+        streamagg::AggRole::Combine,
+        ctx,
+    ))
 }
 
 /// Builds a fused chain of Map operators running as **one** task: records

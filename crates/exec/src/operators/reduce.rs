@@ -13,10 +13,10 @@ use strato_record::{Record, RecordBatch};
 /// the chosen local algorithm, and invokes the UDF once per group.
 ///
 /// Both algorithms present each group in canonical `(key, record)` order
-/// and emit groups deterministically — ascending key order, except that a
-/// 64-bit key-hash collision may locally reorder the colliding keys on the
-/// hash path — so output is a function of the input bag regardless of
-/// partitioning or batch boundaries.
+/// and emit groups in ascending key order — 64-bit key-hash collisions on
+/// the hash path are broken by a full key comparison — so the output
+/// sequence is a pure function of the input bag regardless of local
+/// algorithm, partitioning or batch boundaries.
 pub struct ReduceOp<'a> {
     op: &'a BoundOp,
     strategy: LocalStrategy,
@@ -78,22 +78,39 @@ impl Operator for ReduceOp<'_> {
             _ => {
                 // Bucket by key hash, then sort each bucket: records of one
                 // key end up contiguous (hash collisions merely share a
-                // bucket and are split by the key-run walk).
+                // bucket and are split into separate key groups below).
                 let mut table: FxHashMap<u64, Vec<Record>> = FxHashMap::default();
                 for r in self.buffered.drain(..) {
                     table.entry(key_hash(&r, key)).or_default().push(r);
                 }
-                let mut buckets: Vec<Vec<Record>> = table.into_values().collect();
-                for b in &mut buckets {
+                // Split every bucket into its key groups *before* choosing
+                // an emission order, then order the groups by a full key
+                // comparison. Ordering whole buckets by their first record
+                // would interleave wrongly under a 64-bit hash collision
+                // (a bucket holding keys {1, 5} sorts once as a unit and
+                // emits 1, 5 ahead of another bucket's 3). The common
+                // collision-free bucket moves through unchanged.
+                let mut key_groups: Vec<Vec<Record>> = Vec::with_capacity(table.len());
+                for mut b in table.into_values() {
                     b.sort_unstable_by(|a, x| canonical_cmp(a, x, key));
+                    let first_run = run_len(&b, 0, key);
+                    if first_run == b.len() {
+                        key_groups.push(b);
+                    } else {
+                        let mut i = 0;
+                        while i < b.len() {
+                            let n = run_len(&b, i, key);
+                            key_groups.push(b[i..i + n].to_vec());
+                            i += n;
+                        }
+                    }
                 }
-                // Ordering buckets by their (sorted) first record restores
-                // the ascending-key emission order of the sort path; each
-                // bucket is then a run of one key (or, on a 64-bit hash
-                // collision, several sorted keys split by `call_groups`).
-                buckets.sort_unstable_by(|a, b| canonical_cmp(&a[0], &b[0], key));
-                for b in &buckets {
-                    groups += self.call_groups(b, &mut emitted)?;
+                // Distinct keys per group, so comparing first records on
+                // the key alone is a total order: globally ascending —
+                // identical to the sort path's emission order.
+                key_groups.sort_unstable_by(|a, b| super::key_cmp(&a[0], &b[0], key));
+                for g in &key_groups {
+                    groups += self.call_groups(g, &mut emitted)?;
                 }
             }
         }
@@ -103,5 +120,115 @@ impl Operator for ReduceOp<'_> {
         }
         self.ctx.emit(emitted, out);
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{apply_single, key_cmp, key_hash, OpCtx};
+    use crate::stats::ExecStats;
+    use std::hash::Hasher;
+    use strato_dataflow::{CostHints, Plan, ProgramBuilder, SourceDef};
+    use strato_ir::interp::Interp;
+    use strato_ir::{BinOp, FuncBuilder, Function, UdfKind};
+    use strato_record::hash::FxHasher;
+    use strato_record::{DataSet, Value};
+
+    /// Engineers a second key pair `(b, y)` whose 64-bit key hash equals
+    /// that of `(a, x)`. Each FxHash step is
+    /// `state' = (rotl5(state) ^ word) * SEED` with an odd (invertible)
+    /// SEED, so for fixed prefixes the final word is uniquely solvable:
+    /// `y = x ^ rotl5(state_a) ^ rotl5(state_b)`.
+    fn colliding_second_field(a: i64, x: i64, b: i64) -> i64 {
+        let prefix = |k: i64| {
+            let mut h = FxHasher::default();
+            h.write_u8(2); // Value::Int type rank of the first key field
+            h.write_i64(k);
+            h.write_u8(2); // type rank of the second key field
+            h.finish()
+        };
+        (x as u64 ^ prefix(a).rotate_left(5) ^ prefix(b).rotate_left(5)) as i64
+    }
+
+    /// Sum of field 2, appended as field 3 (two-field grouping key).
+    fn sum_appended() -> Function {
+        let mut b = FuncBuilder::new("sum", UdfKind::Group, vec![3]);
+        let acc = b.konst(0i64);
+        let it = b.iter_open(0);
+        let done = b.new_label();
+        let head = b.new_label();
+        b.place(head);
+        let r = b.iter_next(it, done);
+        let v = b.get(r, 2);
+        b.bin_into(acc, BinOp::Add, acc, v);
+        b.jump(head);
+        b.place(done);
+        let it2 = b.iter_open(0);
+        let nil = b.new_label();
+        let first = b.iter_next(it2, nil);
+        let or = b.copy(first);
+        b.set(or, 3, acc);
+        b.emit(or);
+        b.place(nil);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn hash_collision_does_not_perturb_emission_order() {
+        // Regression: the hash path used to sort whole buckets by their
+        // first record, so two keys sharing a 64-bit hash were emitted
+        // adjacently even when a third key ordered between them — the
+        // emission order diverged from the sort path. Engineer keys
+        // A = (1, 100) < B = (1, 101) < C = (2, y) with
+        // hash(A) == hash(C) ≠ hash(B) and demand identical output.
+        let y = colliding_second_field(1, 100, 2);
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k1", "k2", "v"], 16));
+        let r = p.reduce("sum", &[0, 1], sum_appended(), CostHints::default(), s);
+        let plan: Plan = p.finish(r).unwrap().bind().unwrap();
+        let op = &plan.ctx.ops[0];
+        let key = op.key_attrs[0].clone();
+
+        let rec = |k1: i64, k2: i64, v: i64| {
+            let ds: DataSet = [Record::from_values([
+                Value::Int(k1),
+                Value::Int(k2),
+                Value::Int(v),
+            ])]
+            .into_iter()
+            .collect();
+            crate::pipeline::widen(&ds, &plan.ctx.sources[0].attrs, plan.ctx.width())
+                .pop()
+                .unwrap()
+        };
+        let (a1, a2) = (rec(1, 100, 5), rec(1, 100, 6));
+        let (b1, b2) = (rec(1, 101, 7), rec(1, 101, 8));
+        let (c1, c2) = (rec(2, y, 9), rec(2, y, 10));
+        // The engineered collision and its preconditions.
+        assert_eq!(key_hash(&a1, &key), key_hash(&c1, &key), "A and C collide");
+        assert_ne!(key_cmp(&a1, &c1, &key), std::cmp::Ordering::Equal);
+        assert_ne!(key_hash(&a1, &key), key_hash(&b1, &key));
+        assert!(key_cmp(&a1, &b1, &key).is_lt() && key_cmp(&b1, &c1, &key).is_lt());
+
+        let input = vec![c1, b1, a2, a1, c2, b2];
+        let stats = ExecStats::new();
+        let ctx = || OpCtx {
+            interp: Interp::default(),
+            stats: &stats,
+            batch_size: 64,
+            op_id: 0,
+        };
+        let hash = apply_single(op, LocalStrategy::HashGroup, vec![input.clone()], ctx()).unwrap();
+        let sort = apply_single(op, LocalStrategy::SortGroup, vec![input], ctx()).unwrap();
+        assert_eq!(
+            hash, sort,
+            "emission order must be a pure function of the input bag"
+        );
+        // Globally ascending by key: A (sum 11), B (15), C (19).
+        let sums: Vec<i64> = hash.iter().map(|r| r.field(3).as_int().unwrap()).collect();
+        assert_eq!(sums, vec![11, 15, 19]);
+        assert_eq!(hash.len(), 3);
     }
 }

@@ -1,0 +1,305 @@
+//! Streaming pre-aggregation for *combinable* (decomposable) reduces.
+//!
+//! When static code analysis proves a reduce UDF is an in-place algebraic
+//! fold (see `strato_sca::combine`), the engine does not need to buffer
+//! the group at all: it keeps **one partial record per key** in a hash
+//! table and folds every arriving record into its partial with the proven
+//! `⊕` operator — the engine literally runs the fold the analysis read
+//! out of the black box. The same operator serves two roles:
+//!
+//! * **pre-ship combiner** ([`AggRole::Combine`]): inserted ahead of a
+//!   Partition-shipped Reduce; emits the raw partials (no UDF calls), so
+//!   only one record per key per producing partition crosses the wire;
+//! * **final local strategy** ([`AggRole::Final`],
+//!   `LocalStrategy::StreamAgg`): replaces the buffering Reduce; at
+//!   `finish` it invokes the UDF once per partial (a singleton group), so
+//!   UDF-call accounting matches the buffered path exactly — one call per
+//!   distinct key.
+//!
+//! ## Why the output is byte-identical to the buffered Reduce
+//!
+//! The combiner legality conditions (`Plan::combinable_reduce`) guarantee
+//! every field of a group record is a grouping key (constant within the
+//! group), a folded field (`⊕` is associative + commutative, so the fold
+//! is independent of arrival order and of how the group was split into
+//! partials), or an attribute the input subtree never populates (null in
+//! every record). A partial is therefore a pure function of the group
+//! *bag*, and `finish` emits partials in ascending canonical key order —
+//! the same order the buffered Reduce emits groups. The UDF's constant
+//! accumulator init participates exactly once, in the final invocation,
+//! because partials are produced by the pure record-value fold.
+//!
+//! Memory: `O(distinct keys)` instead of `O(input)`, and the `finish`
+//! stall shrinks to a sort of the partials — the aggregation work itself
+//! streams with the arriving batches.
+
+use super::{canonical_cmp, key_cmp, key_hash, take_records, OpCtx, Operator};
+use crate::engine::ExecError;
+use std::sync::Arc;
+use strato_dataflow::BoundOp;
+use strato_ir::interp::{eval_bin, Invocation};
+use strato_ir::BinOp;
+use strato_record::hash::FxHashMap;
+use strato_record::{Record, RecordBatch};
+
+/// Which role a [`StreamAggOp`] instance plays (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AggRole {
+    /// Pre-ship combiner: emit raw partials, no UDF involvement.
+    Combine,
+    /// Final local strategy: one UDF invocation per partial.
+    Final,
+}
+
+/// Streaming hash pre-aggregation over input port 0.
+///
+/// The table is keyed by the 64-bit key hash with exact key comparison
+/// per bucket entry, so hash collisions cannot merge distinct keys.
+pub struct StreamAggOp<'a> {
+    op: &'a BoundOp,
+    ctx: OpCtx<'a>,
+    /// `(global attribute index, ⊕)` per folded field.
+    folds: Vec<(usize, BinOp)>,
+    role: AggRole,
+    /// key hash → partial records of the keys sharing that hash.
+    table: FxHashMap<u64, Vec<Record>>,
+    records_in: u64,
+}
+
+impl<'a> StreamAggOp<'a> {
+    pub(crate) fn new(op: &'a BoundOp, role: AggRole, ctx: OpCtx<'a>) -> Self {
+        let folds = op
+            .combine_folds()
+            .expect("StreamAgg requires a combinable reduce UDF")
+            .into_iter()
+            .map(|(attr, bin)| (attr.index(), bin))
+            .collect();
+        StreamAggOp {
+            op,
+            ctx,
+            folds,
+            role,
+            table: FxHashMap::default(),
+            records_in: 0,
+        }
+    }
+
+    /// Folds one record into its key's partial (creating it on first
+    /// sight). This is the entire per-record work of the operator.
+    fn absorb(&mut self, r: Record) {
+        let key = &self.op.key_attrs[0];
+        self.records_in += 1;
+        let bucket = self.table.entry(key_hash(&r, key)).or_default();
+        match bucket.iter_mut().find(|p| key_cmp(p, &r, key).is_eq()) {
+            Some(p) => {
+                for &(f, bin) in &self.folds {
+                    let v = eval_bin(bin, p.field(f), r.field(f));
+                    p.set_field(f, v);
+                }
+            }
+            None => bucket.push(r),
+        }
+    }
+}
+
+impl Operator for StreamAggOp<'_> {
+    fn push(
+        &mut self,
+        port: usize,
+        batch: Arc<RecordBatch>,
+        _out: &mut Vec<Arc<RecordBatch>>,
+    ) -> Result<(), ExecError> {
+        debug_assert_eq!(port, 0, "streaming aggregation is unary");
+        for r in take_records(batch) {
+            self.absorb(r);
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
+        let key = &self.op.key_attrs[0];
+        let mut partials: Vec<Record> = self.table.drain().flat_map(|(_, b)| b).collect();
+        // Ascending canonical key order: combiner output is deterministic
+        // and the Final role matches the buffered Reduce's emission order.
+        partials.sort_unstable_by(|a, b| canonical_cmp(a, b, key));
+        self.ctx
+            .stats
+            .add_preagg(self.records_in, partials.len() as u64);
+        match self.role {
+            AggRole::Combine => self.ctx.emit(partials, out),
+            AggRole::Final => {
+                let groups = partials.len() as u64;
+                let mut emitted = Vec::new();
+                for p in &partials {
+                    self.ctx.call(
+                        self.op,
+                        Invocation::Group(std::slice::from_ref(p)),
+                        &mut emitted,
+                    )?;
+                }
+                if self.ctx.stats.detail() {
+                    // Partials are exactly the distinct input-0 keys.
+                    self.ctx.stats.add_op_distinct_keys(self.ctx.op_id, groups);
+                }
+                self.ctx.emit(emitted, out);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{apply_single, build_combiner};
+    use crate::stats::ExecStats;
+    use crate::testutil::sum_inplace;
+    use strato_core::LocalStrategy;
+    use strato_dataflow::{CostHints, Plan, ProgramBuilder, SourceDef};
+    use strato_ir::interp::Interp;
+    use strato_record::{DataSet, Value};
+
+    fn agg_plan() -> Plan {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], 64));
+        let r = p.reduce("agg", &[0], sum_inplace(2, 1), CostHints::default(), s);
+        p.finish(r).unwrap().bind().unwrap()
+    }
+
+    fn wide(plan: &Plan, rows: &[(i64, i64)]) -> Vec<Record> {
+        let ds: DataSet = rows
+            .iter()
+            .map(|&(k, v)| Record::from_values([Value::Int(k), Value::Int(v)]))
+            .collect();
+        crate::pipeline::widen(&ds, &plan.ctx.sources[0].attrs, plan.ctx.width())
+    }
+
+    fn ctx(stats: &ExecStats) -> OpCtx<'_> {
+        OpCtx {
+            interp: Interp::default(),
+            stats,
+            batch_size: 64,
+            op_id: 0,
+        }
+    }
+
+    #[test]
+    fn stream_agg_matches_buffered_reduce_record_for_record() {
+        let plan = agg_plan();
+        let op = &plan.ctx.ops[0];
+        let rows = [(3, 10), (1, 1), (3, -4), (2, 7), (1, 5), (3, 9)];
+        let input = wide(&plan, &rows);
+        let s1 = ExecStats::new();
+        let buffered =
+            apply_single(op, LocalStrategy::HashGroup, vec![input.clone()], ctx(&s1)).unwrap();
+        let s2 = ExecStats::new();
+        let streamed = apply_single(op, LocalStrategy::StreamAgg, vec![input], ctx(&s2)).unwrap();
+        // Same records in the same (ascending-key) order.
+        assert_eq!(buffered, streamed);
+        // Same UDF-call accounting: one call per distinct key.
+        assert_eq!(s1.snapshot().0, s2.snapshot().0);
+        assert_eq!(s2.snapshot().0, 3);
+        // The streaming path reports its reduction.
+        assert_eq!(s2.preagg_snapshot(), (6, 3));
+        assert_eq!(s1.preagg_snapshot(), (0, 0));
+    }
+
+    #[test]
+    fn combiner_role_emits_pure_partials_without_udf_calls() {
+        let plan = agg_plan();
+        let op = &plan.ctx.ops[0];
+        let rows = [(2, 1), (1, 10), (2, 2), (2, 4), (1, -3)];
+        let input = wide(&plan, &rows);
+        let stats = ExecStats::new();
+        let mut comb = build_combiner(op, ctx(&stats));
+        comb.open().unwrap();
+        let mut out = Vec::new();
+        // Feed one record per batch: folding must happen across batches.
+        for r in input {
+            comb.push(0, Arc::new(RecordBatch::from_records(vec![r])), &mut out)
+                .unwrap();
+        }
+        comb.finish(&mut out).unwrap();
+        let partials: Vec<Record> = out
+            .into_iter()
+            .flat_map(crate::operators::take_records)
+            .collect();
+        // One partial per key, ascending, with the pure (init-free) fold.
+        assert_eq!(partials.len(), 2);
+        assert_eq!(partials[0].field(0), &Value::Int(1));
+        assert_eq!(partials[0].field(1), &Value::Int(7));
+        assert_eq!(partials[1].field(0), &Value::Int(2));
+        assert_eq!(partials[1].field(1), &Value::Int(7));
+        // No UDF ran; the reduction is accounted.
+        assert_eq!(stats.snapshot().0, 0);
+        assert_eq!(stats.preagg_snapshot(), (5, 2));
+    }
+
+    #[test]
+    fn illegal_stream_agg_requests_fall_back_to_buffered_grouping() {
+        // Two reduces whose UDF is *structurally* a fold but whose schema
+        // makes streaming aggregation illegal: (a) the fold targets the
+        // grouping key (partials would re-group by partial sums), (b) a
+        // pass-through field is not a key. A hand-built plan requesting
+        // StreamAgg must get the buffered ReduceOp instead.
+        let cases: Vec<Plan> = vec![
+            {
+                let mut p = ProgramBuilder::new();
+                let s = p.source(SourceDef::new("s", &["k"], 16));
+                let r = p.reduce("agg", &[0], sum_inplace(1, 0), CostHints::default(), s);
+                p.finish(r).unwrap().bind().unwrap()
+            },
+            {
+                let mut p = ProgramBuilder::new();
+                let s = p.source(SourceDef::new("s", &["k", "v", "payload"], 16));
+                let r = p.reduce("agg", &[0], sum_inplace(3, 1), CostHints::default(), s);
+                p.finish(r).unwrap().bind().unwrap()
+            },
+        ];
+        for plan in &cases {
+            let op = &plan.ctx.ops[0];
+            assert!(op.combine.is_some(), "structural proof holds");
+            assert!(!op.stream_aggregable(), "schema legality refused");
+            let src = &plan.ctx.sources[0];
+            let ds: DataSet = (0..12i64)
+                .map(|i| {
+                    Record::from_values(
+                        (0..src.attrs.len()).map(|f| Value::Int(if f == 0 { i % 3 } else { i })),
+                    )
+                })
+                .collect();
+            let input = crate::pipeline::widen(&ds, &src.attrs, plan.ctx.width());
+            let s1 = ExecStats::new();
+            let buffered =
+                apply_single(op, LocalStrategy::HashGroup, vec![input.clone()], ctx(&s1)).unwrap();
+            let s2 = ExecStats::new();
+            let requested =
+                apply_single(op, LocalStrategy::StreamAgg, vec![input], ctx(&s2)).unwrap();
+            assert_eq!(buffered, requested, "fallback must be exact");
+            // The fallback is the buffered operator: no preagg activity.
+            assert_eq!(s2.preagg_snapshot(), (0, 0));
+        }
+    }
+
+    #[test]
+    fn null_and_mixed_keys_group_exactly() {
+        // Null keys group together (SQL GROUP BY flavour); the fold's
+        // null-absorption matches the UDF's interpreter semantics.
+        let plan = agg_plan();
+        let op = &plan.ctx.ops[0];
+        let mk = |k: Value, v: i64| {
+            let mut r = Record::nulls(plan.ctx.width());
+            r.set_field(0, k);
+            r.set_field(1, Value::Int(v));
+            r
+        };
+        let input = vec![mk(Value::Null, 3), mk(Value::Int(1), 2), mk(Value::Null, 4)];
+        let s1 = ExecStats::new();
+        let buffered =
+            apply_single(op, LocalStrategy::HashGroup, vec![input.clone()], ctx(&s1)).unwrap();
+        let s2 = ExecStats::new();
+        let streamed = apply_single(op, LocalStrategy::StreamAgg, vec![input], ctx(&s2)).unwrap();
+        assert_eq!(buffered, streamed);
+        assert_eq!(buffered.len(), 2);
+    }
+}

@@ -46,6 +46,16 @@
 //! Blocking operators (Reduce, Match, Cross, CoGroup) keep buffering
 //! internally, so operator semantics — and the equivalence oracle — are
 //! unchanged; only the transport is streaming.
+//!
+//! Reduces whose UDF the static analysis proved **combinable** escape the
+//! buffering: the optimizer may mark them (`PhysNode::combine`) and this
+//! lowering then splices a **pre-ship combiner** stage — a streaming
+//! hash pre-aggregator ([`crate::operators::streamagg`]) — between the
+//! input subtree and the Partition ship, so only one partial record per
+//! key per producing partition crosses the wire. The same streaming
+//! operator serves as the `LocalStrategy::StreamAgg` local algorithm of
+//! the final Reduce. [`ExecOptions::combine`] gates the insertion; the
+//! logical oracle never combines.
 
 use crate::engine::{ExecError, Inputs};
 use crate::operators::{self, OpCtx, Operator};
@@ -85,6 +95,13 @@ pub struct ExecOptions {
     /// time. On by default; the profiler turns it off so task timing is
     /// attributed exactly per operator.
     pub fuse_maps: bool,
+    /// Honor the optimizer's pre-ship combiner choices
+    /// ([`strato_core::PhysNode::combine`]): insert a streaming
+    /// pre-aggregation stage ahead of Partition-shipped combinable
+    /// Reduces. On by default; the equivalence suite sweeps it as an axis
+    /// (results must be byte-identical either way, only shipped volume
+    /// changes).
+    pub combine: bool,
 }
 
 impl Default for ExecOptions {
@@ -95,6 +112,7 @@ impl Default for ExecOptions {
             workers: None,
             channel_capacity: 8,
             fuse_maps: true,
+            combine: true,
         }
     }
 }
@@ -112,6 +130,13 @@ pub(crate) enum StageKind {
         local: LocalStrategy,
         /// Ship strategy per input.
         ships: Vec<Ship>,
+    },
+    /// Pre-ship combiner of Reduce `op`: streaming partial aggregation on
+    /// the producing partitions (Forward input), feeding the Reduce's
+    /// Partition ship.
+    Combine {
+        /// Index into `plan.ctx.ops` (the Reduce being combined for).
+        op: usize,
     },
 }
 
@@ -147,21 +172,40 @@ pub(crate) fn compile_logical(plan: &Plan, node: &PlanNode) -> Stage {
 }
 
 /// Lowers a physical plan: ship and local strategies come from the
-/// optimizer's choices.
-pub(crate) fn compile_physical(node: &PhysNode) -> Stage {
+/// optimizer's choices. When `combine` is set (the default), a Reduce the
+/// optimizer marked [`PhysNode::combine`] gets a pre-ship combiner stage
+/// spliced between its input subtree and its Partition ship.
+pub(crate) fn compile_physical(node: &PhysNode, combine: bool) -> Stage {
     match node.logical.kind {
         NodeKind::Source(s) => Stage {
             kind: StageKind::Scan(s),
             children: vec![],
         },
-        NodeKind::Op(o) => Stage {
-            kind: StageKind::Apply {
-                op: o,
-                local: node.local,
-                ships: node.ships.clone(),
-            },
-            children: node.children.iter().map(compile_physical).collect(),
-        },
+        NodeKind::Op(o) => {
+            let mut children: Vec<Stage> = node
+                .children
+                .iter()
+                .map(|c| compile_physical(c, combine))
+                .collect();
+            if combine && node.combine {
+                let input = children.remove(0);
+                children.insert(
+                    0,
+                    Stage {
+                        kind: StageKind::Combine { op: o },
+                        children: vec![input],
+                    },
+                );
+            }
+            Stage {
+                kind: StageKind::Apply {
+                    op: o,
+                    local: node.local,
+                    ships: node.ships.clone(),
+                },
+                children,
+            }
+        }
     }
 }
 
@@ -208,6 +252,8 @@ enum FlatKind {
         /// Map operator ids fused behind `op` (applied in order).
         fused: Vec<usize>,
     },
+    /// Pre-ship combiner of Reduce `op` (streaming partial aggregation).
+    Combine { op: usize },
 }
 
 #[derive(Debug, Clone)]
@@ -266,6 +312,20 @@ fn flatten(plan: &Plan, stage: &Stage, fuse_maps: bool, stages: &mut Vec<FlatSta
             stages.push(FlatStage {
                 kind: FlatKind::Scan(*s),
                 inputs: vec![],
+                consumer: None,
+                chan_base: vec![],
+            });
+            stages.len() - 1
+        }
+        StageKind::Combine { op } => {
+            // Partition-local: consumes its producer's output in place
+            // (Forward) and never fuses.
+            stages.push(FlatStage {
+                kind: FlatKind::Combine { op: *op },
+                inputs: vec![FlatInput {
+                    child: children[0],
+                    ship: Ship::Forward,
+                }],
                 consumer: None,
                 chan_base: vec![],
             });
@@ -770,6 +830,35 @@ pub(crate) fn run_streaming(
                         None,
                     )
                 }
+                FlatKind::Combine { op } => {
+                    let bound = &plan.ctx.ops[*op];
+                    let ctx = OpCtx {
+                        interp: Interp::default(),
+                        stats,
+                        batch_size: opts.batch_size,
+                        // Charged to the reduce's slot: the combiner is
+                        // that operator's pre-ship half.
+                        op_id: *op,
+                    };
+                    let ports = s
+                        .chan_base
+                        .iter()
+                        .map(|&base| Port {
+                            chan: base + p,
+                            open: true,
+                        })
+                        .collect();
+                    (
+                        Work::Op {
+                            oper: operators::build_combiner(bound, ctx),
+                            ports,
+                            opened: false,
+                            rr: 0,
+                        },
+                        bound.name.as_str(),
+                        Some(*op),
+                    )
+                }
                 FlatKind::Apply { op, local, fused } => {
                     let make_ctx = |op_id: usize| OpCtx {
                         interp: Interp::default(),
@@ -1007,6 +1096,61 @@ mod tests {
             15,
             "3 ops × 5 records"
         );
+    }
+
+    use crate::testutil::sum_inplace;
+
+    #[test]
+    fn combiner_stage_is_inserted_for_combinable_partition_reduce() {
+        use strato_core::{cost::CostWeights, physical::best_physical, PropTable};
+        use strato_dataflow::PropertyMode;
+
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], 100_000).with_bytes_per_row(32));
+        let r = p.reduce(
+            "agg",
+            &[0],
+            sum_inplace(2, 1),
+            CostHints::default().with_distinct_keys(16),
+            s,
+        );
+        let plan = p.finish(r).unwrap().bind().unwrap();
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let phys = best_physical(&plan, &props, &CostWeights::default(), 4);
+        assert!(phys.root.combine, "optimizer must choose the combiner");
+
+        // Lowered with combining: scan → combine → reduce (3 stages);
+        // lowered with the axis off: scan → reduce (2 stages).
+        let with = compile_physical(&phys.root, true);
+        assert_eq!(TaskGraph::build(&plan, &with, 4, true).stage_count(), 3);
+        let without = compile_physical(&phys.root, false);
+        assert_eq!(TaskGraph::build(&plan, &without, 4, true).stage_count(), 2);
+
+        // End-to-end: identical output, strictly fewer shipped records,
+        // and the pre-aggregation counters report the reduction.
+        let rows: Vec<Vec<i64>> = (0..200).map(|i| vec![i % 16, i]).collect();
+        let rows_ref: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let inputs = inputs_for(&plan, &rows_ref);
+        let on = ExecOptions::default();
+        let off = ExecOptions {
+            combine: false,
+            ..ExecOptions::default()
+        };
+        let (out_on, st_on) = run(&plan, &with, &inputs, 4, &on).unwrap();
+        let (out_off, st_off) = run(&plan, &without, &inputs, 4, &off).unwrap();
+        assert_eq!(out_on.sorted(), out_off.sorted(), "byte-identical bags");
+        let (shipped_on, shipped_off) = (st_on.snapshot().2, st_off.snapshot().2);
+        assert!(
+            shipped_on < shipped_off,
+            "combiner must cut shipping: {shipped_on} vs {shipped_off}"
+        );
+        // With the combiner: it absorbs all 200 records AND the final
+        // StreamAgg absorbs the partials. Without: only the final
+        // StreamAgg sees the (unreduced) 200 records.
+        let (pre_in, pre_out) = st_on.preagg_snapshot();
+        assert!(pre_in > 200, "combiner + final StreamAgg: {pre_in}");
+        assert!(pre_out < pre_in);
+        assert_eq!(st_off.preagg_snapshot().0, 200);
     }
 
     #[test]

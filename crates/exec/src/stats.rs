@@ -63,6 +63,11 @@ pub struct ExecStats {
     pub records_shipped: AtomicU64,
     /// Serialized bytes moved by Partition/Broadcast ship strategies.
     pub bytes_shipped: AtomicU64,
+    /// Records absorbed by streaming pre-aggregation tables (pre-ship
+    /// combiners and StreamAgg local strategies).
+    pub records_preagg_in: AtomicU64,
+    /// Partial records those tables produced (one per key per instance).
+    pub records_preagg_out: AtomicU64,
     /// IR interpreter steps executed.
     pub interp_steps: AtomicU64,
     /// Per-operator slots (empty unless created via [`ExecStats::with_ops`]
@@ -155,6 +160,26 @@ impl ExecStats {
         self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Accounts one streaming pre-aggregation instance: `records` absorbed
+    /// into the table, `partials` partial records out. The reduction
+    /// `records − partials` is exactly the record count the combiner kept
+    /// off the wire (for pre-ship instances) or out of the reduce buffer
+    /// (for StreamAgg local strategies).
+    pub(crate) fn add_preagg(&self, records: u64, partials: u64) {
+        self.records_preagg_in.fetch_add(records, Ordering::Relaxed);
+        self.records_preagg_out
+            .fetch_add(partials, Ordering::Relaxed);
+    }
+
+    /// Streaming pre-aggregation totals as `(records in, partials out)`.
+    /// `(0, 0)` when no combiner or StreamAgg instance ran.
+    pub fn preagg_snapshot(&self) -> (u64, u64) {
+        (
+            self.records_preagg_in.load(Ordering::Relaxed),
+            self.records_preagg_out.load(Ordering::Relaxed),
+        )
+    }
+
     /// Snapshot of the counters as plain integers
     /// `(udf_calls, records_emitted, records_shipped, bytes_shipped,
     /// interp_steps)`.
@@ -210,6 +235,17 @@ mod tests {
         assert_eq!(shipped, 10);
         assert_eq!(bytes, 640);
         assert_eq!(steps, 150);
+    }
+
+    #[test]
+    fn preagg_counters_accumulate_separately() {
+        let s = ExecStats::new();
+        assert_eq!(s.preagg_snapshot(), (0, 0));
+        s.add_preagg(100, 7);
+        s.add_preagg(50, 7);
+        assert_eq!(s.preagg_snapshot(), (150, 14));
+        // Pre-aggregation does not touch the global ship/call counters.
+        assert_eq!(s.snapshot(), (0, 0, 0, 0, 0));
     }
 
     #[test]

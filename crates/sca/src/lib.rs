@@ -19,7 +19,10 @@
 //!   used for the key-group-preservation (KGP) condition,
 //! * **dynamic access flags** — `getField`/`setField` with non-literal
 //!   indices force worst-case assumptions, mirroring the paper's restriction
-//!   of its prototype to "field accesses with literals and final variables".
+//!   of its prototype to "field accesses with literals and final variables",
+//! * **combinability** — a structural proof that a reduce UDF is an
+//!   in-place algebraic fold and therefore *decomposable*, which unlocks
+//!   pre-shuffle combiners and streaming aggregation ([`combine`]).
 //!
 //! Safety through conservatism: every derived set is a superset of the true
 //! set for every possible input, so enumerated reorderings are a subset of
@@ -30,10 +33,12 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod combine;
 pub mod emits;
 pub mod probe;
 pub mod props;
 pub mod taint;
 
 pub use analysis::analyze;
+pub use combine::{combinable, CombineSummary};
 pub use props::{EmitBounds, LocalProps};

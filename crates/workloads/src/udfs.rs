@@ -58,6 +58,62 @@ pub fn sum_group(width: usize, field: usize) -> Function {
     b.finish().expect("sum_group")
 }
 
+/// Reduce UDF: fold `Σ field` **in place** — the canonical *combinable*
+/// (decomposable) aggregate. Unlike [`sum_group`], the total overwrites
+/// the very field it was read from, so re-reducing partial results yields
+/// the same answer; SCA's combine analysis proves this shape and the
+/// engine may then pre-aggregate before the shuffle and stream the final
+/// aggregation.
+pub fn sum_group_inplace(width: usize, field: usize) -> Function {
+    let mut b = FuncBuilder::new(format!("sum_ip_{field}"), UdfKind::Group, vec![width]);
+    let sum = b.konst(0i64);
+    let it = b.iter_open(0);
+    let done = b.new_label();
+    let head = b.new_label();
+    b.place(head);
+    let r = b.iter_next(it, done);
+    let v = b.get(r, field);
+    b.bin_into(sum, BinOp::Add, sum, v);
+    b.jump(head);
+    b.place(done);
+    let it2 = b.iter_open(0);
+    let nil = b.new_label();
+    let first = b.iter_next(it2, nil);
+    let or = b.copy(first);
+    b.set(or, field, sum);
+    b.emit(or);
+    b.place(nil);
+    b.ret();
+    b.finish().expect("sum_group_inplace")
+}
+
+/// Reduce UDF: fold `min(field)` in place — combinable like
+/// [`sum_group_inplace`], with an arbitrary constant init (sound for
+/// idempotent folds and, because combiner partials are init-free pure
+/// folds, for any constant).
+pub fn min_group_inplace(width: usize, field: usize) -> Function {
+    let mut b = FuncBuilder::new(format!("min_ip_{field}"), UdfKind::Group, vec![width]);
+    let lo = b.konst(i64::MAX);
+    let it = b.iter_open(0);
+    let done = b.new_label();
+    let head = b.new_label();
+    b.place(head);
+    let r = b.iter_next(it, done);
+    let v = b.get(r, field);
+    b.bin_into(lo, BinOp::Min, lo, v);
+    b.jump(head);
+    b.place(done);
+    let it2 = b.iter_open(0);
+    let nil = b.new_label();
+    let first = b.iter_next(it2, nil);
+    let or = b.copy(first);
+    b.set(or, field, lo);
+    b.emit(or);
+    b.place(nil);
+    b.ret();
+    b.finish().expect("min_group_inplace")
+}
+
 /// Reduce UDF: sum of `price_field × (100 − disc_field) / 100` over the
 /// group, appended as a new field (revenue aggregation with integer cents).
 pub fn revenue_sum_group(width: usize, price_field: usize, disc_field: usize) -> Function {
@@ -178,6 +234,35 @@ mod tests {
         let p = analyze(&f);
         assert!(p.copies_input(0));
         assert!(p.written_base.is_empty());
+    }
+
+    #[test]
+    fn inplace_aggregates_are_combinable_and_appended_sum_is_not() {
+        use strato_ir::BinOp;
+        let cs = strato_sca::combinable(&sum_group_inplace(2, 1)).expect("sum combinable");
+        assert_eq!(cs.folds.get(&1), Some(&BinOp::Add));
+        assert!(cs.passthrough.contains(&0));
+        let cs = strato_sca::combinable(&min_group_inplace(2, 1)).expect("min combinable");
+        assert_eq!(cs.folds.get(&1), Some(&BinOp::Min));
+        // The classic appended sum is NOT self-decomposable.
+        assert!(strato_sca::combinable(&sum_group(2, 1)).is_none());
+    }
+
+    #[test]
+    fn sum_group_inplace_aggregates_in_place() {
+        let f = sum_group_inplace(2, 1);
+        let layout = Layout::local(&f);
+        let g = vec![
+            Record::from_values([Value::Int(1), Value::Int(4)]),
+            Record::from_values([Value::Int(1), Value::Int(6)]),
+        ];
+        let mut out = Vec::new();
+        Interp::default()
+            .run(&f, Invocation::Group(&g), &layout, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].field(0), &Value::Int(1));
+        assert_eq!(out[0].field(1), &Value::Int(10));
     }
 
     #[test]

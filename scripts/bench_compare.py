@@ -12,6 +12,13 @@ With --fail-above PCT the script exits 1 when any matched bench's median
 regressed by more than PCT percent over its baseline (new benches without
 a baseline entry never fail). Benchmark numbers on shared CI runners are
 noisy, so pick a generous threshold — the CI gate uses 25.
+
+Baseline entries whose *group* appears in the current run but whose bench
+does not are reported as `missing` (a deleted or renamed bench must not
+slip through silently) and fail the gate under --fail-above. Baseline
+groups absent from the run entirely (historical captures, benches of
+other binaries) are ignored. A zero baseline median reports `n/a` rather
+than an infinite ratio.
 """
 
 import json
@@ -60,7 +67,13 @@ def main() -> int:
         if base is None:
             print(f"{name:<42} {'—':>12} {fmt(median):>12} {'new':>8}")
             continue
-        ratio = median / base if base else float("inf")
+        if base == 0:
+            # A zero baseline median is a capture artifact; any ratio
+            # against it is meaningless (and inf would always trip the
+            # gate). Report and move on.
+            print(f"{name:<42} {fmt(base):>12} {fmt(median):>12} {'n/a':>8}")
+            continue
+        ratio = median / base
         flag = "" if 0.8 <= ratio <= 1.25 else "  <-- check"
         print(
             f"{name:<42} {fmt(base):>12} {fmt(median):>12} "
@@ -69,15 +82,38 @@ def main() -> int:
         if fail_above is not None and ratio > 1.0 + fail_above / 100.0:
             regressions.append((name, ratio))
 
+    # Baseline benches that this run should have produced but did not:
+    # only groups the run actually covers are in scope (the baseline also
+    # archives other bench binaries and historical captures).
+    current = {(g, b) for g, b, _ in results}
+    current_groups = {g for g, _, _ in results}
+    missing = sorted(
+        (g, b)
+        for (g, b) in baseline
+        if g in current_groups and (g, b) not in current
+    )
+    for group, bench in missing:
+        name = f"{group}/{bench}" if group else bench
+        print(f"{name:<42} {fmt(baseline[(group, bench)]):>12} {'—':>12} {'missing':>8}")
+
     if fail_above is None:
         print("bench_compare: report only — never fails the build")
         return 0
-    if regressions:
-        for name, ratio in regressions:
-            print(
-                f"bench_compare: FAIL {name} regressed {ratio:.2f}x "
-                f"(> +{fail_above:g}% over baseline median)"
-            )
+    failed = False
+    for name, ratio in regressions:
+        failed = True
+        print(
+            f"bench_compare: FAIL {name} regressed {ratio:.2f}x "
+            f"(> +{fail_above:g}% over baseline median)"
+        )
+    for group, bench in missing:
+        failed = True
+        name = f"{group}/{bench}" if group else bench
+        print(
+            f"bench_compare: FAIL {name} is in the baseline but missing "
+            "from this run (deleted or renamed bench?)"
+        )
+    if failed:
         return 1
     print(f"bench_compare: all medians within +{fail_above:g}% of baseline")
     return 0

@@ -601,6 +601,95 @@ fn streaming_runtime_invariant_under_workers_and_channel_capacity() {
 }
 
 #[test]
+fn combiner_axis_is_byte_identical_and_strictly_cuts_shipping() {
+    // New sweep axis: the pre-ship combiner (plus the StreamAgg local
+    // strategy) must be a pure transport optimization. On a
+    // duplicate-heavy key distribution, every configuration of
+    // dop × batch × workers × capacity × combiner must produce the
+    // byte-identical result bag, the shipped-record/byte totals must be
+    // invariant within one (dop, combiner) point, and switching the
+    // combiner ON must strictly drop both shipped records and bytes.
+    let mut p = ProgramBuilder::new();
+    let s = p.source(SourceDef::new("s", &["k", "v"], 400));
+    let g = p.reduce(
+        "agg",
+        &[0],
+        strato::workloads::udfs::sum_group_inplace(2, 1),
+        CostHints::default().with_distinct_keys(8),
+        s,
+    );
+    let plan = p.finish(g).unwrap().bind().unwrap();
+    assert!(plan.combinable_reduce(&plan.root), "precondition");
+
+    let mut rng = StdRng::seed_from_u64(43);
+    let ds: DataSet = (0..400)
+        .map(|i| Record::from_values([Value::Int(i % 8), Value::Int(rng.gen_range(-100..=100i64))]))
+        .collect();
+    let mut inputs = Inputs::new();
+    inputs.insert("s".into(), ds);
+
+    // Oracle: logical execution — buffered grouping, never combined.
+    let (reference, _) = execute_logical(&plan, &inputs).unwrap();
+    let reference = reference.sorted();
+
+    let props = PropTable::build(&plan, PropertyMode::Sca);
+    for dop in [1usize, 2, 4] {
+        let phys = strato::core::physical::best_physical(
+            &plan,
+            &props,
+            &strato::core::cost::CostWeights::default(),
+            dop,
+        );
+        assert!(phys.root.combine, "optimizer must pick the combiner");
+        let mut shipped_at: [Option<(u64, u64)>; 2] = [None, None];
+        for combine in [false, true] {
+            for batch_size in [1usize, 1024] {
+                for workers in [1usize, 2] {
+                    for capacity in [1usize, 8] {
+                        let opts = ExecOptions {
+                            batch_size,
+                            validate_wire: true,
+                            workers: Some(workers),
+                            channel_capacity: capacity,
+                            combine,
+                            ..ExecOptions::default()
+                        };
+                        let (out, stats) = execute_with(&plan, &phys, &inputs, dop, &opts).unwrap();
+                        let tag = format!(
+                            "dop={dop} combine={combine} batch={batch_size} \
+                             workers={workers} capacity={capacity}"
+                        );
+                        assert_eq!(out.sorted(), reference, "byte-identical at {tag}");
+                        let (_, _, shipped, bytes, _) = stats.snapshot();
+                        match shipped_at[combine as usize] {
+                            None => shipped_at[combine as usize] = Some((shipped, bytes)),
+                            Some(prev) => assert_eq!(
+                                prev,
+                                (shipped, bytes),
+                                "ship accounting invariant at {tag}"
+                            ),
+                        }
+                        // The combiner must actually have fired: it alone
+                        // absorbs all 400 records (the final reduce may
+                        // legitimately run any local strategy on the
+                        // partials).
+                        let (pre_in, pre_out) = stats.preagg_snapshot();
+                        if combine {
+                            assert!(pre_in >= 400 && pre_out < pre_in, "{tag}");
+                        }
+                    }
+                }
+            }
+        }
+        let (on, off) = (shipped_at[1].unwrap(), shipped_at[0].unwrap());
+        assert!(
+            on.0 < off.0 && on.1 < off.1,
+            "dop={dop}: combined shipping {on:?} must be strictly below {off:?}"
+        );
+    }
+}
+
+#[test]
 fn partition_ship_stats_are_exact_on_a_known_plan() {
     // source → reduce on a fresh key: the reduce input must hash-repartition
     // every record exactly once, at any dop and batch size. Bytes follow the

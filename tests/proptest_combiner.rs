@@ -1,0 +1,59 @@
+//! Property test for the combiner path: for combinable (decomposable)
+//! reduce UDFs, **streaming pre-aggregation equals the buffered Reduce**
+//! on arbitrary inputs — with and without the pre-ship combiner stage, at
+//! any degree of parallelism — byte for byte against the logical oracle
+//! (which always executes the buffered, uncombined grouping).
+
+use proptest::prelude::*;
+use strato::core::cost::CostWeights;
+use strato::core::physical::best_physical;
+use strato::core::PropTable;
+use strato::dataflow::{CostHints, ProgramBuilder, PropertyMode, SourceDef};
+use strato::exec::{execute_logical, execute_with, ExecOptions, Inputs};
+use strato::record::{DataSet, Record, Value};
+use strato::workloads::udfs;
+
+proptest! {
+    #[test]
+    fn streaming_preagg_equals_buffered_reduce(
+        rows in prop::collection::vec((0i64..6, -50i64..50), 1..60),
+        dop in 1usize..5,
+        use_sum in any::<bool>(),
+    ) {
+        // In-place Σ or min — both proven combinable by SCA (min with a
+        // non-identity constant init, which the pure partial fold makes
+        // sound).
+        let udf = if use_sum {
+            udfs::sum_group_inplace(2, 1)
+        } else {
+            udfs::min_group_inplace(2, 1)
+        };
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], 64));
+        let g = p.reduce("agg", &[0], udf, CostHints::default().with_distinct_keys(6), s);
+        let plan = p.finish(g).unwrap().bind().unwrap();
+        prop_assert!(plan.combinable_reduce(&plan.root));
+
+        let ds: DataSet = rows
+            .iter()
+            .map(|&(k, v)| Record::from_values([Value::Int(k), Value::Int(v)]))
+            .collect();
+        let mut inputs = Inputs::new();
+        inputs.insert("s".into(), ds);
+
+        // Oracle: buffered hash grouping, no combiner, dop 1.
+        let (oracle, _) = execute_logical(&plan, &inputs).unwrap();
+        let oracle = oracle.sorted();
+
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let phys = best_physical(&plan, &props, &CostWeights::default(), dop);
+        for combine in [true, false] {
+            let opts = ExecOptions {
+                combine,
+                ..ExecOptions::default()
+            };
+            let (out, _) = execute_with(&plan, &phys, &inputs, dop, &opts).unwrap();
+            prop_assert_eq!(out.sorted(), oracle.clone());
+        }
+    }
+}
