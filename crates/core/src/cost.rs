@@ -10,6 +10,13 @@
 
 use strato_dataflow::{BoundOp, NodeKind, Pact, Plan, PlanNode};
 
+/// Default per-worker memory budget in bytes, shared between the cost
+/// model's spill charge ([`CostWeights::mem_budget`]) and the execution
+/// engine's `ExecOptions::mem_budget` default — the optimizer's spill
+/// penalties and the runtime's actual spill-to-disk behavior are keyed to
+/// the **same** threshold, so a plan charged for spilling really spills.
+pub const DEFAULT_MEM_BUDGET_BYTES: u64 = 48 * 1024 * 1024;
+
 /// Weights combining the three cost dimensions, plus the memory budget that
 /// decides when sort/hash strategies spill to disk.
 #[derive(Debug, Clone, Copy)]
@@ -30,7 +37,7 @@ impl Default for CostWeights {
             net: 1.0,
             disk: 0.6,
             cpu: 0.15,
-            mem_budget: 48.0 * 1024.0 * 1024.0,
+            mem_budget: DEFAULT_MEM_BUDGET_BYTES as f64,
         }
     }
 }

@@ -764,6 +764,26 @@ mod tests {
     }
 
     #[test]
+    fn spill_charge_is_zero_within_budget_and_grows_beyond_it() {
+        // Parity with the execution engine: the runtime spills exactly when
+        // buffered state exceeds `mem_budget` (see `ExecOptions::mem_budget`,
+        // whose default is the same `DEFAULT_MEM_BUDGET_BYTES` constant), so
+        // the cost model must charge nothing at or below the budget and a
+        // monotone write+read disk penalty above it.
+        let w = CostWeights::default();
+        assert_eq!(w.mem_budget, crate::cost::DEFAULT_MEM_BUDGET_BYTES as f64);
+        assert_eq!(spill(0.0, &w), 0.0);
+        assert_eq!(spill(w.mem_budget, &w), 0.0);
+        let just_over = spill(w.mem_budget + 1024.0, &w);
+        let far_over = spill(w.mem_budget * 3.0, &w);
+        assert!(just_over > 0.0);
+        assert!(far_over > just_over, "spill charge must be monotone");
+        // Write + read: every byte beyond the budget is charged twice at the
+        // disk rate.
+        assert_eq!(just_over, 2.0 * 1024.0 * w.disk);
+    }
+
+    #[test]
     fn render_mentions_strategies() {
         let mut p = ProgramBuilder::new();
         let s = p.source(SourceDef::new("s", &["k"], 1000));

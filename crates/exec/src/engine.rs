@@ -39,6 +39,9 @@ pub enum ExecError {
     /// Wire-format validation failed (only with
     /// [`ExecOptions::validate_wire`]).
     Wire(String),
+    /// Disk IO on the spill path failed (writing, reading or decoding a
+    /// spill file of the out-of-core subsystem, see [`crate::spill`]).
+    Spill(String),
     /// A worker task panicked — e.g. a buggy third-party component inside
     /// a UDF aborted instead of erroring. The scheduler catches the unwind
     /// at the task boundary, so the panic fails the query (with the
@@ -57,6 +60,7 @@ impl std::fmt::Display for ExecError {
             ExecError::MissingInput(s) => write!(f, "no input data for source {s}"),
             ExecError::Udf(op, e) => write!(f, "UDF of operator {op} failed: {e}"),
             ExecError::Wire(msg) => write!(f, "wire validation failed: {msg}"),
+            ExecError::Spill(msg) => write!(f, "spill IO failed: {msg}"),
             ExecError::Panic { op, message } => {
                 write!(f, "operator {op} panicked: {message}")
             }
@@ -297,6 +301,28 @@ mod tests {
         assert_eq!(out.len(), 1, "only the non-null key matches");
     }
 
+    /// RAII guard silencing the default panic hook while deliberate
+    /// panics fire (the unwinds themselves are caught at the task
+    /// boundary); dropping it restores the previous hook even when an
+    /// assertion fails in between.
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+    struct HookGuard(Option<PanicHook>);
+
+    impl Drop for HookGuard {
+        fn drop(&mut self) {
+            if let Some(prev) = self.0.take() {
+                std::panic::set_hook(prev);
+            }
+        }
+    }
+
+    fn silence_panics() -> HookGuard {
+        let guard = HookGuard(Some(std::panic::take_hook()));
+        std::panic::set_hook(Box::new(|_| {}));
+        guard
+    }
+
     /// Map UDF that calls `abort_if(field)` — panics on any truthy field,
     /// modelling a buggy third-party component crashing mid-query.
     fn abort_on_truthy(w: usize, field: usize) -> Function {
@@ -318,20 +344,7 @@ mod tests {
         let mut inputs = Inputs::new();
         inputs.insert("s".into(), ds(&[&[0], &[0], &[7], &[0]]));
 
-        // Silence the default panic hook while the deliberate panics fire
-        // (the unwinds themselves are caught at the task boundary); an RAII
-        // guard restores it even if an assertion below fails.
-        type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
-        struct HookGuard(Option<PanicHook>);
-        impl Drop for HookGuard {
-            fn drop(&mut self) {
-                if let Some(prev) = self.0.take() {
-                    std::panic::set_hook(prev);
-                }
-            }
-        }
-        let _guard = HookGuard(Some(std::panic::take_hook()));
-        std::panic::set_hook(Box::new(|_| {}));
+        let _guard = silence_panics();
 
         // Inline single-worker path.
         let err = execute_logical(&plan, &inputs).unwrap_err();
@@ -359,6 +372,53 @@ mod tests {
         inputs.insert("s".into(), ds(&[&[0], &[0]]));
         let (out, _) = execute_logical(&plan, &inputs).unwrap();
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn spill_files_are_cleaned_up_even_when_a_worker_panics() {
+        // source → sum reduce (spills under a 48-byte budget) → a UDF that
+        // panics on the aggregated sum. The reduce writes real runs before
+        // the panic fires; the failed execution must still remove its
+        // scoped spill directory (the `ExecError::Panic` path).
+        let build = |boom: bool| {
+            let mut p = ProgramBuilder::new();
+            let s = p.source(SourceDef::new("s", &["k", "v"], 32));
+            let r = p.reduce("sum", &[0], sum_reduce(2), CostHints::default(), s);
+            let out = if boom {
+                p.map("boom", abort_on_truthy(3, 2), CostHints::default(), r)
+            } else {
+                r
+            };
+            p.finish(out).unwrap().bind().unwrap()
+        };
+        let rows: Vec<Vec<i64>> = (0..32).map(|i| vec![i % 4, 1]).collect();
+        let rows_ref: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut inputs = Inputs::new();
+        inputs.insert("s".into(), ds(&rows_ref));
+
+        let base =
+            std::env::temp_dir().join(format!("strato-spill-cleanup-test-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let opts = ExecOptions {
+            mem_budget: Some(48),
+            spill_dir: Some(base.clone()),
+            ..ExecOptions::default()
+        };
+
+        // Sanity half: without the panicking map, this budget really does
+        // spill — so the panic run below had spill files to clean up.
+        let (_, stats) = execute_logical_with(&build(false), &inputs, &opts).unwrap();
+        assert!(stats.spill_snapshot().2 > 0, "budget must force spills");
+        let emptied = |base: &std::path::Path| std::fs::read_dir(base).unwrap().next().is_none();
+        assert!(emptied(&base), "successful run removed its directory");
+
+        // Panic half: same budget, with the aborting UDF downstream.
+        let _guard = silence_panics();
+        let err = execute_logical_with(&build(true), &inputs, &opts).unwrap_err();
+        drop(_guard);
+        assert!(matches!(err, ExecError::Panic { .. }), "{err}");
+        assert!(emptied(&base), "panicked run removed its directory too");
+        std::fs::remove_dir(&base).unwrap();
     }
 
     #[test]
@@ -428,9 +488,11 @@ mod tests {
         inputs: Vec<Vec<Record>>,
     ) -> Vec<Record> {
         let stats = ExecStats::new();
+        let gov = crate::spill::MemoryGovernor::unbounded();
         let ctx = OpCtx {
             interp: Interp::default(),
             stats: &stats,
+            gov: &gov,
             batch_size: 64,
             op_id: 0,
         };

@@ -22,6 +22,12 @@
 //!   [`ExecOptions::workers`] threads with bounded-channel backpressure;
 //!   the **same** lowering and operators serve both entry points. Worker
 //!   panics are contained per task and surfaced as [`ExecError::Panic`].
+//! * [`spill`] — out-of-core execution: blocking operators register their
+//!   buffered state with a shared per-execution [`MemoryGovernor`]
+//!   ([`ExecOptions::mem_budget`], default = the cost model's budget) and,
+//!   under pressure, flush it to sorted runs on disk, finishing via a
+//!   loser-tree k-way merge; the pre-ship combiner instead flushes its
+//!   partials downstream Hadoop-style.
 //!
 //! Two entry points:
 //!
@@ -45,11 +51,13 @@ pub mod operators;
 pub mod pipeline;
 pub mod profile;
 mod ship;
+pub mod spill;
 pub mod stats;
 
 pub use engine::{execute, execute_logical, execute_logical_with, execute_with, ExecError, Inputs};
 pub use pipeline::ExecOptions;
 pub use profile::{profile, profile_hints, sample_inputs, OpProfile};
+pub use spill::MemoryGovernor;
 pub use stats::{ExecStats, OpSnapshot};
 
 /// Shared IR builders for this crate's test modules.

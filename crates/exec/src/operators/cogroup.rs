@@ -1,7 +1,10 @@
-//! The CoGroup operator: sort-merge co-grouping over both key domains.
+//! The CoGroup operator: sort-merge co-grouping over both key domains,
+//! spilling each side to sorted runs under memory pressure.
 
-use super::{canonical_cmp, key_cmp2, run_len, take_records, OpCtx, Operator};
+use super::{canonical_cmp, key_cmp2, records_bytes, run_len, take_records, OpCtx, Operator};
 use crate::engine::ExecError;
+use crate::spill::merge::external_group_stream;
+use crate::spill::SortedRun;
 use std::cmp::Ordering;
 use std::sync::Arc;
 use strato_dataflow::BoundOp;
@@ -12,10 +15,23 @@ use strato_record::{Record, RecordBatch};
 /// its key, and merge-walks the two sorted runs. One UDF invocation per
 /// key of the *combined* active domain — a key present on only one side
 /// still forms a group, with an empty slice for the absent side.
+///
+/// Both side buffers register with the [`MemoryGovernor`]: under pressure
+/// each side is shed to a canonically key-sorted on-disk run (null keys
+/// are kept — they group like any other key), and `finish` merge-walks
+/// two *external* group streams instead of two in-memory sorted vectors.
+/// The walk order — ascending combined key domain — is identical either
+/// way.
+///
+/// [`MemoryGovernor`]: crate::spill::MemoryGovernor
 pub struct CoGroupOp<'a> {
     op: &'a BoundOp,
     ctx: OpCtx<'a>,
     sides: [Vec<Record>; 2],
+    /// Governor-granted bytes per buffered side.
+    side_bytes: [u64; 2],
+    /// Sorted runs spilled per side (usually empty).
+    runs: [Vec<SortedRun>; 2],
 }
 
 impl<'a> CoGroupOp<'a> {
@@ -24,7 +40,76 @@ impl<'a> CoGroupOp<'a> {
             op,
             ctx,
             sides: [Vec::new(), Vec::new()],
+            side_bytes: [0, 0],
+            runs: [Vec::new(), Vec::new()],
         }
+    }
+
+    /// Sheds one side's buffer to a canonically sorted on-disk run.
+    fn spill_side(&mut self, side: usize) -> Result<(), ExecError> {
+        let key = &self.op.key_attrs[side];
+        self.sides[side].sort_unstable_by(|a, b| canonical_cmp(a, b, key));
+        let run = self.ctx.gov.write_sorted_run(&self.sides[side])?;
+        self.ctx
+            .stats
+            .add_spill(self.ctx.op_id, run.records(), run.bytes());
+        self.runs[side].push(run);
+        self.sides[side].clear();
+        self.ctx.gov.release(self.side_bytes[side]);
+        self.side_bytes[side] = 0;
+        Ok(())
+    }
+
+    /// Merge-walk over two external group streams — the out-of-core twin
+    /// of the in-memory walk in [`Operator::finish`].
+    fn finish_external(&mut self, emitted: &mut Vec<Record>) -> Result<u64, ExecError> {
+        let (kl, kr) = (&self.op.key_attrs[0], &self.op.key_attrs[1]);
+        let mut streams = Vec::with_capacity(2);
+        for side in 0..2 {
+            let key = &self.op.key_attrs[side];
+            let tail = std::mem::take(&mut self.sides[side]);
+            self.ctx.gov.release(self.side_bytes[side]);
+            self.side_bytes[side] = 0;
+            streams.push(external_group_stream(
+                self.ctx.gov,
+                std::mem::take(&mut self.runs[side]),
+                tail,
+                key,
+            )?);
+        }
+        let (mut right_s, mut left_s) = (streams.pop().unwrap(), streams.pop().unwrap());
+        let empty: [Record; 0] = [];
+        let mut left_keys = 0u64;
+        loop {
+            let ord = match (left_s.peek(), right_s.peek()) {
+                (None, None) => break,
+                (Some(_), None) => Ordering::Less,
+                (None, Some(_)) => Ordering::Greater,
+                (Some(l), Some(r)) => key_cmp2(l, kl, r, kr),
+            };
+            let lg = if ord.is_gt() {
+                None
+            } else {
+                left_s.next_group()?
+            };
+            let rg = if ord.is_lt() {
+                None
+            } else {
+                right_s.next_group()?
+            };
+            self.ctx.call(
+                self.op,
+                Invocation::CoGroup(
+                    lg.as_deref().unwrap_or(&empty),
+                    rg.as_deref().unwrap_or(&empty),
+                ),
+                emitted,
+            )?;
+            if lg.is_some() {
+                left_keys += 1;
+            }
+        }
+        Ok(left_keys)
     }
 }
 
@@ -35,11 +120,35 @@ impl Operator for CoGroupOp<'_> {
         batch: Arc<RecordBatch>,
         _out: &mut Vec<Arc<RecordBatch>>,
     ) -> Result<(), ExecError> {
+        let start = self.sides[port].len();
         self.sides[port].extend(take_records(batch));
+        if self.ctx.gov.bounded() {
+            let bytes = records_bytes(&self.sides[port][start..]);
+            self.side_bytes[port] += bytes;
+            self.ctx.gov.grant(bytes);
+            if self.ctx.gov.over_budget() {
+                for side in 0..2 {
+                    if !self.sides[side].is_empty() {
+                        self.spill_side(side)?;
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
     fn finish(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
+        if self.runs.iter().any(|r| !r.is_empty()) {
+            let mut emitted = Vec::new();
+            let left_keys = self.finish_external(&mut emitted)?;
+            if self.ctx.stats.detail() {
+                self.ctx
+                    .stats
+                    .add_op_distinct_keys(self.ctx.op_id, left_keys);
+            }
+            self.ctx.emit(emitted, out);
+            return Ok(());
+        }
         let (kl, kr) = (&self.op.key_attrs[0], &self.op.key_attrs[1]);
         let [mut left, mut right] = std::mem::take(&mut self.sides);
         left.sort_unstable_by(|a, b| canonical_cmp(a, b, kl));
@@ -88,6 +197,10 @@ impl Operator for CoGroupOp<'_> {
                 .stats
                 .add_op_distinct_keys(self.ctx.op_id, left_keys);
         }
+        self.ctx
+            .gov
+            .release(self.side_bytes[0] + self.side_bytes[1]);
+        self.side_bytes = [0, 0];
         self.ctx.emit(emitted, out);
         Ok(())
     }

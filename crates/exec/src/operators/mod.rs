@@ -40,6 +40,7 @@ pub mod reduce;
 pub mod streamagg;
 
 use crate::engine::ExecError;
+use crate::spill::MemoryGovernor;
 use crate::stats::ExecStats;
 use std::cmp::Ordering;
 use std::hash::Hasher;
@@ -79,6 +80,10 @@ pub struct OpCtx<'a> {
     pub interp: Interp,
     /// Shared counters of the enclosing execution.
     pub stats: &'a ExecStats,
+    /// The execution's shared memory budget: blocking operators register
+    /// their buffered state here and spill to sorted runs on pressure
+    /// (see [`crate::spill`]).
+    pub gov: &'a MemoryGovernor,
     /// Target number of records per emitted batch.
     pub batch_size: usize,
     /// Operator id inside the plan — the per-operator counter slot this
@@ -185,6 +190,14 @@ pub(crate) fn run_len<R: std::borrow::Borrow<Record>>(
         j += 1;
     }
     j - i
+}
+
+/// Total `encoded_len` of a record slice — the byte measure blocking
+/// operators register with the [`MemoryGovernor`] (the same approximation
+/// the cost model's `mem_budget` is expressed in).
+#[inline]
+pub(crate) fn records_bytes(recs: &[Record]) -> u64 {
+    recs.iter().map(|r| r.encoded_len() as u64).sum()
 }
 
 /// Takes ownership of a batch's records: moves when this is the last

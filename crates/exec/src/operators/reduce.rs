@@ -1,7 +1,10 @@
-//! The Reduce operator: hash or sort grouping.
+//! The Reduce operator: hash or sort grouping, spilling to sorted runs
+//! under memory pressure.
 
-use super::{canonical_cmp, key_hash, run_len, take_records, OpCtx, Operator};
+use super::{canonical_cmp, key_hash, records_bytes, run_len, take_records, OpCtx, Operator};
 use crate::engine::ExecError;
+use crate::spill::merge::external_group_stream;
+use crate::spill::SortedRun;
 use std::sync::Arc;
 use strato_core::LocalStrategy;
 use strato_dataflow::BoundOp;
@@ -17,11 +20,23 @@ use strato_record::{Record, RecordBatch};
 /// the hash path are broken by a full key comparison — so the output
 /// sequence is a pure function of the input bag regardless of local
 /// algorithm, partitioning or batch boundaries.
+///
+/// The buffer is registered with the execution's [`MemoryGovernor`]: under
+/// memory pressure it is sorted canonically and written as one on-disk
+/// run; `finish` then k-way-merges the runs with the in-memory tail and
+/// walks key groups off the merged stream — same canonical order, so
+/// spilling never changes the output, only where the bytes live.
+///
+/// [`MemoryGovernor`]: crate::spill::MemoryGovernor
 pub struct ReduceOp<'a> {
     op: &'a BoundOp,
     strategy: LocalStrategy,
     ctx: OpCtx<'a>,
     buffered: Vec<Record>,
+    /// `encoded_len` of `buffered`, as granted to the governor.
+    buffered_bytes: u64,
+    /// Sorted runs written under memory pressure (usually empty).
+    runs: Vec<SortedRun>,
 }
 
 impl<'a> ReduceOp<'a> {
@@ -31,6 +46,8 @@ impl<'a> ReduceOp<'a> {
             strategy,
             ctx,
             buffered: Vec::new(),
+            buffered_bytes: 0,
+            runs: Vec::new(),
         }
     }
 
@@ -49,6 +66,41 @@ impl<'a> ReduceOp<'a> {
         }
         Ok(groups)
     }
+
+    /// Sheds the whole buffer to one canonically sorted on-disk run.
+    fn spill(&mut self) -> Result<(), ExecError> {
+        let key = &self.op.key_attrs[0];
+        self.buffered
+            .sort_unstable_by(|a, b| canonical_cmp(a, b, key));
+        let run = self.ctx.gov.write_sorted_run(&self.buffered)?;
+        self.ctx
+            .stats
+            .add_spill(self.ctx.op_id, run.records(), run.bytes());
+        self.runs.push(run);
+        self.buffered.clear();
+        self.ctx.gov.release(self.buffered_bytes);
+        self.buffered_bytes = 0;
+        Ok(())
+    }
+
+    /// Out-of-core grouping: merge the on-disk runs with the sorted
+    /// in-memory tail and invoke the UDF per merged key group. Emission
+    /// order is the same ascending canonical order as both in-memory
+    /// algorithms.
+    fn finish_external(&mut self, emitted: &mut Vec<Record>) -> Result<u64, ExecError> {
+        let key = &self.op.key_attrs[0];
+        let tail = std::mem::take(&mut self.buffered);
+        self.ctx.gov.release(self.buffered_bytes);
+        self.buffered_bytes = 0;
+        let mut groups =
+            external_group_stream(self.ctx.gov, std::mem::take(&mut self.runs), tail, key)?;
+        let mut n = 0u64;
+        while let Some(g) = groups.next_group()? {
+            self.ctx.call(self.op, Invocation::Group(&g), emitted)?;
+            n += 1;
+        }
+        Ok(n)
+    }
 }
 
 impl Operator for ReduceOp<'_> {
@@ -59,7 +111,16 @@ impl Operator for ReduceOp<'_> {
         _out: &mut Vec<Arc<RecordBatch>>,
     ) -> Result<(), ExecError> {
         debug_assert_eq!(port, 0, "Reduce is unary");
+        let start = self.buffered.len();
         self.buffered.extend(take_records(batch));
+        if self.ctx.gov.bounded() {
+            let bytes = records_bytes(&self.buffered[start..]);
+            self.buffered_bytes += bytes;
+            self.ctx.gov.grant(bytes);
+            if self.ctx.gov.over_budget() && !self.buffered.is_empty() {
+                self.spill()?;
+            }
+        }
         Ok(())
     }
 
@@ -67,6 +128,14 @@ impl Operator for ReduceOp<'_> {
         let key = &self.op.key_attrs[0];
         let mut emitted = Vec::new();
         let mut groups = 0u64;
+        if !self.runs.is_empty() {
+            groups += self.finish_external(&mut emitted)?;
+            if self.ctx.stats.detail() {
+                self.ctx.stats.add_op_distinct_keys(self.ctx.op_id, groups);
+            }
+            self.ctx.emit(emitted, out);
+            return Ok(());
+        }
         match self.strategy {
             LocalStrategy::SortGroup => {
                 // One global sort; groups are the contiguous key runs.
@@ -118,6 +187,8 @@ impl Operator for ReduceOp<'_> {
             // Groups == distinct input-0 keys for Reduce (nulls group).
             self.ctx.stats.add_op_distinct_keys(self.ctx.op_id, groups);
         }
+        self.ctx.gov.release(self.buffered_bytes);
+        self.buffered_bytes = 0;
         self.ctx.emit(emitted, out);
         Ok(())
     }
@@ -127,6 +198,7 @@ impl Operator for ReduceOp<'_> {
 mod tests {
     use super::*;
     use crate::operators::{apply_single, key_cmp, key_hash, OpCtx};
+    use crate::spill::MemoryGovernor;
     use crate::stats::ExecStats;
     use std::hash::Hasher;
     use strato_dataflow::{CostHints, Plan, ProgramBuilder, SourceDef};
@@ -214,9 +286,11 @@ mod tests {
 
         let input = vec![c1, b1, a2, a1, c2, b2];
         let stats = ExecStats::new();
+        let gov = MemoryGovernor::unbounded();
         let ctx = || OpCtx {
             interp: Interp::default(),
             stats: &stats,
+            gov: &gov,
             batch_size: 64,
             op_id: 0,
         };
@@ -230,5 +304,75 @@ mod tests {
         let sums: Vec<i64> = hash.iter().map(|r| r.field(3).as_int().unwrap()).collect();
         assert_eq!(sums, vec![11, 15, 19]);
         assert_eq!(hash.len(), 3);
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_reproduces_the_in_memory_output_exactly() {
+        use crate::operators::{take_records, Operator};
+        use crate::testutil::sum_inplace;
+        use strato_dataflow::{CostHints, Plan, ProgramBuilder, SourceDef};
+
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], 64));
+        let r = p.reduce("sum", &[0], sum_inplace(2, 1), CostHints::default(), s);
+        let plan: Plan = p.finish(r).unwrap().bind().unwrap();
+        let op = &plan.ctx.ops[0];
+        let ds: DataSet = (0..48i64)
+            .map(|i| Record::from_values([Value::Int(i % 5), Value::Int(i)]))
+            .collect();
+        let input = crate::pipeline::widen(&ds, &plan.ctx.sources[0].attrs, plan.ctx.width());
+
+        // Reference: unbounded in-memory grouping.
+        let ref_stats = ExecStats::new();
+        let ref_gov = MemoryGovernor::unbounded();
+        let reference = apply_single(
+            op,
+            LocalStrategy::HashGroup,
+            vec![input.clone()],
+            OpCtx {
+                interp: Interp::default(),
+                stats: &ref_stats,
+                gov: &ref_gov,
+                batch_size: 64,
+                op_id: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(ref_stats.spill_snapshot(), (0, 0, 0));
+
+        for strategy in [LocalStrategy::HashGroup, LocalStrategy::SortGroup] {
+            // A 64-byte budget forces a spill on (nearly) every pushed
+            // batch; feed one record per batch to maximize pressure events.
+            let stats = ExecStats::with_ops(1);
+            let gov = MemoryGovernor::with_budget(Some(64));
+            let ctx = OpCtx {
+                interp: Interp::default(),
+                stats: &stats,
+                gov: &gov,
+                batch_size: 64,
+                op_id: 0,
+            };
+            let mut oper = ReduceOp::new(op, strategy, ctx);
+            oper.open().unwrap();
+            let mut out = Vec::new();
+            let mut max_resident = 0u64;
+            for r in input.clone() {
+                let batch_bytes = r.encoded_len() as u64;
+                oper.push(0, Arc::new(RecordBatch::from_records(vec![r])), &mut out)
+                    .unwrap();
+                max_resident = max_resident.max(gov.resident());
+                // Within one batch of slack: pressure sheds the buffer.
+                assert!(gov.resident() <= 64 + batch_bytes);
+            }
+            oper.finish(&mut out).unwrap();
+            let got: Vec<Record> = out.into_iter().flat_map(take_records).collect();
+            assert_eq!(got, reference, "{strategy:?} must spill transparently");
+            let (rec_spilled, bytes_spilled, runs) = stats.spill_snapshot();
+            assert!(runs > 1, "tiny budget must spill repeatedly: {runs}");
+            assert!(rec_spilled > 0 && bytes_spilled > 0);
+            assert_eq!(gov.resident(), 0, "all grants released at finish");
+            let slot = &stats.op_snapshots()[0];
+            assert_eq!(slot.spill_runs, runs, "per-op slot mirrors the totals");
+        }
     }
 }

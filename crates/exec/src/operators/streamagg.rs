@@ -32,9 +32,27 @@
 //! Memory: `O(distinct keys)` instead of `O(input)`, and the `finish`
 //! stall shrinks to a sort of the partials — the aggregation work itself
 //! streams with the arriving batches.
+//!
+//! ## Memory governance
+//!
+//! The partial table registers with the execution's
+//! [`MemoryGovernor`](crate::spill::MemoryGovernor). Under pressure the
+//! two roles degrade differently:
+//!
+//! * the **combiner** flushes its partials *downstream* (Hadoop-style
+//!   combiner spill): the final Reduce re-groups them, so a skewed or
+//!   wide key domain costs shipped volume instead of unbounded memory —
+//!   the table never touches disk;
+//! * the **final** role spills its partials to canonically sorted on-disk
+//!   runs; at `finish` the runs merge with the in-memory table and
+//!   equal-key partials are re-folded (legal: `⊕` is associative and
+//!   commutative) before the one UDF call per key — call accounting and
+//!   emission order stay identical to the unspilled run.
 
 use super::{canonical_cmp, key_cmp, key_hash, take_records, OpCtx, Operator};
 use crate::engine::ExecError;
+use crate::spill::merge::external_group_stream;
+use crate::spill::SortedRun;
 use std::sync::Arc;
 use strato_dataflow::BoundOp;
 use strato_ir::interp::{eval_bin, Invocation};
@@ -64,6 +82,12 @@ pub struct StreamAggOp<'a> {
     /// key hash → partial records of the keys sharing that hash.
     table: FxHashMap<u64, Vec<Record>>,
     records_in: u64,
+    /// Partials emitted or spilled so far (pressure flushes + finish).
+    partials_out: u64,
+    /// `encoded_len` of the table's partials, as granted to the governor.
+    table_bytes: u64,
+    /// Sorted partial runs written under pressure (Final role only).
+    runs: Vec<SortedRun>,
 }
 
 impl<'a> StreamAggOp<'a> {
@@ -81,6 +105,9 @@ impl<'a> StreamAggOp<'a> {
             role,
             table: FxHashMap::default(),
             records_in: 0,
+            partials_out: 0,
+            table_bytes: 0,
+            runs: Vec::new(),
         }
     }
 
@@ -97,8 +124,58 @@ impl<'a> StreamAggOp<'a> {
                     p.set_field(f, v);
                 }
             }
-            None => bucket.push(r),
+            None => {
+                if self.ctx.gov.bounded() {
+                    let bytes = r.encoded_len() as u64;
+                    self.table_bytes += bytes;
+                    self.ctx.gov.grant(bytes);
+                }
+                bucket.push(r);
+            }
         }
+    }
+
+    /// Drains the table into canonically sorted partials and releases its
+    /// governor grant.
+    fn drain_sorted(&mut self) -> Vec<Record> {
+        let key = &self.op.key_attrs[0];
+        let mut partials: Vec<Record> = self.table.drain().flat_map(|(_, b)| b).collect();
+        partials.sort_unstable_by(|a, b| canonical_cmp(a, b, key));
+        self.ctx.gov.release(self.table_bytes);
+        self.table_bytes = 0;
+        partials
+    }
+
+    /// Sheds the table under memory pressure: the combiner flushes its
+    /// partials downstream (the final Reduce re-groups them), the final
+    /// role writes them as a sorted on-disk run.
+    fn shed(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
+        let partials = self.drain_sorted();
+        self.partials_out += partials.len() as u64;
+        match self.role {
+            AggRole::Combine => self.ctx.emit(partials, out),
+            AggRole::Final => {
+                let run = self.ctx.gov.write_sorted_run(&partials)?;
+                self.ctx
+                    .stats
+                    .add_spill(self.ctx.op_id, run.records(), run.bytes());
+                self.runs.push(run);
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds a group of equal-key partials (from different runs/flushes)
+    /// into one, mirroring [`StreamAggOp::absorb`]'s in-table fold.
+    fn fold_group(&self, mut group: Vec<Record>) -> Record {
+        let mut acc = group.swap_remove(0);
+        for p in &group {
+            for &(f, bin) in &self.folds {
+                let v = eval_bin(bin, acc.field(f), p.field(f));
+                acc.set_field(f, v);
+            }
+        }
+        acc
     }
 }
 
@@ -107,27 +184,30 @@ impl Operator for StreamAggOp<'_> {
         &mut self,
         port: usize,
         batch: Arc<RecordBatch>,
-        _out: &mut Vec<Arc<RecordBatch>>,
+        out: &mut Vec<Arc<RecordBatch>>,
     ) -> Result<(), ExecError> {
         debug_assert_eq!(port, 0, "streaming aggregation is unary");
         for r in take_records(batch) {
             self.absorb(r);
+        }
+        if self.ctx.gov.over_budget() && !self.table.is_empty() {
+            self.shed(out)?;
         }
         Ok(())
     }
 
     fn finish(&mut self, out: &mut Vec<Arc<RecordBatch>>) -> Result<(), ExecError> {
         let key = &self.op.key_attrs[0];
-        let mut partials: Vec<Record> = self.table.drain().flat_map(|(_, b)| b).collect();
         // Ascending canonical key order: combiner output is deterministic
         // and the Final role matches the buffered Reduce's emission order.
-        partials.sort_unstable_by(|a, b| canonical_cmp(a, b, key));
+        let partials = self.drain_sorted();
+        self.partials_out += partials.len() as u64;
         self.ctx
             .stats
-            .add_preagg(self.records_in, partials.len() as u64);
+            .add_preagg(self.records_in, self.partials_out);
         match self.role {
             AggRole::Combine => self.ctx.emit(partials, out),
-            AggRole::Final => {
+            AggRole::Final if self.runs.is_empty() => {
                 let groups = partials.len() as u64;
                 let mut emitted = Vec::new();
                 for p in &partials {
@@ -143,6 +223,33 @@ impl Operator for StreamAggOp<'_> {
                 }
                 self.ctx.emit(emitted, out);
             }
+            AggRole::Final => {
+                // Out-of-core: merge the spilled partial runs with the
+                // remaining table, re-fold the flush fragments of each key
+                // into one partial, and keep the one-UDF-call-per-key
+                // accounting of the in-memory path.
+                let mut stream = external_group_stream(
+                    self.ctx.gov,
+                    std::mem::take(&mut self.runs),
+                    partials,
+                    key,
+                )?;
+                let mut groups = 0u64;
+                let mut emitted = Vec::new();
+                while let Some(g) = stream.next_group()? {
+                    let p = self.fold_group(g);
+                    self.ctx.call(
+                        self.op,
+                        Invocation::Group(std::slice::from_ref(&p)),
+                        &mut emitted,
+                    )?;
+                    groups += 1;
+                }
+                if self.ctx.stats.detail() {
+                    self.ctx.stats.add_op_distinct_keys(self.ctx.op_id, groups);
+                }
+                self.ctx.emit(emitted, out);
+            }
         }
         Ok(())
     }
@@ -152,6 +259,7 @@ impl Operator for StreamAggOp<'_> {
 mod tests {
     use super::*;
     use crate::operators::{apply_single, build_combiner};
+    use crate::spill::MemoryGovernor;
     use crate::stats::ExecStats;
     use crate::testutil::sum_inplace;
     use strato_core::LocalStrategy;
@@ -174,10 +282,11 @@ mod tests {
         crate::pipeline::widen(&ds, &plan.ctx.sources[0].attrs, plan.ctx.width())
     }
 
-    fn ctx(stats: &ExecStats) -> OpCtx<'_> {
+    fn ctx<'a>(stats: &'a ExecStats, gov: &'a MemoryGovernor) -> OpCtx<'a> {
         OpCtx {
             interp: Interp::default(),
             stats,
+            gov,
             batch_size: 64,
             op_id: 0,
         }
@@ -190,10 +299,18 @@ mod tests {
         let rows = [(3, 10), (1, 1), (3, -4), (2, 7), (1, 5), (3, 9)];
         let input = wide(&plan, &rows);
         let s1 = ExecStats::new();
-        let buffered =
-            apply_single(op, LocalStrategy::HashGroup, vec![input.clone()], ctx(&s1)).unwrap();
+        let g1 = MemoryGovernor::unbounded();
+        let buffered = apply_single(
+            op,
+            LocalStrategy::HashGroup,
+            vec![input.clone()],
+            ctx(&s1, &g1),
+        )
+        .unwrap();
         let s2 = ExecStats::new();
-        let streamed = apply_single(op, LocalStrategy::StreamAgg, vec![input], ctx(&s2)).unwrap();
+        let g2 = MemoryGovernor::unbounded();
+        let streamed =
+            apply_single(op, LocalStrategy::StreamAgg, vec![input], ctx(&s2, &g2)).unwrap();
         // Same records in the same (ascending-key) order.
         assert_eq!(buffered, streamed);
         // Same UDF-call accounting: one call per distinct key.
@@ -211,7 +328,8 @@ mod tests {
         let rows = [(2, 1), (1, 10), (2, 2), (2, 4), (1, -3)];
         let input = wide(&plan, &rows);
         let stats = ExecStats::new();
-        let mut comb = build_combiner(op, ctx(&stats));
+        let gov = MemoryGovernor::unbounded();
+        let mut comb = build_combiner(op, ctx(&stats, &gov));
         comb.open().unwrap();
         let mut out = Vec::new();
         // Feed one record per batch: folding must happen across batches.
@@ -270,15 +388,103 @@ mod tests {
                 .collect();
             let input = crate::pipeline::widen(&ds, &src.attrs, plan.ctx.width());
             let s1 = ExecStats::new();
-            let buffered =
-                apply_single(op, LocalStrategy::HashGroup, vec![input.clone()], ctx(&s1)).unwrap();
+            let g1 = MemoryGovernor::unbounded();
+            let buffered = apply_single(
+                op,
+                LocalStrategy::HashGroup,
+                vec![input.clone()],
+                ctx(&s1, &g1),
+            )
+            .unwrap();
             let s2 = ExecStats::new();
+            let g2 = MemoryGovernor::unbounded();
             let requested =
-                apply_single(op, LocalStrategy::StreamAgg, vec![input], ctx(&s2)).unwrap();
+                apply_single(op, LocalStrategy::StreamAgg, vec![input], ctx(&s2, &g2)).unwrap();
             assert_eq!(buffered, requested, "fallback must be exact");
             // The fallback is the buffered operator: no preagg activity.
             assert_eq!(s2.preagg_snapshot(), (0, 0));
         }
+    }
+
+    #[test]
+    fn final_role_spills_partials_and_refolds_them_exactly() {
+        // A 30-byte budget holds roughly one 22-byte partial: the table
+        // sheds to disk repeatedly, splitting every key's fold across
+        // several runs. The merge must re-fold the fragments so output,
+        // UDF-call accounting and emission order match the unspilled run.
+        let plan = agg_plan();
+        let op = &plan.ctx.ops[0];
+        let rows: Vec<(i64, i64)> = (0..40).map(|i| (i % 4, i)).collect();
+        let input = wide(&plan, &rows);
+
+        let s_ref = ExecStats::new();
+        let g_ref = MemoryGovernor::unbounded();
+        let reference = apply_single(
+            op,
+            LocalStrategy::StreamAgg,
+            vec![input.clone()],
+            ctx(&s_ref, &g_ref),
+        )
+        .unwrap();
+
+        let stats = ExecStats::with_ops(1);
+        let gov = MemoryGovernor::with_budget(Some(30));
+        let mut agg = StreamAggOp::new(op, AggRole::Final, ctx(&stats, &gov));
+        agg.open().unwrap();
+        let mut out = Vec::new();
+        for r in input {
+            agg.push(0, Arc::new(RecordBatch::from_records(vec![r])), &mut out)
+                .unwrap();
+        }
+        agg.finish(&mut out).unwrap();
+        let got: Vec<Record> = out
+            .into_iter()
+            .flat_map(crate::operators::take_records)
+            .collect();
+        assert_eq!(got, reference, "spilled StreamAgg must be exact");
+        let (rec_spilled, _, runs) = stats.spill_snapshot();
+        assert!(runs > 1, "tiny budget must spill repeatedly: {runs}");
+        assert!(rec_spilled > 0);
+        // One UDF call per distinct key, exactly like the unspilled run.
+        assert_eq!(stats.snapshot().0, 4);
+        assert_eq!(s_ref.snapshot().0, 4);
+        assert_eq!(gov.resident(), 0, "grants released at finish");
+    }
+
+    #[test]
+    fn combiner_flushes_partials_downstream_under_pressure_not_to_disk() {
+        let plan = agg_plan();
+        let op = &plan.ctx.ops[0];
+        let rows: Vec<(i64, i64)> = (0..30).map(|i| (i % 3, 1)).collect();
+        let input = wide(&plan, &rows);
+        let stats = ExecStats::with_ops(1);
+        let gov = MemoryGovernor::with_budget(Some(30));
+        let mut comb = build_combiner(op, ctx(&stats, &gov));
+        comb.open().unwrap();
+        let mut out = Vec::new();
+        for r in input {
+            comb.push(0, Arc::new(RecordBatch::from_records(vec![r])), &mut out)
+                .unwrap();
+        }
+        let flushed_early: usize = out.iter().map(|b| b.len()).sum();
+        assert!(flushed_early > 0, "pressure must flush partials mid-stream");
+        comb.finish(&mut out).unwrap();
+        let partials: Vec<Record> = out
+            .into_iter()
+            .flat_map(crate::operators::take_records)
+            .collect();
+        // More than one partial per key (the flushes split the fold), but
+        // every input record is represented exactly once in the fold sum.
+        assert!(partials.len() > 3, "{} partials", partials.len());
+        let total: i64 = partials.iter().map(|p| p.field(1).as_int().unwrap()).sum();
+        assert_eq!(total, 30, "flush fragments must partition the fold");
+        // Hadoop-style: the combiner never touches disk.
+        assert_eq!(stats.spill_snapshot(), (0, 0, 0));
+        assert_eq!(gov.spill_dir_path(), None);
+        // Accounting balances: 30 in, every emitted partial counted.
+        assert_eq!(stats.preagg_snapshot(), (30, partials.len() as u64));
+        // No UDF ran in the combiner role.
+        assert_eq!(stats.snapshot().0, 0);
     }
 
     #[test]
@@ -295,10 +501,18 @@ mod tests {
         };
         let input = vec![mk(Value::Null, 3), mk(Value::Int(1), 2), mk(Value::Null, 4)];
         let s1 = ExecStats::new();
-        let buffered =
-            apply_single(op, LocalStrategy::HashGroup, vec![input.clone()], ctx(&s1)).unwrap();
+        let g1 = MemoryGovernor::unbounded();
+        let buffered = apply_single(
+            op,
+            LocalStrategy::HashGroup,
+            vec![input.clone()],
+            ctx(&s1, &g1),
+        )
+        .unwrap();
         let s2 = ExecStats::new();
-        let streamed = apply_single(op, LocalStrategy::StreamAgg, vec![input], ctx(&s2)).unwrap();
+        let g2 = MemoryGovernor::unbounded();
+        let streamed =
+            apply_single(op, LocalStrategy::StreamAgg, vec![input], ctx(&s2, &g2)).unwrap();
         assert_eq!(buffered, streamed);
         assert_eq!(buffered.len(), 2);
     }

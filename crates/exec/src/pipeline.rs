@@ -60,6 +60,7 @@
 use crate::engine::{ExecError, Inputs};
 use crate::operators::{self, OpCtx, Operator};
 use crate::ship::{Outbound, Router};
+use crate::spill::MemoryGovernor;
 use crate::stats::ExecStats;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -102,6 +103,20 @@ pub struct ExecOptions {
     /// (results must be byte-identical either way, only shipped volume
     /// changes).
     pub combine: bool,
+    /// Memory budget in bytes shared by all blocking operators of the
+    /// execution ([`crate::spill::MemoryGovernor`]). When buffered state
+    /// exceeds it, operators shed to sorted runs on disk (the combiner
+    /// flushes partials downstream instead) and finish via k-way merge —
+    /// results are byte-identical, only memory and disk traffic change.
+    /// `None` disables governance entirely. The default equals the cost
+    /// model's [`strato_core::cost::CostWeights::mem_budget`], so the
+    /// optimizer's spill charges describe what this engine actually does.
+    pub mem_budget: Option<u64>,
+    /// Parent directory for the execution's scoped spill directory
+    /// (`None` = the OS temp dir). The scoped directory is created lazily
+    /// on first spill and removed when the execution ends — on success,
+    /// error and contained worker panic alike.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ExecOptions {
@@ -113,6 +128,8 @@ impl Default for ExecOptions {
             channel_capacity: 8,
             fuse_maps: true,
             combine: true,
+            mem_budget: Some(strato_core::cost::DEFAULT_MEM_BUDGET_BYTES),
+            spill_dir: None,
         }
     }
 }
@@ -776,6 +793,12 @@ pub(crate) fn run_streaming(
     let graph = TaskGraph::build(plan, root, dop, opts.fuse_maps);
     let n_tasks = graph.stages.len() * dop;
 
+    // The execution's shared memory budget. Declared before the task
+    // bodies (which borrow it) so it is dropped after them — its scoped
+    // spill directory disappears on every exit path, including a worker
+    // panic surfaced as `ExecError::Panic`.
+    let gov = MemoryGovernor::with_budget_in(opts.mem_budget, opts.spill_dir.clone());
+
     // Channel table: consumer stage × port × partition, ids matching the
     // `chan_base` ranges assigned at graph build.
     let mut chans: Vec<Chan> = Vec::with_capacity(graph.n_chans);
@@ -835,6 +858,7 @@ pub(crate) fn run_streaming(
                     let ctx = OpCtx {
                         interp: Interp::default(),
                         stats,
+                        gov: &gov,
                         batch_size: opts.batch_size,
                         // Charged to the reduce's slot: the combiner is
                         // that operator's pre-ship half.
@@ -863,6 +887,7 @@ pub(crate) fn run_streaming(
                     let make_ctx = |op_id: usize| OpCtx {
                         interp: Interp::default(),
                         stats,
+                        gov: &gov,
                         batch_size: opts.batch_size,
                         op_id,
                     };

@@ -38,6 +38,13 @@ pub struct OpProfile {
     pub udf_nanos: u64,
     /// Average emitted-record width in bytes.
     pub avg_record_bytes: u64,
+    /// Records the operator spilled to sorted runs on disk during the
+    /// profiled run (0 when the sample fit the memory budget).
+    pub records_spilled: u64,
+    /// On-disk bytes of those runs.
+    pub spilled_bytes: u64,
+    /// Number of sorted runs the operator wrote under memory pressure.
+    pub spill_runs: u64,
 }
 
 impl OpProfile {
@@ -109,6 +116,9 @@ pub fn profile(plan: &Plan, inputs: &Inputs) -> Result<Vec<OpProfile>, ExecError
             distinct_keys: s.distinct_keys,
             udf_nanos: s.nanos,
             avg_record_bytes: s.out_bytes.checked_div(s.emits).unwrap_or(0),
+            records_spilled: s.records_spilled,
+            spilled_bytes: s.spilled_bytes,
+            spill_runs: s.spill_runs,
         })
         .collect())
 }
@@ -170,6 +180,7 @@ mod tests {
             distinct_keys: 10,
             udf_nanos: 100 * 500,
             avg_record_bytes: 64,
+            ..OpProfile::default()
         };
         assert_eq!(p.selectivity(), 0.25);
         let h = p.to_hints(4.0, 50.0);

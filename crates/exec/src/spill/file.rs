@@ -1,0 +1,194 @@
+//! Spill files: length-framed records in the wire encoding.
+//!
+//! A spill file is a sequence of frames, each a little-endian `u32` byte
+//! length followed by one [`strato_record::wire`]-encoded record. The
+//! frame prefix is what makes the stream incrementally decodable from
+//! buffered file IO — the wire encoding itself is self-delimiting only
+//! when decoded from a full buffer.
+
+use crate::engine::ExecError;
+use crate::spill::governor::spill_err;
+use bytes::BytesMut;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use strato_record::{wire, Record};
+
+/// One on-disk run of records in ascending comparator order, produced by a
+/// spilling operator (or by an intermediate merge pass). The run only
+/// holds the path, so an unopened run costs no file handle; its file is
+/// deleted when the run is dropped (consumed by a compaction pass or a
+/// finished merge), which bounds peak spill-directory usage to ~2× the
+/// live data instead of accumulating every merge generation until the
+/// execution ends. Readers opened before the drop keep working (POSIX
+/// unlink semantics); where deletion of an open file is refused, the
+/// scoped directory still removes it at execution end.
+#[derive(Debug)]
+pub struct SortedRun {
+    path: PathBuf,
+    records: u64,
+    bytes: u64,
+}
+
+impl Drop for SortedRun {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl SortedRun {
+    /// Number of records in the run.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// On-disk size of the run in bytes (frame headers included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Opens the run for sequential reading.
+    pub fn open(&self) -> Result<RunReader, ExecError> {
+        let f = File::open(&self.path).map_err(spill_err)?;
+        Ok(RunReader {
+            r: BufReader::new(f),
+            remaining: self.records,
+            frame: Vec::new(),
+        })
+    }
+}
+
+/// Streaming writer of one spill file.
+pub(crate) struct RunWriter {
+    w: BufWriter<File>,
+    path: PathBuf,
+    buf: BytesMut,
+    records: u64,
+    bytes: u64,
+}
+
+impl RunWriter {
+    /// Creates the file at `path` (which must not exist yet).
+    pub(crate) fn create(path: PathBuf) -> std::io::Result<RunWriter> {
+        let f = File::options().write(true).create_new(true).open(&path)?;
+        Ok(RunWriter {
+            w: BufWriter::new(f),
+            path,
+            buf: BytesMut::with_capacity(256),
+            records: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Appends one record frame.
+    pub(crate) fn write(&mut self, r: &Record) -> std::io::Result<()> {
+        self.buf.clear();
+        wire::encode_record(r, &mut self.buf);
+        let frame: &[u8] = self.buf.as_ref();
+        self.w.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.w.write_all(frame)?;
+        self.records += 1;
+        self.bytes += 4 + frame.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes and seals the run.
+    pub(crate) fn finish(mut self) -> std::io::Result<SortedRun> {
+        self.w.flush()?;
+        Ok(SortedRun {
+            path: self.path,
+            records: self.records,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// Streaming reader over one spill file; yields records in file order.
+pub struct RunReader {
+    r: BufReader<File>,
+    remaining: u64,
+    frame: Vec<u8>,
+}
+
+impl Iterator for RunReader {
+    type Item = Result<Record, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.read_one())
+    }
+}
+
+impl RunReader {
+    fn read_one(&mut self) -> Result<Record, ExecError> {
+        let mut len = [0u8; 4];
+        self.r.read_exact(&mut len).map_err(spill_err)?;
+        let len = u32::from_le_bytes(len) as usize;
+        self.frame.resize(len, 0);
+        self.r.read_exact(&mut self.frame).map_err(spill_err)?;
+        let mut buf: &[u8] = &self.frame;
+        wire::decode_record(&mut buf).map_err(|e| ExecError::Spill(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spill::MemoryGovernor;
+    use strato_record::Value;
+
+    #[test]
+    fn runs_roundtrip_all_value_kinds() {
+        let g = MemoryGovernor::with_budget(Some(1));
+        let records = vec![
+            Record::from_values([
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(-42),
+                Value::Float(2.5),
+                Value::str("hello ⟨world⟩"),
+            ]),
+            Record::default(),
+            Record::from_values([Value::Int(7)]),
+        ];
+        let run = g.write_sorted_run(&records).unwrap();
+        assert_eq!(run.records(), 3);
+        assert!(run.bytes() > 0);
+        let back: Vec<Record> = run.open().unwrap().map(Result::unwrap).collect();
+        assert_eq!(back, records);
+        // A run reads repeatedly (each open is an independent cursor).
+        let again: Vec<Record> = run.open().unwrap().map(Result::unwrap).collect();
+        assert_eq!(again, records);
+    }
+
+    #[test]
+    fn empty_run_reads_empty() {
+        let g = MemoryGovernor::with_budget(Some(1));
+        let run = g.write_sorted_run(&[]).unwrap();
+        assert_eq!(run.records(), 0);
+        assert_eq!(run.open().unwrap().count(), 0);
+    }
+
+    #[test]
+    fn truncated_file_surfaces_a_spill_error() {
+        let g = MemoryGovernor::with_budget(Some(1));
+        let run = g
+            .write_sorted_run(&[Record::from_values([Value::Int(1)])])
+            .unwrap();
+        // Chop the file mid-frame.
+        let dir = g.spill_dir_path().unwrap();
+        let path = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 2]).unwrap();
+        let err = run.open().unwrap().next().unwrap().unwrap_err();
+        assert!(matches!(err, ExecError::Spill(_)), "{err}");
+    }
+}

@@ -1,0 +1,234 @@
+//! The per-execution memory budget tracker and scoped spill directory.
+
+use crate::engine::ExecError;
+use crate::spill::file::{RunWriter, SortedRun};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use strato_record::Record;
+
+/// Scoped temp directory holding one execution's spill files. Removing it
+/// recursively on drop is what guarantees no spill file outlives its
+/// execution — including executions that fail with [`ExecError::Panic`]:
+/// the scheduler catches worker unwinds, so the governor (and this
+/// directory) is always dropped by the driver.
+#[derive(Debug)]
+struct SpillDir {
+    path: PathBuf,
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        // Best effort: a failed removal leaks tmp files but must not turn a
+        // finished query into an error (or a panic during unwind).
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Monotonic discriminator so two executions in one process (or a reused
+/// pid across processes, via the timestamp) never share a directory.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Shared memory-budget tracker of one execution, plus the factory for its
+/// spill files.
+///
+/// All blocking operators of an execution charge the same governor:
+/// [`grant`](MemoryGovernor::grant) when buffering records,
+/// [`release`](MemoryGovernor::release) when spilling or emitting them.
+/// [`over_budget`](MemoryGovernor::over_budget) compares the *global*
+/// resident total against the budget, so pressure from one large operator
+/// makes every buffering operator shed state — the behavior a per-worker
+/// memory budget models. Byte sizes use [`Record::encoded_len`], the same
+/// approximation the cost model's `mem_budget` is expressed in.
+///
+/// The spill directory is created lazily on the first spill (unbounded and
+/// under-budget executions never touch the filesystem) and removed when
+/// the governor drops.
+#[derive(Debug)]
+pub struct MemoryGovernor {
+    /// `None` = unbounded (never spills).
+    budget: Option<u64>,
+    /// Bytes currently buffered across all operators of the execution.
+    resident: AtomicU64,
+    /// Lazily created scoped directory holding this execution's runs.
+    dir: Mutex<Option<SpillDir>>,
+    /// Where to create the scoped directory (defaults to the OS temp dir).
+    base: Option<PathBuf>,
+    /// Names run files uniquely within the directory.
+    run_seq: AtomicU64,
+}
+
+impl MemoryGovernor {
+    /// A governor that never reports pressure (no budget, no spilling).
+    pub fn unbounded() -> Self {
+        Self::with_budget(None)
+    }
+
+    /// A governor enforcing `budget` bytes (`None` = unbounded), spilling
+    /// into the OS temp directory.
+    pub fn with_budget(budget: Option<u64>) -> Self {
+        Self::with_budget_in(budget, None)
+    }
+
+    /// [`MemoryGovernor::with_budget`] with an explicit parent directory
+    /// for the scoped spill directory (`None` = OS temp dir).
+    pub fn with_budget_in(budget: Option<u64>, base: Option<PathBuf>) -> Self {
+        MemoryGovernor {
+            budget,
+            resident: AtomicU64::new(0),
+            dir: Mutex::new(None),
+            base,
+            run_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a budget is in force at all. Operators may skip byte
+    /// accounting entirely when unbounded.
+    #[inline]
+    pub fn bounded(&self) -> bool {
+        self.budget.is_some()
+    }
+
+    /// Registers `bytes` of newly buffered operator state.
+    #[inline]
+    pub fn grant(&self, bytes: u64) {
+        if self.budget.is_some() {
+            self.resident.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Releases `bytes` of operator state (spilled, flushed or emitted).
+    #[inline]
+    pub fn release(&self, bytes: u64) {
+        if self.budget.is_some() {
+            // Saturating: a release can race a concurrent grant's visibility,
+            // and clamping beats wrapping to u64::MAX (permanent pressure).
+            let _ = self
+                .resident
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(bytes))
+                });
+        }
+    }
+
+    /// `true` when the execution's resident bytes exceed the budget — the
+    /// signal for every buffering operator to shed its state.
+    #[inline]
+    pub fn over_budget(&self) -> bool {
+        match self.budget {
+            Some(b) => self.resident.load(Ordering::Relaxed) > b,
+            None => false,
+        }
+    }
+
+    /// Bytes currently registered as resident (0 when unbounded).
+    pub fn resident(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Writes `records` — which the caller has already sorted — as one
+    /// spill file, creating the scoped spill directory on first use.
+    pub fn write_sorted_run(&self, records: &[Record]) -> Result<SortedRun, ExecError> {
+        let path = self.new_run_path()?;
+        let mut w = RunWriter::create(path).map_err(spill_err)?;
+        for r in records {
+            w.write(r).map_err(spill_err)?;
+        }
+        w.finish().map_err(spill_err)
+    }
+
+    /// A fresh, unique path for a run file inside the scoped directory.
+    pub(crate) fn new_run_path(&self) -> Result<PathBuf, ExecError> {
+        let mut dir = self.dir.lock().unwrap();
+        if dir.is_none() {
+            *dir = Some(create_dir(self.base.as_deref()).map_err(spill_err)?);
+        }
+        let seq = self.run_seq.fetch_add(1, Ordering::Relaxed);
+        Ok(dir.as_ref().unwrap().path.join(format!("run-{seq}.spill")))
+    }
+
+    /// Path of the scoped spill directory, if any spill happened yet.
+    pub fn spill_dir_path(&self) -> Option<PathBuf> {
+        self.dir.lock().unwrap().as_ref().map(|d| d.path.clone())
+    }
+}
+
+fn create_dir(base: Option<&Path>) -> std::io::Result<SpillDir> {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let name = format!(
+        "strato-spill-{}-{}-{nanos}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed),
+    );
+    let path = base
+        .map(Path::to_path_buf)
+        .unwrap_or_else(std::env::temp_dir)
+        .join(name);
+    std::fs::create_dir_all(&path)?;
+    Ok(SpillDir { path })
+}
+
+/// Maps an IO failure on the spill path into an execution error.
+pub(crate) fn spill_err(e: std::io::Error) -> ExecError {
+    ExecError::Spill(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strato_record::Value;
+
+    fn rec(v: i64) -> Record {
+        Record::from_values([Value::Int(v)])
+    }
+
+    #[test]
+    fn unbounded_never_reports_pressure() {
+        let g = MemoryGovernor::unbounded();
+        assert!(!g.bounded());
+        g.grant(u64::MAX);
+        assert!(!g.over_budget());
+        assert_eq!(g.resident(), 0, "unbounded governors skip accounting");
+    }
+
+    #[test]
+    fn pressure_tracks_grant_and_release() {
+        let g = MemoryGovernor::with_budget(Some(100));
+        assert!(g.bounded());
+        g.grant(80);
+        assert!(!g.over_budget(), "at or below budget is fine");
+        g.grant(40);
+        assert!(g.over_budget());
+        assert_eq!(g.resident(), 120);
+        g.release(50);
+        assert!(!g.over_budget());
+        // Over-release clamps to zero instead of wrapping.
+        g.release(1_000);
+        assert_eq!(g.resident(), 0);
+    }
+
+    #[test]
+    fn spill_dir_is_created_lazily_and_removed_on_drop() {
+        let g = MemoryGovernor::with_budget(Some(1));
+        assert_eq!(g.spill_dir_path(), None, "no spill, no directory");
+        let run = g.write_sorted_run(&[rec(1), rec(2)]).unwrap();
+        let dir = g.spill_dir_path().expect("directory exists after a spill");
+        assert!(dir.exists());
+        assert_eq!(run.records(), 2);
+        drop(g);
+        assert!(!dir.exists(), "scoped directory removed on drop");
+    }
+
+    #[test]
+    fn run_paths_are_unique() {
+        let g = MemoryGovernor::with_budget(Some(1));
+        let a = g.new_run_path().unwrap();
+        let b = g.new_run_path().unwrap();
+        assert_ne!(a, b);
+        drop(g);
+        assert!(!a.parent().unwrap().exists());
+    }
+}

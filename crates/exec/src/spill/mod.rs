@@ -1,0 +1,59 @@
+//! Out-of-core execution: the memory-governed spill subsystem.
+//!
+//! The paper's cost model prices sort and hash strategies by their memory
+//! footprint: state beyond [`CostWeights::mem_budget`] is charged a
+//! disk-spill penalty (write + read). This module makes that charge
+//! describe **real behavior**: every blocking operator registers its
+//! buffered state with a shared per-execution [`MemoryGovernor`] and, when
+//! the execution exceeds its budget, flushes that state to *sorted runs*
+//! on disk and finishes via a k-way [loser-tree merge](merge) — the
+//! classic external-sort architecture of the Stratosphere/Nephele runtime
+//! the paper targets.
+//!
+//! Pieces:
+//!
+//! * [`MemoryGovernor`] — atomically tracks the bytes resident across all
+//!   blocking operators of one execution against
+//!   `ExecOptions::mem_budget`. Operators [`grant`](MemoryGovernor::grant)
+//!   bytes as they buffer, check [`over_budget`](MemoryGovernor::over_budget)
+//!   after every batch, and [`release`](MemoryGovernor::release) what they
+//!   spill or emit — so resident state stays within one batch of the
+//!   budget. The governor also owns the execution's **scoped spill
+//!   directory**: created lazily on first spill, removed on drop on every
+//!   path (success, error, and worker panic — the scheduler contains
+//!   panics, so the governor's `Drop` always runs).
+//! * [`file`] — spill files: length-framed records in the existing wire
+//!   encoding ([`strato_record::wire`]), written/read through buffered
+//!   file IO. A [`SortedRun`](file::SortedRun) is one file of records in
+//!   ascending comparator order.
+//! * [`merge`] — a [loser tree](merge::LoserTree) merging `k` sorted
+//!   sources by an arbitrary comparator, plus [`merge_runs`](merge::merge_runs)
+//!   which caps the merge fan-in by compacting surplus runs into larger
+//!   ones first (bounded open file handles at any batch size).
+//!
+//! How each blocking operator degrades under pressure:
+//!
+//! * **Reduce** (hash + sort grouping) sorts its buffer canonically and
+//!   writes it as a run; `finish` merges runs + tail and walks key groups
+//!   off the merged stream. Emission order (ascending canonical key
+//!   order) is identical to both in-memory algorithms.
+//! * **Match** spills each side as key-sorted runs (null join keys are
+//!   dropped at spill time — they match nothing) and joins by external
+//!   sort-merge regardless of the requested in-memory algorithm.
+//! * **CoGroup** spills each side canonically (null keys kept — they
+//!   group) and merge-walks the two external group streams.
+//! * **StreamAgg** in the *final* role spills its partial table as sorted
+//!   runs and re-folds equal-key partials at merge time (legal: the folds
+//!   are proven associative + commutative). In the *combiner* role it
+//!   never touches disk: it flushes partials **downstream** Hadoop-style —
+//!   the final Reduce re-groups them — trading shipped volume for memory.
+//!
+//! [`CostWeights::mem_budget`]: strato_core::cost::CostWeights
+
+pub mod file;
+pub mod governor;
+pub mod merge;
+
+pub use file::{RunReader, SortedRun};
+pub use governor::MemoryGovernor;
+pub use merge::{merge_runs, LoserTree};

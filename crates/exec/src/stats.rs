@@ -33,6 +33,12 @@ struct OpSlot {
     /// Distinct key values observed on input 0 by keyed operators
     /// (profiling detail only).
     distinct_keys: AtomicU64,
+    /// Records this operator wrote to sorted runs on disk.
+    records_spilled: AtomicU64,
+    /// On-disk bytes of those runs (frame headers included).
+    spilled_bytes: AtomicU64,
+    /// Sorted runs this operator wrote under memory pressure.
+    spill_runs: AtomicU64,
 }
 
 /// Plain-integer snapshot of one operator's counters.
@@ -49,6 +55,12 @@ pub struct OpSnapshot {
     /// Distinct input-0 keys (0 unless profiling detail was enabled and the
     /// operator is keyed).
     pub distinct_keys: u64,
+    /// Records this operator spilled to disk under memory pressure.
+    pub records_spilled: u64,
+    /// On-disk bytes of this operator's sorted runs.
+    pub spilled_bytes: u64,
+    /// Sorted runs this operator wrote under memory pressure.
+    pub spill_runs: u64,
 }
 
 /// Counters collected during one plan execution. Thread-safe; workers
@@ -66,8 +78,21 @@ pub struct ExecStats {
     /// Records absorbed by streaming pre-aggregation tables (pre-ship
     /// combiners and StreamAgg local strategies).
     pub records_preagg_in: AtomicU64,
-    /// Partial records those tables produced (one per key per instance).
+    /// Partial records those tables produced (one per key per instance, plus
+    /// any partials flushed early under memory pressure).
     pub records_preagg_out: AtomicU64,
+    /// Records written to sorted runs on disk by memory-governed blocking
+    /// operators (see `strato-exec`'s `spill` module). Counts **pressure
+    /// sheds** (first-generation runs) only: a `spill_runs` increment is
+    /// one memory-pressure event, so the multi-pass fan-in compaction a
+    /// large merge may perform does not re-count the same records.
+    pub records_spilled: AtomicU64,
+    /// On-disk bytes of those first-generation sorted runs (frame headers
+    /// included; compaction rewrites are not re-counted).
+    pub spilled_bytes: AtomicU64,
+    /// Number of sorted runs written under memory pressure (= pressure
+    /// events, not total run files across merge generations).
+    pub spill_runs: AtomicU64,
     /// IR interpreter steps executed.
     pub interp_steps: AtomicU64,
     /// Per-operator slots (empty unless created via [`ExecStats::with_ops`]
@@ -171,6 +196,31 @@ impl ExecStats {
             .fetch_add(partials, Ordering::Relaxed);
     }
 
+    /// Accounts one sorted run spilled to disk by an operator: `records`
+    /// written, `bytes` on disk. Charged both globally and to the
+    /// operator's slot (when slots exist).
+    pub(crate) fn add_spill(&self, op: usize, records: u64, bytes: u64) {
+        self.records_spilled.fetch_add(records, Ordering::Relaxed);
+        self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.spill_runs.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.per_op.get(op) {
+            slot.records_spilled.fetch_add(records, Ordering::Relaxed);
+            slot.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+            slot.spill_runs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Spill totals as `(records spilled, bytes spilled, runs written)`.
+    /// `(0, 0, 0)` when the execution stayed within its memory budget (or
+    /// ran unbounded) — the shape mirrors [`ExecStats::preagg_snapshot`].
+    pub fn spill_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.records_spilled.load(Ordering::Relaxed),
+            self.spilled_bytes.load(Ordering::Relaxed),
+            self.spill_runs.load(Ordering::Relaxed),
+        )
+    }
+
     /// Streaming pre-aggregation totals as `(records in, partials out)`.
     /// `(0, 0)` when no combiner or StreamAgg instance ran.
     pub fn preagg_snapshot(&self) -> (u64, u64) {
@@ -204,6 +254,9 @@ impl ExecStats {
                 nanos: s.nanos.load(Ordering::Relaxed),
                 out_bytes: s.out_bytes.load(Ordering::Relaxed),
                 distinct_keys: s.distinct_keys.load(Ordering::Relaxed),
+                records_spilled: s.records_spilled.load(Ordering::Relaxed),
+                spilled_bytes: s.spilled_bytes.load(Ordering::Relaxed),
+                spill_runs: s.spill_runs.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -249,6 +302,35 @@ mod tests {
     }
 
     #[test]
+    fn spill_counters_accumulate_globally_and_per_op() {
+        let s = ExecStats::with_ops(2);
+        assert_eq!(s.spill_snapshot(), (0, 0, 0));
+        s.add_spill(0, 100, 2_048);
+        s.add_spill(0, 50, 1_024);
+        s.add_spill(1, 10, 300);
+        assert_eq!(s.spill_snapshot(), (160, 3_372, 3));
+        let ops = s.op_snapshots();
+        assert_eq!(
+            (
+                ops[0].records_spilled,
+                ops[0].spilled_bytes,
+                ops[0].spill_runs
+            ),
+            (150, 3_072, 2)
+        );
+        assert_eq!(
+            (
+                ops[1].records_spilled,
+                ops[1].spilled_bytes,
+                ops[1].spill_runs
+            ),
+            (10, 300, 1)
+        );
+        // Spilling does not touch the global ship/call counters.
+        assert_eq!(s.snapshot(), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
     fn per_op_slots_track_by_operator() {
         let s = ExecStats::with_ops(2);
         s.add_call(0, 10, 1);
@@ -271,8 +353,11 @@ mod tests {
         s.add_op_nanos(7, 1);
         s.add_op_out_bytes(7, 1);
         s.add_op_distinct_keys(7, 1);
+        s.add_spill(7, 1, 1);
         assert!(s.op_snapshots().is_empty());
         assert_eq!(s.snapshot().0, 1);
+        // Global spill totals still accumulate without slots.
+        assert_eq!(s.spill_snapshot(), (1, 1, 1));
     }
 
     #[test]

@@ -229,6 +229,21 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
 impl<B: Buf + ?Sized> Buf for &mut B {
     fn remaining(&self) -> usize {
         (**self).remaining()
@@ -313,6 +328,17 @@ mod tests {
         assert_eq!(b.slice(..5).as_ref(), b"hello");
         assert_eq!(b.slice(6..).as_ref(), b"world");
         assert_eq!(b.clone(), b);
+    }
+
+    #[test]
+    fn slices_read_as_buf() {
+        let mut s: &[u8] = &[7, 1, 0, 0, 0, 9];
+        assert_eq!(s.remaining(), 6);
+        assert_eq!(s.get_u8(), 7);
+        assert_eq!(s.get_u32_le(), 1);
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.get_u8(), 9);
+        assert_eq!(s.remaining(), 0);
     }
 
     #[test]

@@ -577,23 +577,38 @@ fn streaming_runtime_invariant_under_workers_and_channel_capacity() {
         for batch_size in [1usize, RecordBatch::DEFAULT_SIZE] {
             for &w in &workers {
                 for capacity in [1usize, 8] {
-                    let opts = ExecOptions {
-                        batch_size,
-                        validate_wire: true,
-                        workers: Some(w),
-                        channel_capacity: capacity,
-                        ..ExecOptions::default()
-                    };
-                    let (out, stats) =
-                        execute_with(&best.plan, &best.phys, &inputs, dop, &opts).unwrap();
-                    let tag =
-                        format!("dop={dop} batch={batch_size} workers={w} capacity={capacity}");
-                    if let Err(diff) = reference.bag_diff(&out) {
-                        panic!("divergence at {tag}:\ndiff: {diff}");
+                    // Memory axis: unbounded vs a budget far below the
+                    // working set. Spilling is operator-internal, so even
+                    // the ship accounting must not move.
+                    for mem_budget in [None, Some(64u64)] {
+                        let opts = ExecOptions {
+                            batch_size,
+                            validate_wire: true,
+                            workers: Some(w),
+                            channel_capacity: capacity,
+                            mem_budget,
+                            ..ExecOptions::default()
+                        };
+                        let (out, stats) =
+                            execute_with(&best.plan, &best.phys, &inputs, dop, &opts).unwrap();
+                        let tag = format!(
+                            "dop={dop} batch={batch_size} workers={w} capacity={capacity} \
+                             budget={mem_budget:?}"
+                        );
+                        if let Err(diff) = reference.bag_diff(&out) {
+                            panic!("divergence at {tag}:\ndiff: {diff}");
+                        }
+                        let (_, _, shipped, bytes, _) = stats.snapshot();
+                        assert_eq!(shipped, ref_shipped, "shipped records at {tag}");
+                        assert_eq!(bytes, ref_bytes, "shipped bytes at {tag}");
+                        let (_, _, spill_runs) = stats.spill_snapshot();
+                        match mem_budget {
+                            Some(_) => {
+                                assert!(spill_runs > 0, "tiny budget must spill at {tag}")
+                            }
+                            None => assert_eq!(spill_runs, 0, "unbounded must not spill at {tag}"),
+                        }
                     }
-                    let (_, _, shipped, bytes, _) = stats.snapshot();
-                    assert_eq!(shipped, ref_shipped, "shipped records at {tag}");
-                    assert_eq!(bytes, ref_bytes, "shipped bytes at {tag}");
                 }
             }
         }
@@ -642,40 +657,91 @@ fn combiner_axis_is_byte_identical_and_strictly_cuts_shipping() {
         );
         assert!(phys.root.combine, "optimizer must pick the combiner");
         let mut shipped_at: [Option<(u64, u64)>; 2] = [None, None];
-        for combine in [false, true] {
-            for batch_size in [1usize, 1024] {
-                for workers in [1usize, 2] {
-                    for capacity in [1usize, 8] {
-                        let opts = ExecOptions {
-                            batch_size,
-                            validate_wire: true,
-                            workers: Some(workers),
-                            channel_capacity: capacity,
-                            combine,
-                            ..ExecOptions::default()
-                        };
-                        let (out, stats) = execute_with(&plan, &phys, &inputs, dop, &opts).unwrap();
-                        let tag = format!(
-                            "dop={dop} combine={combine} batch={batch_size} \
-                             workers={workers} capacity={capacity}"
-                        );
-                        assert_eq!(out.sorted(), reference, "byte-identical at {tag}");
-                        let (_, _, shipped, bytes, _) = stats.snapshot();
-                        match shipped_at[combine as usize] {
-                            None => shipped_at[combine as usize] = Some((shipped, bytes)),
-                            Some(prev) => assert_eq!(
-                                prev,
-                                (shipped, bytes),
-                                "ship accounting invariant at {tag}"
-                            ),
-                        }
-                        // The combiner must actually have fired: it alone
-                        // absorbs all 400 records (the final reduce may
-                        // legitimately run any local strategy on the
-                        // partials).
-                        let (pre_in, pre_out) = stats.preagg_snapshot();
-                        if combine {
-                            assert!(pre_in >= 400 && pre_out < pre_in, "{tag}");
+        // 32 bytes sits below even a two-partial StreamAgg table (~22
+        // bytes per 2-int partial), so every partition that holds at
+        // least two keys must shed — at any dop, batch size or worker
+        // interleaving. (Pressure is checked per pushed batch: a budget
+        // that a single partition's table fits under is legitimately
+        // spill-free when tasks run sequentially.)
+        for mem_budget in [None, Some(32u64)] {
+            for combine in [false, true] {
+                for batch_size in [1usize, 1024] {
+                    for workers in [1usize, 2] {
+                        for capacity in [1usize, 8] {
+                            let opts = ExecOptions {
+                                batch_size,
+                                validate_wire: true,
+                                workers: Some(workers),
+                                channel_capacity: capacity,
+                                combine,
+                                mem_budget,
+                                ..ExecOptions::default()
+                            };
+                            let (out, stats) =
+                                execute_with(&plan, &phys, &inputs, dop, &opts).unwrap();
+                            let tag = format!(
+                                "dop={dop} combine={combine} batch={batch_size} \
+                                 workers={workers} capacity={capacity} budget={mem_budget:?}"
+                            );
+                            assert_eq!(out.sorted(), reference, "byte-identical at {tag}");
+                            let (_, _, shipped, bytes, _) = stats.snapshot();
+                            let (_, _, spill_runs) = stats.spill_snapshot();
+                            let (pre_in, pre_out) = stats.preagg_snapshot();
+                            match mem_budget {
+                                None => {
+                                    // Unbounded: shipping is deterministic per
+                                    // (dop, combine) point, and nothing spills.
+                                    assert_eq!(spill_runs, 0, "{tag}");
+                                    match shipped_at[combine as usize] {
+                                        None => {
+                                            shipped_at[combine as usize] = Some((shipped, bytes))
+                                        }
+                                        Some(prev) => assert_eq!(
+                                            prev,
+                                            (shipped, bytes),
+                                            "ship accounting invariant at {tag}"
+                                        ),
+                                    }
+                                    // The combiner must actually have fired: it
+                                    // alone absorbs all 400 records (the final
+                                    // reduce may legitimately run any local
+                                    // strategy on the partials).
+                                    if combine {
+                                        assert!(pre_in >= 400 && pre_out < pre_in, "{tag}");
+                                    }
+                                }
+                                Some(_) => {
+                                    // Starved: the final StreamAgg sheds its
+                                    // partial table to disk…
+                                    assert!(spill_runs > 0, "tiny budget must spill at {tag}");
+                                    if combine {
+                                        // …while the combiner flushes partials
+                                        // downstream instead: shipped volume may
+                                        // only grow versus the unbounded
+                                        // combined run (never past the
+                                        // uncombined volume of the same point,
+                                        // since each flush still folds).
+                                        let on = shipped_at[1].expect("unbounded ran first");
+                                        let off = shipped_at[0].expect("unbounded ran first");
+                                        assert!(
+                                            shipped >= on.0 && shipped <= off.0,
+                                            "flushed shipping {shipped} outside [{}, {}] at {tag}",
+                                            on.0,
+                                            off.0
+                                        );
+                                        assert!(pre_in >= 400, "{tag}");
+                                    } else {
+                                        // No combiner: spilling is operator-
+                                        // internal and shipping must not move.
+                                        let off = shipped_at[0].expect("unbounded ran first");
+                                        assert_eq!(
+                                            (shipped, bytes),
+                                            off,
+                                            "spill must not change shipping at {tag}"
+                                        );
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -798,6 +864,213 @@ fn broadcast_ship_stats_count_remote_copies_only() {
     // carries one non-null int: 4 + 9 bytes.
     assert_eq!(shipped, 3 * (dop as u64 - 1));
     assert_eq!(bytes, 3 * (4 + 9) * (dop as u64 - 1));
+}
+
+#[test]
+fn every_blocking_operator_spills_under_a_tiny_budget_without_changing_results() {
+    // One plan per blocking-operator family — Match + Reduce, and CoGroup —
+    // run unbounded and memory-starved at several dops: bags must match
+    // byte for byte, the starved run must report on-disk runs for every
+    // blocking operator (per-operator slots), and the unbounded run must
+    // never touch disk. Null keys ride along: Match drops them at spill
+    // time (they match nothing), CoGroup spills them as ordinary keys.
+    let mut rng = StdRng::seed_from_u64(47);
+    let with_nulls = |mut ds: DataSet, rng: &mut StdRng| {
+        for _ in 0..6 {
+            let mut r = Record::from_values([Value::Null, Value::Int(rng.gen_range(-5..=5))]);
+            while r.arity() < ds.records()[0].arity() {
+                let n = r.arity();
+                r.set_field(n, Value::Int(1));
+            }
+            ds.push(r);
+        }
+        ds
+    };
+
+    // Plan A: join + key filter + reduce (Match and Reduce spill).
+    let mut p = ProgramBuilder::new();
+    let l = p.source(SourceDef::new("l", &["lk", "lv"], 60));
+    let r = p.source(SourceDef::new("r", &["rk"], 25));
+    let j = p.match_(
+        "j",
+        &[0],
+        &[0],
+        join_concat(2, 1),
+        CostHints::default(),
+        l,
+        r,
+    );
+    let g = p.reduce("sum", &[0], sum_group(3, 1), CostHints::default(), j);
+    let join_plan = p.finish(g).unwrap().bind().unwrap();
+    let mut join_inputs = Inputs::new();
+    join_inputs.insert(
+        "l".into(),
+        with_nulls(random_ds(&mut rng, 60, 2, 7), &mut rng),
+    );
+    let mut r_ds: DataSet = (-7..=7i64)
+        .map(|k| Record::from_values([Value::Int(k)]))
+        .collect();
+    r_ds.push(Record::from_values([Value::Null]));
+    join_inputs.insert("r".into(), r_ds);
+
+    // Plan B: co-group (CoGroup spills; null keys group).
+    let cg_udf = {
+        let mut b = FuncBuilder::new("cg", UdfKind::CoGroup, vec![2, 1]);
+        let nl = b.group_count(0);
+        let nr = b.group_count(1);
+        let d = b.bin(BinOp::Sub, nl, nr);
+        let or = b.new_rec();
+        b.set(or, 3, d);
+        b.emit(or);
+        b.ret();
+        b.finish().unwrap()
+    };
+    let mut p = ProgramBuilder::new();
+    let cl = p.source(SourceDef::new("cl", &["k", "v"], 50));
+    let cr = p.source(SourceDef::new("cr", &["k2"], 30));
+    let cg = p.cogroup("cg", &[0], &[0], cg_udf, CostHints::default(), cl, cr);
+    let cg_plan = p.finish(cg).unwrap().bind().unwrap();
+    let mut cg_inputs = Inputs::new();
+    cg_inputs.insert(
+        "cl".into(),
+        with_nulls(random_ds(&mut rng, 50, 2, 6), &mut rng),
+    );
+    let mut cr_ds = random_ds(&mut rng, 30, 1, 6);
+    cr_ds.push(Record::from_values([Value::Null]));
+    cg_inputs.insert("cr".into(), cr_ds);
+
+    for (plan, inputs, spilling_ops) in [
+        (&join_plan, &join_inputs, vec!["j", "sum"]),
+        (&cg_plan, &cg_inputs, vec!["cg"]),
+    ] {
+        let (reference, _) = execute_logical(plan, inputs).unwrap();
+        let props = PropTable::build(plan, PropertyMode::Sca);
+        for dop in [1usize, 3] {
+            let phys = strato::core::physical::best_physical(
+                plan,
+                &props,
+                &strato::core::cost::CostWeights::default(),
+                dop,
+            );
+            for mem_budget in [None, Some(64u64)] {
+                let opts = ExecOptions {
+                    validate_wire: true,
+                    mem_budget,
+                    ..ExecOptions::default()
+                };
+                let (out, stats) = execute_with(plan, &phys, inputs, dop, &opts).unwrap();
+                let tag = format!("dop={dop} budget={mem_budget:?}");
+                if let Err(diff) = reference.bag_diff(&out) {
+                    panic!("divergence at {tag}: {diff}");
+                }
+                let ops = stats.op_snapshots();
+                for name in &spilling_ops {
+                    let id = plan.ctx.ops.iter().position(|o| &o.name == name).unwrap();
+                    match mem_budget {
+                        Some(_) => assert!(
+                            ops[id].spill_runs > 0 && ops[id].records_spilled > 0,
+                            "{name} must spill at {tag}: {:?}",
+                            ops[id]
+                        ),
+                        None => assert_eq!(
+                            (ops[id].spill_runs, ops[id].records_spilled),
+                            (0, 0),
+                            "{name} must not spill at {tag}"
+                        ),
+                    }
+                }
+                let (recs, bytes, runs) = stats.spill_snapshot();
+                if mem_budget.is_some() {
+                    assert!(recs > 0 && bytes > 0 && runs > 0, "{tag}");
+                } else {
+                    assert_eq!((recs, bytes, runs), (0, 0, 0), "{tag}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn combiner_flush_keeps_shipped_volume_accounting_balanced() {
+    // ROADMAP "combiner-aware spill budget": a skewed key domain under a
+    // tiny budget makes the combiner flush partials downstream repeatedly.
+    // Every record the Partition ship charges must be a combiner-emitted
+    // partial — force the final Reduce onto buffered HashGroup so the
+    // combiner is the *only* pre-aggregation instance, then check
+    // `records_shipped == records_preagg_out` exactly, at every dop, while
+    // results stay byte-identical.
+    let mut p = ProgramBuilder::new();
+    let s = p.source(SourceDef::new("s", &["k", "v"], 300));
+    let g = p.reduce(
+        "agg",
+        &[0],
+        strato::workloads::udfs::sum_group_inplace(2, 1),
+        CostHints::default().with_distinct_keys(4),
+        s,
+    );
+    let plan = p.finish(g).unwrap().bind().unwrap();
+    // Zipf-ish skew: one hot key, a few cold ones.
+    let mut rng = StdRng::seed_from_u64(53);
+    let ds: DataSet = (0..300)
+        .map(|i| {
+            let k = if i % 10 < 7 { 0 } else { i % 4 };
+            Record::from_values([Value::Int(k), Value::Int(rng.gen_range(-9..=9i64))])
+        })
+        .collect();
+    let mut inputs = Inputs::new();
+    inputs.insert("s".into(), ds);
+    let (reference, _) = execute_logical(&plan, &inputs).unwrap();
+    let reference = reference.sorted();
+
+    let props = PropTable::build(&plan, PropertyMode::Sca);
+    for dop in [1usize, 2, 4] {
+        let mut phys = strato::core::physical::best_physical(
+            &plan,
+            &props,
+            &strato::core::cost::CostWeights::default(),
+            dop,
+        );
+        assert!(phys.root.combine, "optimizer must pick the combiner");
+        assert!(
+            matches!(phys.root.ships[0], strato::core::Ship::Partition(_)),
+            "combiner feeds a Partition ship"
+        );
+        phys.root.local = strato::core::LocalStrategy::HashGroup;
+        for mem_budget in [None, Some(64u64)] {
+            // Small batches make pressure checks frequent: the combiner
+            // re-fills its table between pushes, so a starved run must
+            // flush repeatedly rather than once at the end.
+            let opts = ExecOptions {
+                batch_size: 16,
+                mem_budget,
+                ..ExecOptions::default()
+            };
+            let (out, stats) = execute_with(&plan, &phys, &inputs, dop, &opts).unwrap();
+            let tag = format!("dop={dop} budget={mem_budget:?}");
+            assert_eq!(out.sorted(), reference, "byte-identical at {tag}");
+            let (_, _, shipped, _, _) = stats.snapshot();
+            let (pre_in, pre_out) = stats.preagg_snapshot();
+            assert_eq!(pre_in, 300, "combiner absorbs every record at {tag}");
+            assert_eq!(
+                shipped, pre_out,
+                "every shipped record is a combiner partial at {tag}"
+            );
+            if mem_budget.is_some() {
+                assert!(
+                    pre_out > 4,
+                    "pressure must flush more than one partial per key at {tag}"
+                );
+                // The buffered final Reduce spills the flushed partials.
+                assert!(stats.spill_snapshot().2 > 0, "{tag}");
+            } else {
+                assert!(
+                    pre_out <= 4 * dop as u64,
+                    "≤ one partial per key per partition at {tag}"
+                );
+                assert_eq!(stats.spill_snapshot(), (0, 0, 0), "{tag}");
+            }
+        }
+    }
 }
 
 #[test]
