@@ -27,7 +27,7 @@
 //!   broadcast) and local strategies (hash/sort grouping, hash join with
 //!   build-side choice, sort-merge join, block nested loops), selected
 //!   per logical order with partitioning-property reuse;
-//! * [`optimizer`] — the end-to-end [`Optimizer`](optimizer::Optimizer):
+//! * `optimizer` — the end-to-end [`Optimizer`]:
 //!   derive properties → enumerate orders → cost each physical alternative
 //!   → rank.
 

@@ -51,9 +51,25 @@ impl OptimizerReport {
 ///
 /// ```
 /// use strato_core::Optimizer;
+/// use strato_dataflow::spec::{CmpOp, FlowSpec, MapUdf, NodeSpec, OpSpec, SourceSpec};
 /// use strato_dataflow::PropertyMode;
-/// let opt = Optimizer::new(PropertyMode::Sca);
-/// // let report = opt.optimize(&plan);
+///
+/// // source(a, b) → filter a ≥ 0 → filter b ≥ 0: the two filters commute,
+/// // so SCA-derived properties let the optimizer enumerate both orders.
+/// let plan = FlowSpec::new(NodeSpec::op(
+///     OpSpec::map("fb", MapUdf::filter_cmp(1, CmpOp::Ge, 0i64)),
+///     vec![NodeSpec::op(
+///         OpSpec::map("fa", MapUdf::filter_cmp(0, CmpOp::Ge, 0i64)),
+///         vec![NodeSpec::source(SourceSpec::new("s", &["a", "b"], 1_000))],
+///     )],
+/// ))
+/// .build()
+/// .unwrap();
+///
+/// let report = Optimizer::new(PropertyMode::Sca).with_dop(4).optimize(&plan);
+/// assert_eq!(report.n_enumerated, 2);
+/// // ranked[0] is the winner; `best` returns it directly.
+/// assert_eq!(report.best().cost, report.ranked[0].cost);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Optimizer {

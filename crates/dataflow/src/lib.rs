@@ -27,8 +27,10 @@ pub mod operator;
 pub mod pact;
 pub mod plan;
 pub mod program;
+pub mod spec;
 
 pub use operator::{CostHints, Operator};
 pub use pact::Pact;
 pub use plan::{BoundOp, BoundSource, NodeKind, Plan, PlanCtx, PlanNode, PropertyMode};
 pub use program::{NodeHandle, Program, ProgramBuilder, ProgramError, SourceDef};
+pub use spec::{FlowSpec, NodeSpec, OpSpec, SourceSpec, SpecError};

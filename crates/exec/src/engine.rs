@@ -1,7 +1,7 @@
 //! Public execution entry points.
 //!
 //! The actual runtime lives in [`crate::operators`] (one physical operator
-//! per PACT), [`crate::ship`] (data movement between partitions) and
+//! per PACT), `crate::ship` (data movement between partitions) and
 //! [`crate::pipeline`] (plan lowering + the batch driver). Both entry
 //! points here lower to that same runtime:
 //!
@@ -101,6 +101,36 @@ pub fn execute(
 }
 
 /// [`execute`] with explicit execution options.
+///
+/// ```
+/// use strato_dataflow::spec::{FlowSpec, FoldOp, NodeSpec, OpSpec, ReduceUdf, SourceSpec};
+/// use strato_exec::{execute_with, ExecOptions, Inputs};
+/// use strato_record::{DataSet, Record, Value};
+///
+/// // Build a grouped in-place Σv plan and optimize it for dop 2.
+/// let plan = FlowSpec::new(NodeSpec::op(
+///     OpSpec::reduce("sum", &[0], ReduceUdf::fold_inplace(FoldOp::Sum, 1)),
+///     vec![NodeSpec::source(SourceSpec::new("s", &["k", "v"], 4))],
+/// ))
+/// .build()
+/// .unwrap();
+/// let best = strato_core::Optimizer::new(strato_dataflow::PropertyMode::Sca)
+///     .with_dop(2)
+///     .best(&plan);
+///
+/// let mut inputs = Inputs::new();
+/// inputs.insert(
+///     "s".into(),
+///     [[1, 10], [1, 5], [2, 7]]
+///         .iter()
+///         .map(|r| Record::from_values(r.iter().map(|&v| Value::Int(v))))
+///         .collect::<DataSet>(),
+/// );
+/// let opts = ExecOptions { batch_size: 2, ..ExecOptions::default() };
+/// let (out, stats) = execute_with(&best.plan, &best.phys, &inputs, 2, &opts).unwrap();
+/// assert_eq!(out.len(), 2); // one record per key
+/// assert_eq!(stats.totals().udf_calls, 2);
+/// ```
 pub fn execute_with(
     plan: &Plan,
     phys: &PhysPlan,

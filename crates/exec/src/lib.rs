@@ -12,7 +12,7 @@
 //!   local strategies (pipelined map — optionally a fused map chain —
 //!   hash/sort grouping, hash join with build side, sort-merge join, block
 //!   nested loops, sort-merge co-group);
-//! * [`ship`](crate::ship) (private) — per-batch routing between
+//! * `ship` (private) — per-batch routing between
 //!   partitions: forward, hash repartition (no serialization on the hot
 //!   path; bytes accounted via `encoded_len`, with opt-in wire validation)
 //!   and `Arc`-shared broadcast;
@@ -58,7 +58,7 @@ pub use engine::{execute, execute_logical, execute_logical_with, execute_with, E
 pub use pipeline::ExecOptions;
 pub use profile::{profile, profile_hints, sample_inputs, OpProfile};
 pub use spill::MemoryGovernor;
-pub use stats::{ExecStats, OpSnapshot};
+pub use stats::{ExecStats, OpSnapshot, StatsSnapshot};
 
 /// Shared IR builders for this crate's test modules.
 #[cfg(test)]

@@ -20,15 +20,15 @@
 //!
 //! Batches are shared as `Arc<RecordBatch>`: a broadcast ship hands the
 //! same allocation to every partition. Operators that need owned records
-//! (sorting, grouping) call [`take_records`], which moves when the operator
+//! (sorting, grouping) call `take_records`, which moves when the operator
 //! holds the last reference and clones only when the batch is genuinely
 //! shared.
 //!
 //! ## Key handling
 //!
 //! Key extraction never clones `Value`s on the hot path: comparisons go
-//! through [`key_cmp`]/[`key_cmp2`] (field-by-field, allocation-free) and
-//! hash tables are keyed by [`key_hash`] (a 64-bit FxHash of the key
+//! through `key_cmp`/`key_cmp2` (field-by-field, allocation-free) and
+//! hash tables are keyed by `key_hash` (a 64-bit FxHash of the key
 //! fields) with exact-equality verification per bucket entry, so hash
 //! collisions cannot merge distinct keys.
 

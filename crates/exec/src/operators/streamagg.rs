@@ -7,10 +7,10 @@
 //! `⊕` operator — the engine literally runs the fold the analysis read
 //! out of the black box. The same operator serves two roles:
 //!
-//! * **pre-ship combiner** ([`AggRole::Combine`]): inserted ahead of a
+//! * **pre-ship combiner** (`AggRole::Combine`): inserted ahead of a
 //!   Partition-shipped Reduce; emits the raw partials (no UDF calls), so
 //!   only one record per key per producing partition crosses the wire;
-//! * **final local strategy** ([`AggRole::Final`],
+//! * **final local strategy** (`AggRole::Final`,
 //!   `LocalStrategy::StreamAgg`): replaces the buffering Reduce; at
 //!   `finish` it invokes the UDF once per partial (a singleton group), so
 //!   UDF-call accounting matches the buffered path exactly — one call per

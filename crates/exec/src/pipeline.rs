@@ -2,14 +2,14 @@
 //! that drives it.
 //!
 //! This module is the **single** execution path of the crate. Both entry
-//! points lower to the same [`Stage`] tree, flatten it into a [`TaskGraph`]
+//! points lower to the same `Stage` tree, flatten it into a `TaskGraph`
 //! and run through the same scheduler:
 //!
 //! * [`crate::execute_logical`] compiles the *logical* plan with
-//!   [`compile_logical`] (all-Forward ships, each PACT's default local
+//!   `compile_logical` (all-Forward ships, each PACT's default local
 //!   algorithm) and runs it at `dop = 1`;
 //! * [`crate::execute`] compiles the `(Plan, PhysPlan)` pair with
-//!   [`compile_physical`] (the optimizer's ship + local strategy choices)
+//!   `compile_physical` (the optimizer's ship + local strategy choices)
 //!   and runs it at the requested degree of parallelism.
 //!
 //! ## Execution model
@@ -19,7 +19,7 @@
 //! task pulls arriving batches from its input channels, drives its
 //! [`crate::operators::Operator`] incrementally (open → push per batch →
 //! finish once every input channel closes), and routes its output batches
-//! downstream through a per-task [`crate::ship::Router`] — so shipping is
+//! downstream through a per-task `crate::ship::Router` — so shipping is
 //! per-batch and producer stages overlap consumer stages, instead of the
 //! old materialize-everything-then-ship barrier.
 //!
@@ -74,6 +74,19 @@ use strato_record::{DataSet, Record, RecordBatch};
 
 /// Tuning knobs of one execution. The defaults reproduce production
 /// behavior; tests sweep them.
+///
+/// Results are byte-identical at every option combination — options change
+/// resource usage (parallelism, memory, shipped volume), never semantics.
+///
+/// ```
+/// use strato_exec::ExecOptions;
+/// let opts = ExecOptions {
+///     batch_size: 256,
+///     mem_budget: Some(16 << 20), // spill past 16 MiB of buffered state
+///     ..ExecOptions::default()
+/// };
+/// assert!(opts.combine && opts.fuse_maps, "optimizations default on");
+/// ```
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Target records per batch flowing between operators.

@@ -22,12 +22,12 @@
 //!   directory**: created lazily on first spill, removed on drop on every
 //!   path (success, error, and worker panic — the scheduler contains
 //!   panics, so the governor's `Drop` always runs).
-//! * [`file`] — spill files: length-framed records in the existing wire
+//! * `file` — spill files: length-framed records in the existing wire
 //!   encoding ([`strato_record::wire`]), written/read through buffered
-//!   file IO. A [`SortedRun`](file::SortedRun) is one file of records in
+//!   file IO. A `file::SortedRun` is one file of records in
 //!   ascending comparator order.
 //! * [`merge`] — a [loser tree](merge::LoserTree) merging `k` sorted
-//!   sources by an arbitrary comparator, plus [`merge_runs`](merge::merge_runs)
+//!   sources by an arbitrary comparator, plus `merge::merge_runs`
 //!   which caps the merge fan-in by compacting surplus runs into larger
 //!   ones first (bounded open file handles at any batch size).
 //!

@@ -63,6 +63,39 @@ pub struct OpSnapshot {
     pub spill_runs: u64,
 }
 
+/// Plain-integer snapshot of every global counter of an execution — the
+/// stable read surface monitoring systems consume (the `strato-server`
+/// `/metrics` endpoint renders exactly these fields).
+///
+/// Obtained via [`ExecStats::totals`]; unlike the positional tuples of
+/// [`ExecStats::snapshot`] / [`ExecStats::spill_snapshot`] /
+/// [`ExecStats::preagg_snapshot`], every counter is a named field, so new
+/// counters can be added without breaking callers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StatsSnapshot {
+    /// UDF invocations across all operators.
+    pub udf_calls: u64,
+    /// Records emitted by UDFs.
+    pub records_emitted: u64,
+    /// Records moved by Partition/Broadcast ship strategies.
+    pub records_shipped: u64,
+    /// Serialized bytes moved by Partition/Broadcast ship strategies.
+    pub bytes_shipped: u64,
+    /// Records absorbed by streaming pre-aggregation tables.
+    pub records_preagg_in: u64,
+    /// Partial records those tables produced.
+    pub records_preagg_out: u64,
+    /// Records written to sorted runs on disk under memory pressure.
+    pub records_spilled: u64,
+    /// On-disk bytes of those first-generation sorted runs.
+    pub spilled_bytes: u64,
+    /// Sorted runs written under memory pressure (= pressure events).
+    pub spill_runs: u64,
+    /// IR interpreter steps executed.
+    pub interp_steps: u64,
+}
+
 /// Counters collected during one plan execution. Thread-safe; workers
 /// update them concurrently.
 #[derive(Debug, Default)]
@@ -230,6 +263,31 @@ impl ExecStats {
         )
     }
 
+    /// Snapshot of **every** global counter as a named-field struct — the
+    /// monitoring surface. See [`StatsSnapshot`].
+    ///
+    /// ```
+    /// use strato_exec::ExecStats;
+    /// let stats = ExecStats::new();
+    /// let t = stats.totals();
+    /// assert_eq!(t.udf_calls, 0);
+    /// assert_eq!(t.records_shipped + t.records_spilled, 0);
+    /// ```
+    pub fn totals(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            udf_calls: self.udf_calls.load(Ordering::Relaxed),
+            records_emitted: self.records_emitted.load(Ordering::Relaxed),
+            records_shipped: self.records_shipped.load(Ordering::Relaxed),
+            bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
+            records_preagg_in: self.records_preagg_in.load(Ordering::Relaxed),
+            records_preagg_out: self.records_preagg_out.load(Ordering::Relaxed),
+            records_spilled: self.records_spilled.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            spill_runs: self.spill_runs.load(Ordering::Relaxed),
+            interp_steps: self.interp_steps.load(Ordering::Relaxed),
+        }
+    }
+
     /// Snapshot of the counters as plain integers
     /// `(udf_calls, records_emitted, records_shipped, bytes_shipped,
     /// interp_steps)`.
@@ -358,6 +416,45 @@ mod tests {
         assert_eq!(s.snapshot().0, 1);
         // Global spill totals still accumulate without slots.
         assert_eq!(s.spill_snapshot(), (1, 1, 1));
+    }
+
+    #[test]
+    fn totals_mirrors_every_global_counter() {
+        let s = ExecStats::new();
+        s.add_call(0, 100, 2);
+        s.add_shipped(10, 640);
+        s.add_preagg(50, 7);
+        s.add_spill(0, 20, 999);
+        let t = s.totals();
+        assert_eq!(t.udf_calls, 1);
+        assert_eq!(t.records_emitted, 2);
+        assert_eq!(t.records_shipped, 10);
+        assert_eq!(t.bytes_shipped, 640);
+        assert_eq!(t.records_preagg_in, 50);
+        assert_eq!(t.records_preagg_out, 7);
+        assert_eq!(t.records_spilled, 20);
+        assert_eq!(t.spilled_bytes, 999);
+        assert_eq!(t.spill_runs, 1);
+        assert_eq!(t.interp_steps, 100);
+        // The named snapshot agrees with the positional ones.
+        assert_eq!(
+            (
+                t.udf_calls,
+                t.records_emitted,
+                t.records_shipped,
+                t.bytes_shipped,
+                t.interp_steps
+            ),
+            s.snapshot()
+        );
+        assert_eq!(
+            (t.records_spilled, t.spilled_bytes, t.spill_runs),
+            s.spill_snapshot()
+        );
+        assert_eq!(
+            (t.records_preagg_in, t.records_preagg_out),
+            s.preagg_snapshot()
+        );
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Admission control: a token-bucket gate bounding concurrent queries.
+//!
+//! The bucket holds `max_concurrent` execution tokens. A query that cannot
+//! take a token immediately may **wait** in a bounded queue of
+//! `queue_depth` slots; when both the bucket and the queue are full the
+//! query is rejected up front (HTTP 429) instead of piling onto the
+//! server — load shedding at the door is the first step toward the
+//! ROADMAP's multi-query resource governance.
+//!
+//! The gate is intentionally tiny: a mutex-guarded pair of counters and a
+//! condvar. Fairness between queued queries is whatever the condvar
+//! provides (no strict FIFO) — acceptable at this queue depth.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct GateState {
+    /// Tokens currently held by running queries.
+    running: usize,
+    /// Queries parked waiting for a token.
+    queued: usize,
+}
+
+#[derive(Debug)]
+struct GateInner {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    max_concurrent: usize,
+    queue_depth: usize,
+}
+
+/// The admission gate. Cheap to clone (shared state).
+#[derive(Debug, Clone)]
+pub struct AdmissionGate {
+    inner: Arc<GateInner>,
+}
+
+/// Outcome of an admission attempt.
+#[derive(Debug)]
+pub enum Admission {
+    /// A token was granted; holds the permit for the query's lifetime.
+    Admitted(Permit),
+    /// Bucket and queue both full — shed the query (429).
+    Rejected,
+}
+
+/// An execution token. Returning it (on drop) wakes one queued query.
+#[derive(Debug)]
+pub struct Permit {
+    inner: Arc<GateInner>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.running -= 1;
+        drop(st);
+        self.inner.freed.notify_one();
+    }
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `max_concurrent` running queries with at
+    /// most `queue_depth` more waiting. `max_concurrent` is clamped to at
+    /// least 1 (a server that can run nothing is a misconfiguration).
+    pub fn new(max_concurrent: usize, queue_depth: usize) -> Self {
+        AdmissionGate {
+            inner: Arc::new(GateInner {
+                state: Mutex::new(GateState::default()),
+                freed: Condvar::new(),
+                max_concurrent: max_concurrent.max(1),
+                queue_depth,
+            }),
+        }
+    }
+
+    /// Requests admission, blocking in the queue when allowed. Returns
+    /// [`Admission::Rejected`] without blocking when saturated.
+    pub fn admit(&self) -> Admission {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.running < self.inner.max_concurrent {
+            st.running += 1;
+            return Admission::Admitted(self.permit());
+        }
+        if st.queued >= self.inner.queue_depth {
+            return Admission::Rejected;
+        }
+        st.queued += 1;
+        while st.running >= self.inner.max_concurrent {
+            st = self.inner.freed.wait(st).unwrap();
+        }
+        st.queued -= 1;
+        st.running += 1;
+        Admission::Admitted(self.permit())
+    }
+
+    /// `(running, queued)` — the saturation gauges `/metrics` exports.
+    pub fn load(&self) -> (usize, usize) {
+        let st = self.inner.state.lock().unwrap();
+        (st.running, st.queued)
+    }
+
+    fn permit(&self) -> Permit {
+        Permit {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn admits_up_to_capacity_then_rejects() {
+        let gate = AdmissionGate::new(2, 0);
+        let p1 = match gate.admit() {
+            Admission::Admitted(p) => p,
+            Admission::Rejected => panic!("first admit"),
+        };
+        let p2 = match gate.admit() {
+            Admission::Admitted(p) => p,
+            Admission::Rejected => panic!("second admit"),
+        };
+        assert!(matches!(gate.admit(), Admission::Rejected));
+        assert_eq!(gate.load(), (2, 0));
+        drop(p1);
+        assert!(matches!(gate.admit(), Admission::Admitted(_)));
+        drop(p2);
+    }
+
+    #[test]
+    fn queued_query_runs_when_a_token_frees() {
+        let gate = AdmissionGate::new(1, 1);
+        let p = match gate.admit() {
+            Admission::Admitted(p) => p,
+            Admission::Rejected => panic!("admit"),
+        };
+        let done = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let gate = gate.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || match gate.admit() {
+                Admission::Admitted(_p) => done.store(1, Ordering::SeqCst),
+                Admission::Rejected => done.store(2, Ordering::SeqCst),
+            })
+        };
+        // Wait until the second query is parked in the queue.
+        while gate.load().1 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Queue full now: a third query is shed.
+        assert!(matches!(gate.admit(), Admission::Rejected));
+        drop(p); // frees the token → queued query runs
+        t.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1, "queued query was admitted");
+        assert_eq!(gate.load(), (0, 0));
+    }
+
+    #[test]
+    fn zero_concurrency_is_clamped_to_one() {
+        let gate = AdmissionGate::new(0, 0);
+        assert!(matches!(gate.admit(), Admission::Admitted(_)));
+    }
+}

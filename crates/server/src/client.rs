@@ -1,0 +1,147 @@
+//! A minimal blocking HTTP/1.1 client, enough to talk to the service:
+//! fixed-length request bodies out, fixed-length or chunked bodies in.
+//! Used by the integration tests and the `service` example; real clients
+//! can use anything that speaks HTTP.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A decoded HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The (de-chunked) body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// `GET path` against `addr`.
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body against `addr`.
+pub fn post_json(addr: impl ToSocketAddrs, path: &str, body: &str) -> io::Result<Response> {
+    request(addr, "POST", path, Some(body.as_bytes()))
+}
+
+/// Performs one request on a fresh connection (the server speaks
+/// `Connection: close`).
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or(b"");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: strato\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    // "HTTP/1.1 200 OK"
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        read_chunked(&mut reader)?
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        body
+    } else {
+        // Connection: close delimits the body.
+        let mut body = Vec::new();
+        reader.read_to_end(&mut body)?;
+        body
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_chunked(reader: &mut BufReader<&mut TcpStream>) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let size_text = line.trim().split(';').next().unwrap_or("");
+        let size = usize::from_str_radix(size_text, 16).map_err(|_| bad("malformed chunk size"))?;
+        if size == 0 {
+            // Trailer section (we send none) up to the blank line.
+            loop {
+                line.clear();
+                reader.read_line(&mut line)?;
+                if line.trim_end().is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        // Chunk data is followed by CRLF.
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("missing chunk terminator"));
+        }
+    }
+}

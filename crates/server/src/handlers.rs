@@ -1,0 +1,249 @@
+//! Request routing and the query handler: the glue between the HTTP
+//! layer and the optimize→execute pipeline.
+//!
+//! `POST /v1/query` is the main entry point. Its life cycle:
+//!
+//! 1. **admission** — take a token from the [`AdmissionGate`] (or answer
+//!    `429` immediately when bucket and queue are both full),
+//! 2. **decode** — parse the JSON body (`400` on syntax errors), decode
+//!    the flow/inputs/options (`422` on shape errors), compile the
+//!    [`FlowSpec`](strato_dataflow::spec::FlowSpec) into a bound plan
+//!    (`422` on structural errors),
+//! 3. **optimize** — run the full enumerate-and-cost optimizer at the
+//!    requested degree of parallelism,
+//! 4. **execute** — run the chosen physical plan on the worker pool with
+//!    the request's [`ExecOptions`](strato_exec::ExecOptions) overrides,
+//! 5. **respond** — stream result rows back in canonical order as a
+//!    chunked JSON body, closing with the execution statistics, and fold
+//!    those statistics into the server's `/metrics` registry.
+//!
+//! `GET /metrics` renders the Prometheus registry; `GET /healthz` is a
+//! liveness probe.
+
+use crate::admission::{Admission, AdmissionGate};
+use crate::decode::{decode_query, value_to_json};
+use crate::http::{read_request, write_response, ChunkedWriter, HttpError, Request};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use std::net::TcpStream;
+use std::sync::Arc;
+use strato_core::Optimizer;
+use strato_dataflow::PropertyMode;
+use strato_exec::{execute_with, ExecStats};
+use strato_record::DataSet;
+
+/// Result rows per HTTP chunk of a query response.
+const ROWS_PER_CHUNK: usize = 1024;
+
+/// Shared per-server state handed to every connection handler.
+#[derive(Debug, Clone)]
+pub struct AppState {
+    /// The admission gate bounding concurrent query execution.
+    pub gate: AdmissionGate,
+    /// The cumulative metrics registry behind `GET /metrics`.
+    pub metrics: Arc<Metrics>,
+}
+
+impl AppState {
+    /// State for a gate of `max_concurrent` tokens and `queue_depth`
+    /// waiting slots.
+    pub fn new(max_concurrent: usize, queue_depth: usize) -> Self {
+        AppState {
+            gate: AdmissionGate::new(max_concurrent, queue_depth),
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+}
+
+/// Serves one connection: reads a request, dispatches it, writes the
+/// response. Socket errors are swallowed — the peer is gone either way.
+pub fn handle_connection(mut stream: TcpStream, state: &AppState) {
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+        Err(HttpError::TooLarge) => {
+            let _ = error_response(&mut stream, 413, "request body too large");
+            return;
+        }
+        Err(HttpError::Bad(msg)) => {
+            let _ = error_response(&mut stream, 400, &msg);
+            return;
+        }
+    };
+    let _ = dispatch(&mut stream, &req, state);
+}
+
+/// Routes a parsed request to its handler.
+fn dispatch(stream: &mut TcpStream, req: &Request, state: &AppState) -> std::io::Result<()> {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("POST", "/v1/query") => handle_query(stream, req, state),
+        ("GET", "/metrics") => {
+            let (running, queued) = state.gate.load();
+            let body = state.metrics.render(running, queued);
+            write_response(stream, 200, "text/plain; version=0.0.4", body.as_bytes())
+        }
+        ("GET", "/healthz") => write_response(stream, 200, "text/plain", b"ok"),
+        (_, "/v1/query") | (_, "/metrics") | (_, "/healthz") => {
+            error_response(stream, 405, "method not allowed")
+        }
+        _ => error_response(stream, 404, "no such endpoint"),
+    }
+}
+
+/// `POST /v1/query`.
+fn handle_query(stream: &mut TcpStream, req: &Request, state: &AppState) -> std::io::Result<()> {
+    // Admission first: saturated servers shed load before spending any
+    // cycles on parsing.
+    let _permit = match state.gate.admit() {
+        Admission::Admitted(permit) => permit,
+        Admission::Rejected => {
+            state.metrics.record_rejected();
+            return error_response(stream, 429, "server saturated, retry later");
+        }
+    };
+
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            state.metrics.record_error();
+            return error_response(stream, 400, "request body is not UTF-8");
+        }
+    };
+    let doc = match Json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            state.metrics.record_error();
+            return error_response(stream, 400, &e.to_string());
+        }
+    };
+    let query = match decode_query(&doc) {
+        Ok(q) => q,
+        Err(e) => {
+            state.metrics.record_error();
+            return error_response(stream, 422, &e.to_string());
+        }
+    };
+    let plan = match query.flow.build() {
+        Ok(p) => p,
+        Err(e) => {
+            state.metrics.record_error();
+            return error_response(stream, 422, &e.to_string());
+        }
+    };
+
+    let best = Optimizer::new(PropertyMode::Sca)
+        .with_dop(query.dop)
+        .best(&plan);
+    let (out, stats) = match execute_with(
+        &best.plan,
+        &best.phys,
+        &query.inputs,
+        query.dop,
+        &query.exec,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            state.metrics.record_error();
+            return error_response(stream, 500, &e.to_string());
+        }
+    };
+
+    let op_names: Vec<String> = best.plan.ctx.ops.iter().map(|o| o.name.clone()).collect();
+    state.metrics.record_query(&stats, &op_names);
+    stream_result(stream, &out, &stats, &op_names)
+}
+
+/// Streams `{"rows": [...], "stats": {...}}` as a chunked body, one chunk
+/// per [`ROWS_PER_CHUNK`] rows. Rows are emitted in canonical sorted
+/// order so equal result bags serialize identically.
+fn stream_result(
+    stream: &mut TcpStream,
+    out: &DataSet,
+    stats: &ExecStats,
+    op_names: &[String],
+) -> std::io::Result<()> {
+    let mut w = ChunkedWriter::begin(stream, 200, "application/json")?;
+    w.chunk(b"{\"rows\":[")?;
+    let rows = out.sorted();
+    for (start, batch) in rows
+        .chunks(ROWS_PER_CHUNK)
+        .enumerate()
+        .map(|(i, b)| (i * ROWS_PER_CHUNK, b))
+    {
+        let mut buf = String::new();
+        for (i, r) in batch.iter().enumerate() {
+            if start + i > 0 {
+                buf.push(',');
+            }
+            let row = Json::Arr(r.fields().iter().map(value_to_json).collect());
+            buf.push_str(&row.to_string());
+        }
+        w.chunk(buf.as_bytes())?;
+    }
+    let tail = format!("],\"stats\":{}}}", stats_json(stats, op_names));
+    w.chunk(tail.as_bytes())?;
+    w.finish()
+}
+
+/// The `"stats"` member of a query response.
+fn stats_json(stats: &ExecStats, op_names: &[String]) -> Json {
+    let t = stats.totals();
+    let mut members = vec![
+        ("udf_calls".to_string(), Json::Int(t.udf_calls as i64)),
+        (
+            "records_emitted".to_string(),
+            Json::Int(t.records_emitted as i64),
+        ),
+        (
+            "records_shipped".to_string(),
+            Json::Int(t.records_shipped as i64),
+        ),
+        (
+            "bytes_shipped".to_string(),
+            Json::Int(t.bytes_shipped as i64),
+        ),
+        (
+            "records_preagg_in".to_string(),
+            Json::Int(t.records_preagg_in as i64),
+        ),
+        (
+            "records_preagg_out".to_string(),
+            Json::Int(t.records_preagg_out as i64),
+        ),
+        (
+            "records_spilled".to_string(),
+            Json::Int(t.records_spilled as i64),
+        ),
+        (
+            "spilled_bytes".to_string(),
+            Json::Int(t.spilled_bytes as i64),
+        ),
+        ("spill_runs".to_string(), Json::Int(t.spill_runs as i64)),
+        ("interp_steps".to_string(), Json::Int(t.interp_steps as i64)),
+    ];
+    let ops: Vec<Json> = stats
+        .op_snapshots()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Json::Obj(vec![
+                (
+                    "name".to_string(),
+                    Json::Str(op_names.get(i).cloned().unwrap_or_else(|| format!("op{i}"))),
+                ),
+                ("calls".to_string(), Json::Int(s.calls as i64)),
+                ("emits".to_string(), Json::Int(s.emits as i64)),
+                ("nanos".to_string(), Json::Int(s.nanos as i64)),
+            ])
+        })
+        .collect();
+    members.push(("ops".to_string(), Json::Arr(ops)));
+    Json::Obj(members)
+}
+
+/// Writes a fixed-length `{"error": ...}` response.
+fn error_response(stream: &mut TcpStream, status: u16, msg: &str) -> std::io::Result<()> {
+    let body = Json::Obj(vec![("error".to_string(), Json::Str(msg.to_string()))]).to_string();
+    write_response(stream, status, "application/json", body.as_bytes())
+}

@@ -1,0 +1,342 @@
+//! The server's metrics registry and its Prometheus text rendering.
+//!
+//! Two layers of counters accumulate across the server's lifetime:
+//!
+//! * **server counters** — queries in flight / queued (gauges, read from
+//!   the admission gate) and completed / errored / rejected totals,
+//! * **execution counters** — every global [`ExecStats`] counter summed
+//!   over completed queries, plus per-operator series (UDF calls, emitted
+//!   records, task nanoseconds, spill activity) labelled by operator name.
+//!
+//! Rendering follows the Prometheus text exposition format, version
+//! `0.0.4`: `# HELP`/`# TYPE` preambles, `_total` suffixes on counters,
+//! escaped label values.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use strato_exec::{ExecStats, OpSnapshot};
+
+/// Per-operator accumulation across queries, keyed by operator name.
+#[derive(Debug, Default, Clone, Copy)]
+struct OpAgg {
+    calls: u64,
+    emits: u64,
+    nanos: u64,
+    records_spilled: u64,
+    spilled_bytes: u64,
+    spill_runs: u64,
+}
+
+/// Cumulative server metrics. One instance per server; handlers record
+/// into it concurrently.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Queries that completed successfully.
+    completed: AtomicU64,
+    /// Queries that failed (bad request, spec error, execution error).
+    errored: AtomicU64,
+    /// Queries shed by the admission gate (429s).
+    rejected: AtomicU64,
+    /// Σ `ExecStats` totals over completed queries.
+    udf_calls: AtomicU64,
+    records_emitted: AtomicU64,
+    records_shipped: AtomicU64,
+    bytes_shipped: AtomicU64,
+    records_preagg_in: AtomicU64,
+    records_preagg_out: AtomicU64,
+    records_spilled: AtomicU64,
+    spilled_bytes: AtomicU64,
+    spill_runs: AtomicU64,
+    interp_steps: AtomicU64,
+    /// Per-operator aggregates by operator name.
+    per_op: Mutex<BTreeMap<String, OpAgg>>,
+}
+
+impl Metrics {
+    /// Fresh zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Folds one completed query's statistics into the registry.
+    /// `op_names[i]` labels operator id `i` of the executed plan.
+    pub fn record_query(&self, stats: &ExecStats, op_names: &[String]) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let t = stats.totals();
+        self.udf_calls.fetch_add(t.udf_calls, Ordering::Relaxed);
+        self.records_emitted
+            .fetch_add(t.records_emitted, Ordering::Relaxed);
+        self.records_shipped
+            .fetch_add(t.records_shipped, Ordering::Relaxed);
+        self.bytes_shipped
+            .fetch_add(t.bytes_shipped, Ordering::Relaxed);
+        self.records_preagg_in
+            .fetch_add(t.records_preagg_in, Ordering::Relaxed);
+        self.records_preagg_out
+            .fetch_add(t.records_preagg_out, Ordering::Relaxed);
+        self.records_spilled
+            .fetch_add(t.records_spilled, Ordering::Relaxed);
+        self.spilled_bytes
+            .fetch_add(t.spilled_bytes, Ordering::Relaxed);
+        self.spill_runs.fetch_add(t.spill_runs, Ordering::Relaxed);
+        self.interp_steps
+            .fetch_add(t.interp_steps, Ordering::Relaxed);
+
+        let snaps: Vec<OpSnapshot> = stats.op_snapshots();
+        let named: Vec<(String, OpSnapshot)> = snaps
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let name = op_names.get(i).cloned().unwrap_or_else(|| format!("op{i}"));
+                (name, s)
+            })
+            .collect();
+        self.fold_named_ops(&named);
+    }
+
+    /// Folds named per-operator snapshots into the cumulative aggregates.
+    fn fold_named_ops(&self, named: &[(String, OpSnapshot)]) {
+        if named.is_empty() {
+            return;
+        }
+        let mut per_op = self.per_op.lock().unwrap();
+        for (name, s) in named {
+            let agg = per_op.entry(name.clone()).or_default();
+            agg.calls += s.calls;
+            agg.emits += s.emits;
+            agg.nanos += s.nanos;
+            agg.records_spilled += s.records_spilled;
+            agg.spilled_bytes += s.spilled_bytes;
+            agg.spill_runs += s.spill_runs;
+        }
+    }
+
+    /// Counts one failed query.
+    pub fn record_error(&self) {
+        self.errored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one query shed by the admission gate.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed-query count (test/introspection hook).
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    /// `in_flight`/`queued` come from the admission gate at scrape time.
+    pub fn render(&self, in_flight: usize, queued: usize) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut gauge = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        gauge(
+            "strato_queries_in_flight",
+            "Queries currently holding an execution token.",
+            in_flight as u64,
+        );
+        gauge(
+            "strato_queries_queued",
+            "Queries parked in the admission queue.",
+            queued as u64,
+        );
+
+        let counters: [(&str, &str, u64); 13] = [
+            (
+                "strato_queries_completed_total",
+                "Queries that completed successfully.",
+                self.completed.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_queries_errored_total",
+                "Queries that failed (bad request or execution error).",
+                self.errored.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_queries_rejected_total",
+                "Queries shed by the admission gate with HTTP 429.",
+                self.rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_udf_calls_total",
+                "UDF invocations across completed queries.",
+                self.udf_calls.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_records_emitted_total",
+                "Records emitted by UDFs.",
+                self.records_emitted.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_records_shipped_total",
+                "Records moved by Partition/Broadcast shipping.",
+                self.records_shipped.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_bytes_shipped_total",
+                "Serialized bytes moved by Partition/Broadcast shipping.",
+                self.bytes_shipped.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_records_preagg_in_total",
+                "Records absorbed by streaming pre-aggregation tables.",
+                self.records_preagg_in.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_records_preagg_out_total",
+                "Partial records produced by streaming pre-aggregation.",
+                self.records_preagg_out.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_records_spilled_total",
+                "Records written to sorted on-disk runs under memory pressure.",
+                self.records_spilled.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_spilled_bytes_total",
+                "On-disk bytes of first-generation sorted runs.",
+                self.spilled_bytes.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_spill_runs_total",
+                "Sorted runs written under memory pressure.",
+                self.spill_runs.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_interp_steps_total",
+                "IR interpreter steps executed.",
+                self.interp_steps.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, v) in counters {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        }
+
+        type OpSeries = (&'static str, &'static str, fn(&OpAgg) -> u64);
+        let per_op = self.per_op.lock().unwrap();
+        let series: [OpSeries; 6] = [
+            (
+                "strato_op_udf_calls_total",
+                "UDF invocations per operator.",
+                |a| a.calls,
+            ),
+            (
+                "strato_op_records_emitted_total",
+                "Records emitted per operator.",
+                |a| a.emits,
+            ),
+            (
+                "strato_op_task_nanos_total",
+                "Scheduler step nanoseconds attributed per operator.",
+                |a| a.nanos,
+            ),
+            (
+                "strato_op_records_spilled_total",
+                "Records spilled to disk per operator.",
+                |a| a.records_spilled,
+            ),
+            (
+                "strato_op_spilled_bytes_total",
+                "On-disk spill bytes per operator.",
+                |a| a.spilled_bytes,
+            ),
+            (
+                "strato_op_spill_runs_total",
+                "Sorted spill runs written per operator.",
+                |a| a.spill_runs,
+            ),
+        ];
+        for (name, help, get) in series {
+            if per_op.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for (op, agg) in per_op.iter() {
+                out.push_str(&format!(
+                    "{name}{{op=\"{}\"}} {}\n",
+                    escape_label(op),
+                    get(agg)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let m = Metrics::new();
+        m.record_rejected();
+        m.record_error();
+        let stats = ExecStats::with_ops(2);
+        // Simulate a query: 3 calls on op 0, ship, spill on op 1.
+        for _ in 0..3 {
+            stats.udf_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.records_shipped.fetch_add(10, Ordering::Relaxed);
+        m.record_query(&stats, &["scan\"s".into(), "sum".into()]);
+
+        let text = m.render(1, 2);
+        assert!(text.contains("strato_queries_in_flight 1\n"), "{text}");
+        assert!(text.contains("strato_queries_queued 2\n"), "{text}");
+        assert!(text.contains("strato_queries_completed_total 1\n"));
+        assert!(text.contains("strato_queries_errored_total 1\n"));
+        assert!(text.contains("strato_queries_rejected_total 1\n"));
+        assert!(text.contains("strato_exec_udf_calls_total 3\n"));
+        assert!(text.contains("strato_exec_records_shipped_total 10\n"));
+        // Label escaping.
+        assert!(
+            text.contains("strato_op_udf_calls_total{op=\"scan\\\"s\"}"),
+            "{text}"
+        );
+        assert!(text.contains("strato_op_udf_calls_total{op=\"sum\"} 0\n"));
+        // Every series has HELP/TYPE preambles.
+        assert!(text.contains("# TYPE strato_queries_in_flight gauge"));
+        assert!(text.contains("# TYPE strato_exec_udf_calls_total counter"));
+    }
+
+    #[test]
+    fn per_op_aggregates_accumulate_across_queries() {
+        let m = Metrics::new();
+        let snap = OpSnapshot {
+            nanos: 5,
+            ..OpSnapshot::default()
+        };
+        m.record_query(&ExecStats::with_ops(1), &["sum".into()]);
+        m.record_query(&ExecStats::with_ops(1), &["sum".into()]);
+        m.fold_named_ops(&[("sum".into(), snap), ("sum".into(), snap)]);
+        assert_eq!(m.completed(), 2);
+        let text = m.render(0, 0);
+        assert!(
+            text.contains("strato_op_task_nanos_total{op=\"sum\"} 10\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn no_per_op_series_without_slots() {
+        let m = Metrics::new();
+        m.record_query(&ExecStats::new(), &[]);
+        let text = m.render(0, 0);
+        assert!(!text.contains("strato_op_"), "{text}");
+    }
+}

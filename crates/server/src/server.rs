@@ -1,0 +1,160 @@
+//! The accept loop: a [`TcpListener`] feeding connection-per-thread
+//! handlers.
+//!
+//! Concurrency control lives in the [`AdmissionGate`], not in the thread
+//! model: every connection gets a handler thread (connections are
+//! short-lived — one request each), but only `max_concurrent` of them can
+//! hold an execution token at once; `/metrics` and `/healthz` never touch
+//! the gate, so observability stays responsive under full query load.
+//!
+//! [`Server::spawn`] runs the loop on a background thread and returns a
+//! [`ServerHandle`] with the bound address and a shutdown switch — the
+//! shape integration tests need (bind port 0, query it, shut down).
+//!
+//! [`AdmissionGate`]: crate::admission::AdmissionGate
+
+use crate::handlers::{handle_connection, AppState};
+use crate::metrics::Metrics;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration (the bin's flags map onto this 1:1).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:8464`. Port `0` binds ephemerally.
+    pub addr: String,
+    /// Queries allowed to execute concurrently.
+    pub max_concurrent: usize,
+    /// Queries allowed to wait for an execution token before new arrivals
+    /// are answered `429`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8464".to_string(),
+            max_concurrent: 4,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// A bound (but not yet serving) query service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: AppState,
+}
+
+impl Server {
+    /// Binds the listen socket. The admission gate and metrics registry
+    /// are created here, so [`Server::state`] is observable before (and
+    /// during) serving.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(&config.addr)?,
+            state: AppState::new(config.max_concurrent, config.queue_depth),
+        })
+    }
+
+    /// The actual bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared per-server state (gate + metrics registry).
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// Serves forever on the calling thread (the binary's main loop).
+    pub fn run(self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            match conn {
+                Ok(stream) => spawn_handler(stream, self.state.clone()),
+                // Per-connection accept errors (peer reset mid-handshake)
+                // must not kill the server.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves on a background thread; returns a handle that can query the
+    /// bound address, scrape state, and shut the loop down.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::clone(&self.state.metrics);
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for conn in self.listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        spawn_handler(stream, self.state.clone());
+                    }
+                }
+            })
+        };
+        Ok(ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+            metrics,
+        })
+    }
+}
+
+fn spawn_handler(stream: TcpStream, state: AppState) {
+    std::thread::spawn(move || handle_connection(stream, &state));
+}
+
+/// Handle on a background server started by [`Server::spawn`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry (for assertions without a scrape).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// connection handlers finish on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = t.join();
+        }
+    }
+}

@@ -224,7 +224,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among several strategies; built by [`prop_oneof!`].
+    /// Uniform choice among several strategies; built by `prop_oneof!`.
     pub struct Union<V> {
         arms: Vec<BoxedStrategy<V>>,
     }
@@ -439,7 +439,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -14,10 +14,14 @@
 //! * [`core`] — reordering conditions, plan enumeration, cost-based physical
 //!   optimization (the paper's contribution),
 //! * [`exec`] — a parallel in-process execution engine,
+//! * [`server`] — the engine as a resident HTTP/JSON query service,
 //! * [`workloads`] — the four evaluation workloads of the paper.
 //!
-//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
-//! full system inventory.
+//! See the repository `README.md` for a quickstart, `ARCHITECTURE.md` for
+//! how the crates fit together, and `DESIGN.md` for the full system
+//! inventory.
+
+#![warn(missing_docs)]
 
 pub use strato_core as core;
 pub use strato_dataflow as dataflow;
@@ -25,4 +29,5 @@ pub use strato_exec as exec;
 pub use strato_ir as ir;
 pub use strato_record as record;
 pub use strato_sca as sca;
+pub use strato_server as server;
 pub use strato_workloads as workloads;

@@ -1,0 +1,267 @@
+//! End-to-end tests of the query service: a real listener on an
+//! ephemeral port, real HTTP round trips.
+//!
+//! The central guarantee: a dataflow submitted over the wire produces
+//! **byte-identical** result rows to the same flow compiled and executed
+//! in process, and the `/metrics` scrape agrees with the in-process
+//! execution statistics down to per-operator counters.
+
+use strato::core::Optimizer;
+use strato::dataflow::spec::{
+    CmpOp, FlowSpec, FoldOp, MapUdf, NodeSpec, OpSpec, ReduceUdf, SourceSpec,
+};
+use strato::dataflow::PropertyMode;
+use strato::exec::{execute_with, ExecOptions, Inputs};
+use strato::record::{DataSet, Record, Value};
+use strato::server::decode::value_to_json;
+use strato::server::json::Json;
+use strato::server::{client, Server, ServerConfig};
+
+/// Boots a background server with the given admission limits.
+fn boot(max_concurrent: usize, queue_depth: usize) -> strato::server::ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_concurrent,
+        queue_depth,
+    };
+    Server::bind(&config).expect("bind").spawn().expect("spawn")
+}
+
+/// The first sample of `name` in a Prometheus scrape (`name` includes any
+/// label set, verbatim).
+fn metric(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|l| {
+        let rest = l.strip_prefix(name)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}
+
+/// Deterministic (k, v) rows with some negative v to give the filter work.
+fn sample_rows(n: i64) -> DataSet {
+    (0..n)
+        .map(|i| Record::from_values(vec![Value::Int(i % 10), Value::Int((i * 7) % 50 - 10)]))
+        .collect()
+}
+
+/// JSON text of a data set's rows in canonical sorted order — the exact
+/// serialization the server streams back.
+fn rows_json(out: &DataSet) -> String {
+    Json::Arr(
+        out.sorted()
+            .iter()
+            .map(|r| Json::Arr(r.fields().iter().map(value_to_json).collect()))
+            .collect(),
+    )
+    .to_string()
+}
+
+#[test]
+fn served_query_matches_direct_execution_byte_for_byte() {
+    let handle = boot(2, 4);
+    let data = sample_rows(200);
+
+    // The same grouped aggregation, described twice: as the wire JSON and
+    // as the in-process FlowSpec. The inline inputs preserve the original
+    // row order — batch boundaries (and so e.g. combiner ship counts)
+    // depend on it.
+    let inline_rows = Json::Arr(
+        data.iter()
+            .map(|r| Json::Arr(r.fields().iter().map(value_to_json).collect()))
+            .collect::<Vec<_>>(),
+    )
+    .to_string();
+    let body = format!(
+        r#"{{
+          "flow": {{
+            "op": {{"name": "sum", "kind": "reduce", "key": [0],
+                   "udf": {{"fn": "fold", "op": "sum", "field": 1}}}},
+            "inputs": [
+              {{"op": {{"name": "pos", "kind": "map",
+                      "udf": {{"fn": "filter", "field": 1, "cmp": "ge", "value": 0}}}},
+               "inputs": [{{"source": {{"name": "s", "fields": ["k", "v"], "est_rows": 200}}}}]}}
+            ]
+          }},
+          "inputs": {{"s": {inline_rows}}},
+          "options": {{"dop": 2, "batch": 64, "combine": true}}
+        }}"#
+    );
+
+    let flow = FlowSpec::new(NodeSpec::op(
+        OpSpec::reduce("sum", &[0], ReduceUdf::fold_inplace(FoldOp::Sum, 1)),
+        vec![NodeSpec::op(
+            OpSpec::map("pos", MapUdf::filter_cmp(1, CmpOp::Ge, 0i64)),
+            vec![NodeSpec::source(SourceSpec::new("s", &["k", "v"], 200))],
+        )],
+    ));
+    let plan = flow.build().expect("valid spec");
+    let best = Optimizer::new(PropertyMode::Sca).with_dop(2).best(&plan);
+    let mut inputs = Inputs::new();
+    inputs.insert("s".to_string(), data);
+    let opts = ExecOptions {
+        batch_size: 64,
+        combine: true,
+        ..ExecOptions::default()
+    };
+    let (direct_out, direct_stats) =
+        execute_with(&best.plan, &best.phys, &inputs, 2, &opts).expect("direct execution");
+
+    // Round trip over the wire.
+    let response = client::post_json(handle.addr(), "/v1/query", &body).expect("query");
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert_eq!(
+        response.header("transfer-encoding"),
+        Some("chunked"),
+        "results must stream back chunked"
+    );
+    let doc = Json::parse(&response.text()).expect("response is JSON");
+
+    // Byte-identical rows.
+    let served_rows = doc.get("rows").expect("rows member");
+    assert_eq!(served_rows.to_string(), rows_json(&direct_out));
+    // And bag-equal as data sets (same check, independent of ordering).
+    let served_ds: DataSet = served_rows
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|row| {
+            Record::from_values(
+                row.as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|v| strato::server::decode::json_to_value(v).unwrap()),
+            )
+        })
+        .collect();
+    assert_eq!(served_ds, direct_out);
+
+    // The response stats agree with the in-process run.
+    let stats = doc.get("stats").expect("stats member");
+    let totals = direct_stats.totals();
+    assert_eq!(
+        stats.get("udf_calls").unwrap().as_i64(),
+        Some(totals.udf_calls as i64)
+    );
+    assert_eq!(
+        stats.get("records_emitted").unwrap().as_i64(),
+        Some(totals.records_emitted as i64)
+    );
+
+    // The scrape agrees too, down to per-operator counters.
+    let scrape = client::get(handle.addr(), "/metrics")
+        .expect("scrape")
+        .text();
+    assert_eq!(metric(&scrape, "strato_queries_completed_total"), Some(1));
+    assert_eq!(metric(&scrape, "strato_queries_errored_total"), Some(0));
+    assert_eq!(
+        metric(&scrape, "strato_exec_udf_calls_total"),
+        Some(totals.udf_calls)
+    );
+    assert_eq!(
+        metric(&scrape, "strato_exec_records_shipped_total"),
+        Some(totals.records_shipped)
+    );
+    let direct_ops = direct_stats.op_snapshots();
+    for (i, op) in best.plan.ctx.ops.iter().enumerate() {
+        let series = format!("strato_op_udf_calls_total{{op=\"{}\"}}", op.name);
+        assert_eq!(
+            metric(&scrape, &series),
+            Some(direct_ops[i].calls),
+            "{series}"
+        );
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn admission_gate_sheds_load_with_429() {
+    // One execution token, no queue: a second concurrent query must be
+    // rejected immediately.
+    let handle = boot(1, 0);
+    let addr = handle.addr();
+
+    // A deliberately slow query: burn CPU per record so it stays in
+    // flight while the second request arrives.
+    let slow_body = r#"{
+      "flow": {
+        "op": {"name": "extract", "kind": "map",
+               "udf": {"fn": "burn", "field": 0, "units": 500000}},
+        "inputs": [{"source": {"name": "s", "fields": ["x"], "est_rows": 8}}]
+      },
+      "inputs": {"s": [[0],[1],[2],[3],[4],[5],[6],[7]]}
+    }"#;
+    let slow = std::thread::spawn(move || client::post_json(addr, "/v1/query", slow_body));
+
+    // Wait until the slow query holds the execution token.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let scrape = client::get(addr, "/metrics").expect("scrape").text();
+        if metric(&scrape, "strato_queries_in_flight") == Some(1) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slow query never became in-flight:\n{scrape}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // Saturated: the next query is shed at the door.
+    let tiny_body = r#"{
+      "flow": {"source": {"name": "s", "fields": ["x"], "est_rows": 1}},
+      "inputs": {"s": [[1]]}
+    }"#;
+    let rejected = client::post_json(addr, "/v1/query", tiny_body).expect("request");
+    assert_eq!(rejected.status, 429, "{}", rejected.text());
+    assert!(rejected.text().contains("error"));
+
+    // The slow query still completes fine.
+    let slow_response = slow.join().expect("join").expect("slow query");
+    assert_eq!(slow_response.status, 200, "{}", slow_response.text());
+
+    // And once the token is free again, queries are admitted.
+    let retry = client::post_json(addr, "/v1/query", tiny_body).expect("retry");
+    assert_eq!(retry.status, 200, "{}", retry.text());
+
+    let scrape = client::get(addr, "/metrics").expect("scrape").text();
+    assert_eq!(metric(&scrape, "strato_queries_rejected_total"), Some(1));
+    assert_eq!(metric(&scrape, "strato_queries_completed_total"), Some(2));
+
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_errors_map_to_4xx() {
+    let handle = boot(2, 2);
+    let addr = handle.addr();
+
+    // Malformed JSON → 400.
+    let r = client::post_json(addr, "/v1/query", "{nope").expect("request");
+    assert_eq!(r.status, 400);
+    // Well-formed JSON, wrong shape → 422.
+    let r = client::post_json(addr, "/v1/query", r#"{"flows": 1}"#).expect("request");
+    assert_eq!(r.status, 422);
+    // Structurally invalid flow (key out of range) → 422.
+    let r = client::post_json(
+        addr,
+        "/v1/query",
+        r#"{"flow": {"op": {"name": "g", "kind": "reduce", "key": [9],
+                           "udf": {"fn": "count"}},
+                    "inputs": [{"source": {"name": "s", "fields": ["x"], "est_rows": 1}}]}}"#,
+    )
+    .expect("request");
+    assert_eq!(r.status, 422, "{}", r.text());
+    // Unknown endpoint → 404; wrong method → 405.
+    assert_eq!(client::get(addr, "/nope").expect("request").status, 404);
+    assert_eq!(client::get(addr, "/v1/query").expect("request").status, 405);
+    // Liveness probe.
+    let health = client::get(addr, "/healthz").expect("request");
+    assert_eq!((health.status, health.text().as_str()), (200, "ok"));
+
+    // Every failure was counted, nothing completed.
+    let scrape = client::get(addr, "/metrics").expect("scrape").text();
+    assert_eq!(metric(&scrape, "strato_queries_errored_total"), Some(3));
+    assert_eq!(metric(&scrape, "strato_queries_completed_total"), Some(0));
+
+    handle.shutdown();
+}
