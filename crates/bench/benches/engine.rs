@@ -3,13 +3,14 @@
 
 use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hash::Hasher;
 use strato_core::{cost::CostWeights, physical::best_physical, PropTable};
 use strato_dataflow::{CostHints, Plan, ProgramBuilder, PropertyMode, SourceDef};
 use strato_exec::{execute, execute_logical, Inputs};
 use strato_ir::interp::{Interp, Invocation, Layout};
 use strato_ir::{FuncBuilder, UdfKind};
-use strato_record::hash::fx_hash;
-use strato_record::{wire, DataSet, Record, Value};
+use strato_record::hash::{fx_hash, FxHasher};
+use strato_record::{wire, BatchBuilder, DataSet, Record, Value};
 use strato_workloads::{tpch, udfs};
 
 /// A grouped-aggregate workload with heavy key duplication: `rows`
@@ -208,6 +209,61 @@ fn bench_engine(c: &mut Criterion) {
         })
     });
     g3.finish();
+
+    // Columnar kernels against the row-at-a-time reference, micro and
+    // end-to-end. The micro pair isolates the vectorized key-hash kernel
+    // on the shuffle workload's own 50k-row data; the e2e pair A/Bs the
+    // `ExecOptions::layout` escape hatch on the full shuffle plan.
+    let mut g4 = c.benchmark_group("engine_columnar");
+    let src = sh_inputs["s"].records();
+    let mut builder = BatchBuilder::new(2);
+    for r in src {
+        builder.push_record(r);
+    }
+    let cb = builder.finish();
+    let keys = [0usize];
+    g4.bench_function("key_hash_columnar_50k", |b| {
+        let mut hashes = Vec::new();
+        b.iter(|| {
+            cb.key_hash_into(&keys, &mut hashes);
+            hashes[0]
+        })
+    });
+    g4.bench_function("key_hash_row_50k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in src {
+                let mut h = FxHasher::default();
+                std::hash::Hash::hash(r.field(0), &mut h);
+                acc ^= h.finish();
+            }
+            acc
+        })
+    });
+    g4.sample_size(10);
+    let layout_opts = |layout| strato_exec::ExecOptions {
+        layout,
+        ..strato_exec::ExecOptions::default()
+    };
+    let row_opts = layout_opts(strato_exec::BatchLayout::RowView);
+    g4.bench_function("shuffle_50k_dop4_rowview", |b| {
+        b.iter(|| {
+            strato_exec::execute_with(&sh_plan, &sh_phys, &sh_inputs, 4, &row_opts)
+                .unwrap()
+                .0
+                .len()
+        })
+    });
+    let col_opts = layout_opts(strato_exec::BatchLayout::ColumnarNative);
+    g4.bench_function("shuffle_50k_dop4_columnar", |b| {
+        b.iter(|| {
+            strato_exec::execute_with(&sh_plan, &sh_phys, &sh_inputs, 4, &col_opts)
+                .unwrap()
+                .0
+                .len()
+        })
+    });
+    g4.finish();
 }
 
 criterion_group!(benches, bench_engine);

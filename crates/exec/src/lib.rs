@@ -55,7 +55,7 @@ pub mod spill;
 pub mod stats;
 
 pub use engine::{execute, execute_logical, execute_logical_with, execute_with, ExecError, Inputs};
-pub use pipeline::ExecOptions;
+pub use pipeline::{BatchLayout, ExecOptions};
 pub use profile::{profile, profile_hints, sample_inputs, OpProfile};
 pub use spill::MemoryGovernor;
 pub use stats::{ExecStats, OpSnapshot, StatsSnapshot};

@@ -34,7 +34,9 @@ impl Operator for CrossOp<'_> {
         batch: Arc<RecordBatch>,
         _out: &mut Vec<Arc<RecordBatch>>,
     ) -> Result<(), ExecError> {
-        self.sides[port].push(batch);
+        // The nested loop borrows `&Record`s; columnar input materializes
+        // to rows once at push time.
+        self.sides[port].push(super::rows_arc(batch));
         Ok(())
     }
 

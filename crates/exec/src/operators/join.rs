@@ -264,6 +264,10 @@ impl Operator for MatchOp<'_> {
         batch: Arc<RecordBatch>,
         _out: &mut Vec<Arc<RecordBatch>>,
     ) -> Result<(), ExecError> {
+        // The join algorithms borrow `&Record`s from buffered batches, so
+        // columnar input materializes to rows here (before the governor
+        // charge — the normalized batch is the one buffered and spilled).
+        let batch = super::rows_arc(batch);
         let mut charge = 0u64;
         if self.ctx.gov.bounded() {
             // A broadcast build side is one `Arc`-shared allocation held by

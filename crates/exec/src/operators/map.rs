@@ -45,8 +45,17 @@ impl Operator for MapOp<'_> {
         debug_assert_eq!(port, 0, "Map is unary");
         let (head, head_ctx) = self.stages[0];
         let mut emitted = Vec::new();
-        for r in batch.iter() {
-            head_ctx.call(head, Invocation::Record(r), &mut emitted)?;
+        if let Some(cb) = batch.columns() {
+            // Columnar input: evaluate the head UDF directly over row views.
+            // Field reads resolve straight into the column vectors; the
+            // input record is materialized only if the UDF copies it whole.
+            for row in 0..cb.len() {
+                head_ctx.call(head, Invocation::Row(cb.row(row)), &mut emitted)?;
+            }
+        } else {
+            for r in batch.iter() {
+                head_ctx.call(head, Invocation::Record(r), &mut emitted)?;
+            }
         }
         for &(op, ctx) in &self.stages[1..] {
             let mut next = Vec::new();

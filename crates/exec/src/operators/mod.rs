@@ -206,7 +206,20 @@ pub(crate) fn records_bytes(recs: &[Record]) -> u64 {
 pub(crate) fn take_records(batch: Arc<RecordBatch>) -> Vec<Record> {
     match Arc::try_unwrap(batch) {
         Ok(b) => b.into_records(),
-        Err(shared) => shared.records().to_vec(),
+        Err(shared) => shared.to_records(),
+    }
+}
+
+/// Normalizes a batch to row representation for operators that buffer
+/// shared batches and join over *borrowed* records (Match, Cross).
+/// Columnar batches are materialized once at push time (moving the columns
+/// when this is the last reference); row batches pass through untouched,
+/// so broadcast sharing of row batches stays zero-copy.
+pub(crate) fn rows_arc(batch: Arc<RecordBatch>) -> Arc<RecordBatch> {
+    if batch.columns().is_some() {
+        Arc::new(RecordBatch::from_records(take_records(batch)))
+    } else {
+        batch
     }
 }
 

@@ -79,6 +79,10 @@ pub struct StreamAggOp<'a> {
     /// `(global attribute index, ⊕)` per folded field.
     folds: Vec<(usize, BinOp)>,
     role: AggRole,
+    /// Key attributes as plain column indices (columnar kernel form).
+    key_idx: Vec<usize>,
+    /// Scratch hash column reused across columnar batches.
+    hashes: Vec<u64>,
     /// key hash → partial records of the keys sharing that hash.
     table: FxHashMap<u64, Vec<Record>>,
     records_in: u64,
@@ -98,11 +102,14 @@ impl<'a> StreamAggOp<'a> {
             .into_iter()
             .map(|(attr, bin)| (attr.index(), bin))
             .collect();
+        let key_idx = op.key_attrs[0].iter().map(|k| k.index()).collect();
         StreamAggOp {
             op,
             ctx,
             folds,
             role,
+            key_idx,
+            hashes: Vec::new(),
             table: FxHashMap::default(),
             records_in: 0,
             partials_out: 0,
@@ -125,6 +132,35 @@ impl<'a> StreamAggOp<'a> {
                 }
             }
             None => {
+                if self.ctx.gov.bounded() {
+                    let bytes = r.encoded_len() as u64;
+                    self.table_bytes += bytes;
+                    self.ctx.gov.grant(bytes);
+                }
+                bucket.push(r);
+            }
+        }
+    }
+
+    /// Columnar twin of [`StreamAggOp::absorb`]: folds one row of a
+    /// columnar batch into its key's partial without materializing the row
+    /// — a `Record` is built only when the key is seen for the first time.
+    /// `hash` is the row's precomputed key hash (vectorized per batch).
+    fn absorb_row(&mut self, cb: &strato_record::ColumnBatch, row: usize, hash: u64) {
+        self.records_in += 1;
+        let bucket = self.table.entry(hash).or_default();
+        match bucket
+            .iter_mut()
+            .find(|p| cb.key_cmp_record(row, p, &self.key_idx).is_eq())
+        {
+            Some(p) => {
+                for &(f, bin) in &self.folds {
+                    let v = eval_bin(bin, p.field(f), &cb.value_at(row, f));
+                    p.set_field(f, v);
+                }
+            }
+            None => {
+                let r = cb.row_record(row);
                 if self.ctx.gov.bounded() {
                     let bytes = r.encoded_len() as u64;
                     self.table_bytes += bytes;
@@ -187,8 +223,20 @@ impl Operator for StreamAggOp<'_> {
         out: &mut Vec<Arc<RecordBatch>>,
     ) -> Result<(), ExecError> {
         debug_assert_eq!(port, 0, "streaming aggregation is unary");
-        for r in take_records(batch) {
-            self.absorb(r);
+        if let Some(cb) = batch.columns() {
+            // Vectorized: hash the whole key column, then fold row views
+            // into the table. Grant accounting matches the row path because
+            // a partial's `encoded_len` is layout-independent.
+            let mut hashes = std::mem::take(&mut self.hashes);
+            cb.key_hash_into(&self.key_idx, &mut hashes);
+            for (row, &h) in hashes.iter().enumerate().take(cb.len()) {
+                self.absorb_row(cb, row, h);
+            }
+            self.hashes = hashes;
+        } else {
+            for r in take_records(batch) {
+                self.absorb(r);
+            }
         }
         if self.ctx.gov.over_budget() && !self.table.is_empty() {
             self.shed(out)?;

@@ -70,7 +70,26 @@ use std::time::Instant;
 use strato_core::{LocalStrategy, PhysNode, Ship};
 use strato_dataflow::{NodeKind, Pact, Plan, PlanNode};
 use strato_ir::interp::Interp;
-use strato_record::{DataSet, Record, RecordBatch};
+use strato_record::{BatchBuilder, DataSet, Record, RecordBatch};
+
+/// How batches are laid out on the engine's scan and shuffle hot paths.
+///
+/// Purely an execution knob: results, ship accounting and UDF-call stats
+/// are byte-identical under either layout (the equivalence suite sweeps
+/// it as an axis). `RowView` is the escape hatch that reproduces the
+/// historic row-at-a-time engine exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchLayout {
+    /// Scans emit row-major batches of owned [`Record`]s; every operator
+    /// and router works record-at-a-time.
+    RowView,
+    /// Scans build column-major batches ([`strato_record::ColumnBatch`])
+    /// with the widen step fused into column construction, and the
+    /// Partition router / Map / StreamAgg hot paths run their vectorized
+    /// columnar kernels.
+    #[default]
+    ColumnarNative,
+}
 
 /// Tuning knobs of one execution. The defaults reproduce production
 /// behavior; tests sweep them.
@@ -130,6 +149,9 @@ pub struct ExecOptions {
     /// on first spill and removed when the execution ends — on success,
     /// error and contained worker panic alike.
     pub spill_dir: Option<std::path::PathBuf>,
+    /// Batch layout on the scan/shuffle hot paths (see [`BatchLayout`]).
+    /// Columnar by default; `RowView` reproduces the row-at-a-time engine.
+    pub layout: BatchLayout,
 }
 
 impl Default for ExecOptions {
@@ -143,6 +165,7 @@ impl Default for ExecOptions {
             combine: true,
             mem_budget: Some(strato_core::cost::DEFAULT_MEM_BUDGET_BYTES),
             spill_dir: None,
+            layout: BatchLayout::default(),
         }
     }
 }
@@ -588,6 +611,23 @@ enum Work<'a> {
         it: std::vec::IntoIter<Record>,
         batch_size: usize,
     },
+    /// Columnar scan: widen this partition's share of the source rows
+    /// (indices `start, start + stride, …` — the same round-robin split
+    /// as the row scan) straight into column builders, one batch at a
+    /// time. The widen step runs *inside* the task, so at `dop = n` the
+    /// formerly serial widen parallelizes n ways.
+    ColScan {
+        rows: &'a [Record],
+        /// Next source row of this partition.
+        next: usize,
+        /// Partition stride (= dop).
+        stride: usize,
+        /// Global column → source field (`None` = null-fill), shared by
+        /// the stage's partitions.
+        map: Arc<Vec<Option<usize>>>,
+        builder: BatchBuilder,
+        batch_size: usize,
+    },
     /// Drive one operator instance over arriving batches.
     Op {
         oper: Box<dyn Operator + 'a>,
@@ -601,7 +641,9 @@ enum Work<'a> {
 enum Output<'a> {
     /// Root: collect into the shared sink.
     Sink,
-    Route(Router<'a>),
+    /// Boxed: the Partition router carries scatter scratch buffers that
+    /// would otherwise dominate every task body's footprint.
+    Route(Box<Router<'a>>),
 }
 
 struct TaskBody<'a> {
@@ -659,6 +701,28 @@ fn step(body: &mut TaskBody<'_>, sched: &Sched<'_>) -> Result<StepOutcome, ExecE
                 } else {
                     let recs: Vec<Record> = it.by_ref().take(n).collect();
                     scratch.push(Arc::new(RecordBatch::from_records(recs)));
+                }
+            }
+            Work::ColScan {
+                rows,
+                next,
+                stride,
+                map,
+                builder,
+                batch_size,
+            } => {
+                while *next < rows.len() && builder.len() < *batch_size {
+                    builder.push_widened(&rows[*next], map);
+                    *next += *stride;
+                }
+                if builder.is_empty() {
+                    produced_final = true;
+                } else {
+                    let cb = builder.take();
+                    sched
+                        .stats
+                        .add_batch_cells(cb.null_cells() as u64, cb.total_cells() as u64);
+                    scratch.push(Arc::new(RecordBatch::from_columns(cb)));
                 }
             }
             Work::Op {
@@ -836,18 +900,33 @@ pub(crate) fn run_streaming(
     // Task bodies: one per (stage, partition).
     let mut bodies: Vec<Mutex<TaskBody<'_>>> = Vec::with_capacity(n_tasks);
     for (sid, s) in graph.stages.iter().enumerate() {
-        // Scans widen + split once per stage, then hand partitions out.
+        // Row-layout scans widen + split once per stage, then hand
+        // partitions out. Columnar scans instead fuse the widen into
+        // in-task column building: each partition walks its stride of the
+        // *source* rows, so the widen itself parallelizes across dop.
+        // Source rows plus the global-attr -> source-column map.
+        type ColScanSrc<'s> = (&'s [Record], Arc<Vec<Option<usize>>>);
         let mut scan_parts: Vec<Vec<Record>> = Vec::new();
+        let mut col_scan: Option<ColScanSrc<'_>> = None;
         if let FlatKind::Scan(src_id) = &s.kind {
             let src = &plan.ctx.sources[*src_id];
             let ds = inputs
                 .get(&src.name)
                 .ok_or_else(|| ExecError::MissingInput(src.name.clone()))?;
-            let wide = widen(ds, &src.attrs, plan.ctx.width());
-            // Round-robin initial placement, as a scan over splits would.
-            scan_parts = (0..dop).map(|_| Vec::new()).collect();
-            for (i, r) in wide.into_iter().enumerate() {
-                scan_parts[i % dop].push(r);
+            if opts.layout == BatchLayout::ColumnarNative {
+                let mut map = vec![None; plan.ctx.width()];
+                for (i, a) in src.attrs.iter().enumerate() {
+                    map[a.index()] = Some(i);
+                }
+                col_scan = Some((ds.records(), Arc::new(map)));
+            } else {
+                let wide = widen(ds, &src.attrs, plan.ctx.width());
+                // Round-robin initial placement, as a scan over splits
+                // would.
+                scan_parts = (0..dop).map(|_| Vec::new()).collect();
+                for (i, r) in wide.into_iter().enumerate() {
+                    scan_parts[i % dop].push(r);
+                }
             }
         }
         let mut scan_parts = scan_parts.into_iter();
@@ -856,15 +935,24 @@ pub(crate) fn run_streaming(
             let id = sid * dop + p;
             let (work, name, op_id) = match &s.kind {
                 FlatKind::Scan(src_id) => {
-                    let recs = scan_parts.next().expect("one split per partition");
-                    (
-                        Work::Scan {
-                            it: recs.into_iter(),
+                    let work = match &col_scan {
+                        Some((rows, map)) => Work::ColScan {
+                            rows,
+                            next: p,
+                            stride: dop,
+                            map: Arc::clone(map),
+                            builder: BatchBuilder::new(plan.ctx.width()),
                             batch_size: opts.batch_size.max(1),
                         },
-                        plan.ctx.sources[*src_id].name.as_str(),
-                        None,
-                    )
+                        None => Work::Scan {
+                            it: scan_parts
+                                .next()
+                                .expect("one split per partition")
+                                .into_iter(),
+                            batch_size: opts.batch_size.max(1),
+                        },
+                    };
+                    (work, plan.ctx.sources[*src_id].name.as_str(), None)
                 }
                 FlatKind::Combine { op } => {
                     let bound = &plan.ctx.ops[*op];
@@ -940,19 +1028,22 @@ pub(crate) fn run_streaming(
                 Some((cons, port)) => {
                     let base = graph.stages[cons].chan_base[port];
                     match &graph.stages[cons].inputs[port].ship {
-                        Ship::Forward => (Output::Route(Router::forward(base + p)), vec![base + p]),
+                        Ship::Forward => (
+                            Output::Route(Box::new(Router::forward(base + p))),
+                            vec![base + p],
+                        ),
                         Ship::Partition(key) => (
-                            Output::Route(Router::partition(
+                            Output::Route(Box::new(Router::partition(
                                 base,
                                 dop,
                                 key,
                                 opts.batch_size,
                                 opts.validate_wire,
-                            )),
+                            ))),
                             (base..base + dop).collect(),
                         ),
                         Ship::Broadcast => (
-                            Output::Route(Router::broadcast(base, dop)),
+                            Output::Route(Box::new(Router::broadcast(base, dop))),
                             (base..base + dop).collect(),
                         ),
                     }

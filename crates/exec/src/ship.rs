@@ -36,7 +36,7 @@ use crate::stats::ExecStats;
 use bytes::BytesMut;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use strato_record::{wire, AttrId, Record, RecordBatch};
+use strato_record::{wire, AttrId, BatchBuilder, Record, RecordBatch};
 
 /// A producer task's outbound queue: batches routed to scheduler channels
 /// but not yet accepted (bounded channels apply backpressure).
@@ -51,15 +51,37 @@ pub(crate) enum Router<'a> {
         chan: usize,
     },
     /// Hash-repartition records by key; batches rebuilt per destination.
+    ///
+    /// Row-major batches are routed record-at-a-time into per-destination
+    /// record vectors. Columnar batches take the vectorized path: the
+    /// full key-hash column and per-row byte sizes are computed with the
+    /// columnar kernels, then rows are scattered into per-destination
+    /// [`BatchBuilder`]s without ever materializing a [`Record`]. Both
+    /// paths charge identical per-record ship accounting and flush at
+    /// the same `batch_size` boundaries; when the two kinds interleave,
+    /// the pending builder of the other kind is flushed first so each
+    /// destination still sees rows in arrival order.
     Partition {
         first: usize,
         dop: usize,
         key: &'a [AttrId],
+        /// Key attribute positions (for the columnar kernels).
+        key_idx: Vec<usize>,
         /// Per-destination records accumulated up to `batch_size`.
         builders: Vec<Vec<Record>>,
+        /// Per-destination columnar builders (lazy: allocated on the
+        /// first columnar batch).
+        col_builders: Vec<Option<BatchBuilder>>,
         batch_size: usize,
         validate: bool,
         buf: BytesMut,
+        /// Scratch: the per-row hash column of the batch being routed.
+        hashes: Vec<u64>,
+        /// Scratch: per-row `encoded_len` of the batch being routed.
+        row_bytes: Vec<usize>,
+        /// Scratch: per-row destination partition of the batch being
+        /// routed.
+        dests: Vec<u32>,
     },
     /// Every consumer partition gets the same `Arc`'d batch.
     Broadcast { first: usize, dop: usize },
@@ -81,10 +103,15 @@ impl<'a> Router<'a> {
             first,
             dop,
             key,
+            key_idx: key.iter().map(|a| a.index()).collect(),
             builders: (0..dop).map(|_| Vec::new()).collect(),
+            col_builders: (0..dop).map(|_| None).collect(),
             batch_size: batch_size.max(1),
             validate,
             buf: BytesMut::new(),
+            hashes: Vec::new(),
+            row_bytes: Vec::new(),
+            dests: Vec::new(),
         }
     }
 
@@ -108,29 +135,126 @@ impl<'a> Router<'a> {
                 first,
                 dop,
                 key,
+                key_idx,
                 builders,
+                col_builders,
                 batch_size,
                 validate,
                 buf,
+                hashes,
+                row_bytes,
+                dests,
             } => {
-                let mut records = 0u64;
-                let mut bytes = 0u64;
-                for r in crate::operators::take_records(batch) {
-                    records += 1;
-                    bytes += r.encoded_len() as u64;
-                    if *validate {
-                        validate_roundtrip(&r, buf)?;
+                if batch.columns().is_some() {
+                    // Vectorized scatter: hash the key columns, size
+                    // every row and compute the destination column in
+                    // tight column-wise loops, then scatter the whole
+                    // batch into per-destination columnar builders —
+                    // moving payloads when this router holds the only
+                    // reference (the common case).
+                    let (n, width, bytes) = {
+                        let cb = batch.columns().expect("checked above");
+                        let n = cb.len();
+                        cb.key_hash_into(key_idx, hashes);
+                        cb.row_encoded_lens(row_bytes);
+                        let bytes: u64 = row_bytes.iter().map(|&b| b as u64).sum();
+                        if *validate {
+                            for row in 0..n {
+                                validate_roundtrip(&cb.row_record(row), buf)?;
+                            }
+                        }
+                        (n, cb.width(), bytes)
+                    };
+                    dests.clear();
+                    dests.extend(hashes.iter().map(|&h| (h as usize % *dop) as u32));
+                    for p in 0..*dop {
+                        // Keep per-destination arrival order: flush row
+                        // records already pending for a destination this
+                        // batch touches.
+                        let touched = dests.contains(&(p as u32));
+                        if touched && !builders[p].is_empty() {
+                            let rest = std::mem::take(&mut builders[p]);
+                            out.push_back((*first + p, Arc::new(RecordBatch::from_records(rest))));
+                        }
+                        // A width change mid-stream (not expected from a
+                        // single producer) must not drop pending rows.
+                        if let Some(b) = &mut col_builders[p] {
+                            if b.width() != width && !b.is_empty() {
+                                let pending = RecordBatch::from_columns(b.take());
+                                out.push_back((*first + p, Arc::new(pending)));
+                            }
+                        }
+                        match &mut col_builders[p] {
+                            Some(b) if b.width() == width => {}
+                            slot => {
+                                let _ = slot.insert(BatchBuilder::new(width));
+                            }
+                        }
                     }
-                    let p = (crate::operators::key_hash(&r, key) as usize) % *dop;
-                    builders[p].push(r);
-                    if builders[p].len() >= *batch_size {
-                        let full = std::mem::take(&mut builders[p]);
-                        out.push_back((*first + p, Arc::new(RecordBatch::from_records(full))));
+                    {
+                        let mut refs: Vec<&mut BatchBuilder> = col_builders
+                            .iter_mut()
+                            .map(|o| o.as_mut().expect("ensured above"))
+                            .collect();
+                        match Arc::try_unwrap(batch) {
+                            // Sole owner: scatter owned columns (string
+                            // payloads move, no refcount traffic).
+                            Ok(rb) => {
+                                let owned = rb.into_columns().expect("checked columnar");
+                                owned.scatter_into(dests, &mut refs);
+                            }
+                            // Shared (e.g. a re-routed broadcast batch):
+                            // gather row-by-row from the borrowed columns.
+                            Err(shared) => {
+                                let cb = shared.columns().expect("checked columnar");
+                                for (row, &d) in dests.iter().enumerate() {
+                                    refs[d as usize].append_row(cb, row);
+                                }
+                            }
+                        }
                     }
+                    for (p, slot) in col_builders.iter_mut().enumerate().take(*dop) {
+                        if let Some(bld) = slot {
+                            if bld.len() >= *batch_size {
+                                let full = RecordBatch::from_columns(bld.take());
+                                out.push_back((*first + p, Arc::new(full)));
+                            }
+                        }
+                    }
+                    stats.add_shipped(n as u64, bytes);
+                    stats.add_scattered(n as u64);
+                } else {
+                    let mut records = 0u64;
+                    let mut bytes = 0u64;
+                    for r in crate::operators::take_records(batch) {
+                        records += 1;
+                        bytes += r.encoded_len() as u64;
+                        if *validate {
+                            validate_roundtrip(&r, buf)?;
+                        }
+                        let p = (crate::operators::key_hash(&r, key) as usize) % *dop;
+                        // Keep per-destination arrival order if columnar
+                        // rows are already pending for `p`.
+                        if let Some(bld) = &mut col_builders[p] {
+                            if !bld.is_empty() {
+                                let pending = RecordBatch::from_columns(bld.take());
+                                out.push_back((*first + p, Arc::new(pending)));
+                            }
+                        }
+                        builders[p].push(r);
+                        if builders[p].len() >= *batch_size {
+                            let full = std::mem::take(&mut builders[p]);
+                            out.push_back((*first + p, Arc::new(RecordBatch::from_records(full))));
+                        }
+                    }
+                    stats.add_shipped(records, bytes);
                 }
-                stats.add_shipped(records, bytes);
             }
             Router::Broadcast { first, dop } => {
+                // A columnar batch is materialized to rows **once** here so
+                // every consumer shares the same row allocation — joins
+                // borrow records from broadcast build sides zero-copy.
+                let batch = crate::operators::rows_arc(batch);
                 // `dop - 1` remote copies: a partition does not ship to
                 // itself.
                 let copies = dop.saturating_sub(1) as u64;
@@ -150,7 +274,10 @@ impl<'a> Router<'a> {
     /// producer's output).
     pub(crate) fn finish(&mut self, out: &mut Outbound) {
         if let Router::Partition {
-            first, builders, ..
+            first,
+            builders,
+            col_builders,
+            ..
         } = self
         {
             for (p, b) in builders.iter_mut().enumerate() {
@@ -159,15 +286,25 @@ impl<'a> Router<'a> {
                     out.push_back((*first + p, Arc::new(RecordBatch::from_records(rest))));
                 }
             }
+            for (p, b) in col_builders.iter_mut().enumerate() {
+                if let Some(bld) = b {
+                    if !bld.is_empty() {
+                        let rest = RecordBatch::from_columns(bld.take());
+                        out.push_back((*first + p, Arc::new(rest)));
+                    }
+                }
+            }
         }
     }
 }
 
-/// Encodes `r`, decodes it back, and checks the round-trip is lossless.
+/// Encodes `r` with the shared length-framing helper (the same framing
+/// the spill subsystem writes), decodes it back, and checks the
+/// round-trip is lossless.
 fn validate_roundtrip(r: &Record, buf: &mut BytesMut) -> Result<(), ExecError> {
     buf.clear();
-    wire::encode_record(r, buf);
-    let decoded = wire::decode_record(&mut buf.split().freeze())
+    wire::encode_framed(r, buf);
+    let decoded = wire::decode_framed(&mut buf.split().freeze())
         .map_err(|e| ExecError::Wire(e.to_string()))?;
     if &decoded != r {
         return Err(ExecError::Wire(format!(

@@ -80,15 +80,14 @@ impl RunWriter {
         })
     }
 
-    /// Appends one record frame.
+    /// Appends one record frame via the shared [`wire::encode_framed`]
+    /// helper — the same framing the ship validation path round-trips.
     pub(crate) fn write(&mut self, r: &Record) -> std::io::Result<()> {
         self.buf.clear();
-        wire::encode_record(r, &mut self.buf);
-        let frame: &[u8] = self.buf.as_ref();
-        self.w.write_all(&(frame.len() as u32).to_le_bytes())?;
-        self.w.write_all(frame)?;
+        let framed = wire::encode_framed(r, &mut self.buf);
+        self.w.write_all(self.buf.as_ref())?;
         self.records += 1;
-        self.bytes += 4 + frame.len() as u64;
+        self.bytes += framed as u64;
         Ok(())
     }
 
@@ -124,7 +123,7 @@ impl Iterator for RunReader {
 
 impl RunReader {
     fn read_one(&mut self) -> Result<Record, ExecError> {
-        let mut len = [0u8; 4];
+        let mut len = [0u8; wire::FRAME_HEADER_LEN];
         self.r.read_exact(&mut len).map_err(spill_err)?;
         let len = u32::from_le_bytes(len) as usize;
         self.frame.resize(len, 0);

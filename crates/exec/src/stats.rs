@@ -94,6 +94,14 @@ pub struct StatsSnapshot {
     pub spill_runs: u64,
     /// IR interpreter steps executed.
     pub interp_steps: u64,
+    /// Records scattered row-by-row out of columnar batches by the
+    /// vectorized Partition router (a subset of `records_shipped`).
+    pub rows_scattered: u64,
+    /// Null cells observed while building columnar batches.
+    pub null_cells: u64,
+    /// Total cells observed while building columnar batches (`null_cells /
+    /// total_cells` is the null-mask density of the scanned data).
+    pub total_cells: u64,
 }
 
 /// Counters collected during one plan execution. Thread-safe; workers
@@ -128,6 +136,14 @@ pub struct ExecStats {
     pub spill_runs: AtomicU64,
     /// IR interpreter steps executed.
     pub interp_steps: AtomicU64,
+    /// Records scattered out of columnar batches by the vectorized
+    /// Partition router. Always ≤ `records_shipped`; the difference is the
+    /// row-at-a-time routed volume.
+    pub rows_scattered: AtomicU64,
+    /// Null cells observed while building columnar batches.
+    pub null_cells: AtomicU64,
+    /// Total cells observed while building columnar batches.
+    pub total_cells: AtomicU64,
     /// Per-operator slots (empty unless created via [`ExecStats::with_ops`]
     /// or [`ExecStats::for_profiling`]).
     per_op: Vec<OpSlot>,
@@ -218,6 +234,21 @@ impl ExecStats {
         self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Accounts records routed by the vectorized columnar scatter path of
+    /// the Partition router. Called *in addition to* [`ExecStats::add_shipped`]
+    /// for the same records; this counter only classifies how the routing
+    /// was performed, it does not change ship accounting.
+    pub(crate) fn add_scattered(&self, records: u64) {
+        self.rows_scattered.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Accounts the null-mask density of a freshly built columnar batch:
+    /// `nulls` null cells out of `cells` total.
+    pub(crate) fn add_batch_cells(&self, nulls: u64, cells: u64) {
+        self.null_cells.fetch_add(nulls, Ordering::Relaxed);
+        self.total_cells.fetch_add(cells, Ordering::Relaxed);
+    }
+
     /// Accounts one streaming pre-aggregation instance: `records` absorbed
     /// into the table, `partials` partial records out. The reduction
     /// `records − partials` is exactly the record count the combiner kept
@@ -285,6 +316,9 @@ impl ExecStats {
             spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
             spill_runs: self.spill_runs.load(Ordering::Relaxed),
             interp_steps: self.interp_steps.load(Ordering::Relaxed),
+            rows_scattered: self.rows_scattered.load(Ordering::Relaxed),
+            null_cells: self.null_cells.load(Ordering::Relaxed),
+            total_cells: self.total_cells.load(Ordering::Relaxed),
         }
     }
 
@@ -455,6 +489,21 @@ mod tests {
             (t.records_preagg_in, t.records_preagg_out),
             s.preagg_snapshot()
         );
+    }
+
+    #[test]
+    fn columnar_counters_accumulate() {
+        let s = ExecStats::new();
+        s.add_scattered(100);
+        s.add_scattered(28);
+        s.add_batch_cells(3, 40);
+        s.add_batch_cells(0, 60);
+        let t = s.totals();
+        assert_eq!(t.rows_scattered, 128);
+        assert_eq!(t.null_cells, 3);
+        assert_eq!(t.total_cells, 100);
+        // Scatter classification does not itself count as shipping.
+        assert_eq!(t.records_shipped, 0);
     }
 
     #[test]

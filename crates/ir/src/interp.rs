@@ -15,13 +15,17 @@
 
 use crate::func::{Function, UdfKind};
 use crate::inst::{BinOp, Inst, UnOp};
-use strato_record::{Record, Redirection, Value};
+use strato_record::{Record, Redirection, RowRef, Value};
 
 /// One UDF invocation's input(s).
 #[derive(Debug, Clone, Copy)]
 pub enum Invocation<'a> {
     /// Map: a single record.
     Record(&'a Record),
+    /// Map: a single row of a columnar batch. Field reads go straight
+    /// to the column vectors; the row is only materialized if the UDF
+    /// copies its input record.
+    Row(RowRef<'a>),
     /// Cross/Match: a pair of records.
     Pair(&'a Record, &'a Record),
     /// Reduce: one key group.
@@ -31,7 +35,9 @@ pub enum Invocation<'a> {
 }
 
 impl Invocation<'_> {
-    /// Record `idx` of input `input`, if present.
+    /// Record `idx` of input `input`, if present. Columnar rows have no
+    /// borrowed `Record`; their access paths short-circuit in
+    /// `read_field`/`materialize` before reaching this.
     fn record(&self, input: u8, idx: usize) -> Option<&Record> {
         match (self, input) {
             (Invocation::Record(r), 0) if idx == 0 => Some(r),
@@ -47,6 +53,7 @@ impl Invocation<'_> {
     fn group_len(&self, input: u8) -> usize {
         match (self, input) {
             (Invocation::Record(_), 0) => 1,
+            (Invocation::Row(_), 0) => 1,
             (Invocation::Pair(..), 0 | 1) => 1,
             (Invocation::Group(g), 0) => g.len(),
             (Invocation::CoGroup(g, _), 0) => g.len(),
@@ -60,6 +67,7 @@ impl Invocation<'_> {
         matches!(
             (self, kind),
             (Invocation::Record(_), UdfKind::Map)
+                | (Invocation::Row(_), UdfKind::Map)
                 | (Invocation::Pair(..), UdfKind::Pair)
                 | (Invocation::Group(_), UdfKind::Group)
                 | (Invocation::CoGroup(..), UdfKind::CoGroup)
@@ -368,6 +376,15 @@ impl Interp {
                     .get(*input as usize)
                     .and_then(|r| r.get(field))
                     .ok_or(InterpError::UnmappedField(field))?;
+                // Columnar row views read the column vector directly —
+                // no materialized Record exists to borrow from.
+                if let Invocation::Row(view) = inv {
+                    return Ok(if *input == 0 && *idx == 0 {
+                        view.value(attr.index())
+                    } else {
+                        Value::Null
+                    });
+                }
                 Ok(inv
                     .record(*input, *idx)
                     .map(|r| r.field(attr.index()).clone())
@@ -388,10 +405,17 @@ impl Interp {
         match slot {
             RecSlot::Unset => Record::nulls(layout.width),
             RecSlot::Input { input, idx } => {
-                let mut r = inv
-                    .record(*input, *idx)
-                    .cloned()
-                    .unwrap_or_else(|| Record::nulls(layout.width));
+                let mut r = if let Invocation::Row(view) = inv {
+                    if *input == 0 && *idx == 0 {
+                        view.to_record()
+                    } else {
+                        Record::nulls(layout.width)
+                    }
+                } else {
+                    inv.record(*input, *idx)
+                        .cloned()
+                        .unwrap_or_else(|| Record::nulls(layout.width))
+                };
                 // Pad with nulls to global width if the source tuple is
                 // narrower (only happens in local-layout unit tests).
                 if r.arity() < layout.width {

@@ -6,70 +6,171 @@
 //! immutable; the engine wraps batches in [`std::sync::Arc`] so that
 //! broadcast shipping can hand the *same* batch to every partition without
 //! deep-cloning records.
+//!
+//! A batch holds its rows in one of two representations:
+//!
+//! * **row-major** — a `Vec<Record>`, the layout UDF emission paths
+//!   produce naturally (records may have ragged arity there);
+//! * **columnar** — a [`ColumnBatch`] of per-attribute value vectors
+//!   with null masks (see [`crate::columns`]), produced by the scan and
+//!   scatter paths where every row is in uniform global layout.
+//!
+//! Operators dispatch on [`RecordBatch::columns`]: columnar consumers
+//! run vectorized kernels, row-path consumers either iterate cheap
+//! [`RowRef`] views or materialize via [`RecordBatch::into_records`].
 
+use crate::columns::{ColumnBatch, RowRef};
 use crate::record::Record;
+
+/// The physical representation behind a [`RecordBatch`].
+#[derive(Debug, Clone)]
+enum Repr {
+    Rows(Vec<Record>),
+    Columns(ColumnBatch),
+}
 
 /// An immutable-after-construction run of records.
 ///
 /// Batches carry no schema of their own: records inside the engine are
 /// always in global-record layout (see the crate docs), so the batch is a
-/// plain container with byte accounting.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// plain container with byte accounting. Batches built from
+/// [`ColumnBatch`]es store rows column-major; see the module docs.
+#[derive(Debug, Clone)]
 pub struct RecordBatch {
-    records: Vec<Record>,
+    repr: Repr,
+}
+
+impl Default for RecordBatch {
+    fn default() -> Self {
+        RecordBatch {
+            repr: Repr::Rows(Vec::new()),
+        }
+    }
 }
 
 impl RecordBatch {
     /// Default number of records per batch used by the execution engine.
     pub const DEFAULT_SIZE: usize = 1024;
 
-    /// Creates an empty batch.
+    /// Creates an empty (row-major) batch.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates a batch owning the given records.
+    /// Creates a row-major batch owning the given records.
     pub fn from_records(records: Vec<Record>) -> Self {
-        RecordBatch { records }
+        RecordBatch {
+            repr: Repr::Rows(records),
+        }
+    }
+
+    /// Creates a columnar batch from per-attribute column vectors.
+    pub fn from_columns(cols: ColumnBatch) -> Self {
+        RecordBatch {
+            repr: Repr::Columns(cols),
+        }
     }
 
     /// Number of records in the batch.
     #[inline]
     pub fn len(&self) -> usize {
-        self.records.len()
+        match &self.repr {
+            Repr::Rows(r) => r.len(),
+            Repr::Columns(c) => c.len(),
+        }
     }
 
     /// `true` iff the batch holds no records.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
-    /// Appends a record (only meaningful while building a batch).
+    /// Appends a record (only meaningful while building a row-major
+    /// batch).
+    ///
+    /// # Panics
+    /// Panics on a columnar batch — columnar batches are assembled
+    /// through [`BatchBuilder`] and immutable afterwards.
     pub fn push(&mut self, r: Record) {
-        self.records.push(r);
+        match &mut self.repr {
+            Repr::Rows(recs) => recs.push(r),
+            Repr::Columns(_) => panic!("RecordBatch::push on a columnar batch"),
+        }
     }
 
-    /// Read-only view of the records.
+    /// The columnar storage, when this batch is column-major.
+    #[inline]
+    pub fn columns(&self) -> Option<&ColumnBatch> {
+        match &self.repr {
+            Repr::Rows(_) => None,
+            Repr::Columns(c) => Some(c),
+        }
+    }
+
+    /// Read-only view of the records of a row-major batch.
+    ///
+    /// # Panics
+    /// Panics on a columnar batch: a column store has no `&[Record]`
+    /// to lend. Dispatch on [`RecordBatch::columns`] first, or use
+    /// [`RecordBatch::into_records`] / [`RecordBatch::to_records`].
     #[inline]
     pub fn records(&self) -> &[Record] {
-        &self.records
+        match &self.repr {
+            Repr::Rows(r) => r,
+            Repr::Columns(_) => panic!("RecordBatch::records on a columnar batch"),
+        }
     }
 
-    /// Consumes the batch, returning its records.
+    /// Consumes the batch, returning its records (materializing them
+    /// column-wise, with moved payloads, for columnar batches).
     pub fn into_records(self) -> Vec<Record> {
-        self.records
+        match self.repr {
+            Repr::Rows(r) => r,
+            Repr::Columns(c) => c.into_records(),
+        }
     }
 
-    /// Iterates over the records.
+    /// Consumes the batch, returning its columnar storage when
+    /// column-major (`None` for row-major batches).
+    pub fn into_columns(self) -> Option<ColumnBatch> {
+        match self.repr {
+            Repr::Rows(_) => None,
+            Repr::Columns(c) => Some(c),
+        }
+    }
+
+    /// Clones the rows out as records, materializing columnar batches.
+    pub fn to_records(&self) -> Vec<Record> {
+        match &self.repr {
+            Repr::Rows(r) => r.clone(),
+            Repr::Columns(c) => c.to_records(),
+        }
+    }
+
+    /// A cheap row view for columnar batches; `None` when row-major.
+    #[inline]
+    pub fn row_view(&self, row: usize) -> Option<RowRef<'_>> {
+        self.columns().map(|c| c.row(row))
+    }
+
+    /// Iterates over the records of a row-major batch.
+    ///
+    /// # Panics
+    /// Panics on a columnar batch (see [`RecordBatch::records`]).
     pub fn iter(&self) -> std::slice::Iter<'_, Record> {
-        self.records.iter()
+        self.records().iter()
     }
 
     /// Total approximate serialized size in bytes (sum of
     /// [`Record::encoded_len`]). Used for shipping byte accounting.
+    /// Columnar batches compute this column-wise; both layouts agree
+    /// exactly.
     pub fn encoded_len(&self) -> usize {
-        self.records.iter().map(Record::encoded_len).sum()
+        match &self.repr {
+            Repr::Rows(r) => r.iter().map(Record::encoded_len).sum(),
+            Repr::Columns(c) => c.encoded_len(),
+        }
     }
 
     /// Splits a record vector into batches of at most `size` records.
@@ -96,10 +197,28 @@ impl RecordBatch {
     }
 }
 
+impl PartialEq for RecordBatch {
+    /// Logical equality: same row sequence, regardless of layout.
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Rows(a), Repr::Rows(b)) => a == b,
+            (Repr::Columns(a), Repr::Columns(b)) => (0..a.len()).all(|i| a.row_eq_row(i, b, i)),
+            (Repr::Columns(c), Repr::Rows(r)) | (Repr::Rows(r), Repr::Columns(c)) => {
+                r.iter().enumerate().all(|(i, rec)| c.row_eq_record(i, rec))
+            }
+        }
+    }
+}
+
+impl Eq for RecordBatch {}
+
 impl FromIterator<Record> for RecordBatch {
     fn from_iter<T: IntoIterator<Item = Record>>(iter: T) -> Self {
         RecordBatch {
-            records: iter.into_iter().collect(),
+            repr: Repr::Rows(iter.into_iter().collect()),
         }
     }
 }
@@ -108,21 +227,24 @@ impl IntoIterator for RecordBatch {
     type Item = Record;
     type IntoIter = std::vec::IntoIter<Record>;
     fn into_iter(self) -> Self::IntoIter {
-        self.records.into_iter()
+        self.into_records().into_iter()
     }
 }
 
 impl<'a> IntoIterator for &'a RecordBatch {
     type Item = &'a Record;
     type IntoIter = std::slice::Iter<'a, Record>;
+    /// Borrowing iteration is row-major only (see
+    /// [`RecordBatch::records`]).
     fn into_iter(self) -> Self::IntoIter {
-        self.records.iter()
+        self.records().iter()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::columns::BatchBuilder;
     use crate::value::Value;
 
     fn rec(v: i64) -> Record {
@@ -175,5 +297,33 @@ mod tests {
         let recs: Vec<Record> = (0..3).map(rec).collect();
         let b = RecordBatch::from_records(recs.clone());
         assert_eq!(b.into_records(), recs);
+    }
+
+    #[test]
+    fn columnar_batch_behaves_like_rows() {
+        let recs: Vec<Record> = (0..5).map(rec).collect();
+        let mut builder = BatchBuilder::new(1);
+        for r in &recs {
+            builder.push_record(r);
+        }
+        let col = RecordBatch::from_columns(builder.finish());
+        let row = RecordBatch::from_records(recs.clone());
+        assert_eq!(col.len(), 5);
+        assert!(col.columns().is_some());
+        assert_eq!(col.encoded_len(), row.encoded_len());
+        // Logical equality across layouts.
+        assert_eq!(col, row);
+        assert_eq!(col.clone().into_records(), recs);
+        assert_eq!(col.to_records(), recs);
+        assert_eq!(col.row_view(2).unwrap().to_record(), recs[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "columnar batch")]
+    fn records_panics_on_columnar() {
+        let mut builder = BatchBuilder::new(1);
+        builder.push_record(&rec(1));
+        let b = RecordBatch::from_columns(builder.finish());
+        let _ = b.records();
     }
 }

@@ -12,6 +12,34 @@ use std::hash::{BuildHasherDefault, Hash, Hasher};
 /// Multiplicative constant of FxHash (64-bit).
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
+/// One FxHash mixing step: folds `word` into `hash`.
+///
+/// This is the exact state transition [`FxHasher`] applies per written
+/// word. It is exposed so columnar kernels can hash a key column in a
+/// tight loop while staying bit-identical with hashing the equivalent
+/// row values through [`FxHasher`].
+#[inline]
+pub fn fx_add(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// Folds a byte slice into `hash` exactly as [`FxHasher::write`] does:
+/// 8-byte little-endian words, then the zero-padded tail XOR its length.
+#[inline]
+pub fn fx_add_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        hash = fx_add(hash, u64::from_le_bytes(c.try_into().unwrap()));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        hash = fx_add(hash, u64::from_le_bytes(buf) ^ rem.len() as u64);
+    }
+    hash
+}
+
 /// The FxHash hasher state.
 #[derive(Debug, Default, Clone)]
 pub struct FxHasher {
@@ -21,7 +49,7 @@ pub struct FxHasher {
 impl FxHasher {
     #[inline]
     fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+        self.hash = fx_add(self.hash, word);
     }
 }
 
@@ -33,16 +61,7 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            self.add(u64::from_le_bytes(c.try_into().unwrap()));
-        }
-        let rem = chunks.remainder();
-        if !rem.is_empty() {
-            let mut buf = [0u8; 8];
-            buf[..rem.len()].copy_from_slice(rem);
-            self.add(u64::from_le_bytes(buf) ^ rem.len() as u64);
-        }
+        self.hash = fx_add_bytes(self.hash, bytes);
     }
 
     #[inline]
@@ -115,6 +134,19 @@ mod tests {
         let mut s: FxHashSet<u64> = FxHashSet::default();
         assert!(s.insert(9));
         assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn fx_add_agrees_with_hasher_writes() {
+        let mut h = FxHasher::default();
+        h.write_u8(2);
+        h.write_i64(-7);
+        let manual = fx_add(fx_add(0, 2), (-7i64) as u64);
+        assert_eq!(h.finish(), manual);
+
+        let mut h = FxHasher::default();
+        h.write(b"hello fx world");
+        assert_eq!(h.finish(), fx_add_bytes(0, b"hello fx world"));
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! execution engine to account for shipped bytes, a fast non-cryptographic
 //! hasher ([`hash::FxHasher`]) used for hash partitioning and memo tables,
 //! and [`RecordBatch`] — the unit in which the execution engine moves
-//! records between physical operators.
+//! records between physical operators. Batches on the engine's hot scan
+//! and shuffle paths are stored column-major ([`columns`]): per-attribute
+//! value vectors with null masks, vectorized key-hash/compare kernels,
+//! and cheap [`columns::RowRef`] row views for row-at-a-time consumers.
 //!
 //! ## Null-as-absent convention
 //!
@@ -35,6 +38,7 @@
 
 pub mod attr;
 pub mod batch;
+pub mod columns;
 pub mod dataset;
 pub mod hash;
 pub mod record;
@@ -43,6 +47,7 @@ pub mod wire;
 
 pub use attr::{AttrId, AttrSet, GlobalRecord, Redirection};
 pub use batch::RecordBatch;
+pub use columns::{BatchBuilder, ColumnBatch, RowRef};
 pub use dataset::DataSet;
 pub use record::Record;
 pub use value::Value;

@@ -91,8 +91,9 @@ impl Value {
         }
     }
 
-    /// A small integer identifying the type, used for cross-type ordering.
-    fn type_rank(&self) -> u8 {
+    /// A small integer identifying the type, used for cross-type ordering
+    /// (and by the columnar hash kernels, which must mirror [`Hash`]).
+    pub(crate) fn type_rank(&self) -> u8 {
         match self {
             Value::Null => 0,
             Value::Bool(_) => 1,

@@ -49,6 +49,9 @@ pub struct Metrics {
     spilled_bytes: AtomicU64,
     spill_runs: AtomicU64,
     interp_steps: AtomicU64,
+    rows_scattered: AtomicU64,
+    null_cells: AtomicU64,
+    total_cells: AtomicU64,
     /// Per-operator aggregates by operator name.
     per_op: Mutex<BTreeMap<String, OpAgg>>,
 }
@@ -82,6 +85,10 @@ impl Metrics {
         self.spill_runs.fetch_add(t.spill_runs, Ordering::Relaxed);
         self.interp_steps
             .fetch_add(t.interp_steps, Ordering::Relaxed);
+        self.rows_scattered
+            .fetch_add(t.rows_scattered, Ordering::Relaxed);
+        self.null_cells.fetch_add(t.null_cells, Ordering::Relaxed);
+        self.total_cells.fetch_add(t.total_cells, Ordering::Relaxed);
 
         let snaps: Vec<OpSnapshot> = stats.op_snapshots();
         let named: Vec<(String, OpSnapshot)> = snaps
@@ -147,7 +154,7 @@ impl Metrics {
             queued as u64,
         );
 
-        let counters: [(&str, &str, u64); 13] = [
+        let counters: [(&str, &str, u64); 16] = [
             (
                 "strato_queries_completed_total",
                 "Queries that completed successfully.",
@@ -212,6 +219,21 @@ impl Metrics {
                 "strato_exec_interp_steps_total",
                 "IR interpreter steps executed.",
                 self.interp_steps.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_rows_scattered_total",
+                "Records routed by the vectorized columnar Partition scatter.",
+                self.rows_scattered.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_null_cells_total",
+                "Null cells observed while building columnar batches.",
+                self.null_cells.load(Ordering::Relaxed),
+            ),
+            (
+                "strato_exec_total_cells_total",
+                "Total cells observed while building columnar batches.",
+                self.total_cells.load(Ordering::Relaxed),
             ),
         ];
         for (name, help, v) in counters {
@@ -293,6 +315,9 @@ mod tests {
             stats.udf_calls.fetch_add(1, Ordering::Relaxed);
         }
         stats.records_shipped.fetch_add(10, Ordering::Relaxed);
+        stats.rows_scattered.fetch_add(10, Ordering::Relaxed);
+        stats.null_cells.fetch_add(2, Ordering::Relaxed);
+        stats.total_cells.fetch_add(40, Ordering::Relaxed);
         m.record_query(&stats, &["scan\"s".into(), "sum".into()]);
 
         let text = m.render(1, 2);
@@ -303,6 +328,9 @@ mod tests {
         assert!(text.contains("strato_queries_rejected_total 1\n"));
         assert!(text.contains("strato_exec_udf_calls_total 3\n"));
         assert!(text.contains("strato_exec_records_shipped_total 10\n"));
+        assert!(text.contains("strato_exec_rows_scattered_total 10\n"));
+        assert!(text.contains("strato_exec_null_cells_total 2\n"));
+        assert!(text.contains("strato_exec_total_cells_total 40\n"));
         // Label escaping.
         assert!(
             text.contains("strato_op_udf_calls_total{op=\"scan\\\"s\"}"),

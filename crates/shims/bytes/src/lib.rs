@@ -163,6 +163,12 @@ impl std::ops::Deref for BytesMut {
     }
 }
 
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
 impl std::fmt::Debug for BytesMut {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "BytesMut({} bytes)", self.data.len())
@@ -211,6 +217,14 @@ pub trait Buf {
         assert!(self.remaining() >= dst.len(), "buffer underflow");
         dst.copy_from_slice(&self.chunk()[..dst.len()]);
         self.advance(dst.len());
+    }
+
+    /// Consumes the next `len` bytes, returning them as [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "buffer underflow");
+        let mut raw = vec![0u8; len];
+        self.copy_to_slice(&mut raw);
+        Bytes::from(raw)
     }
 }
 

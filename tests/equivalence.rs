@@ -11,7 +11,7 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 use strato::core::{enumerate_all, Optimizer, PropTable};
 use strato::dataflow::{CostHints, Plan, ProgramBuilder, PropertyMode, SourceDef};
-use strato::exec::{execute, execute_logical, execute_with, ExecOptions, Inputs};
+use strato::exec::{execute, execute_logical, execute_with, BatchLayout, ExecOptions, Inputs};
 use strato::ir::{BinOp, FuncBuilder, Function, UdfKind, UnOp};
 use strato::record::{DataSet, Record, RecordBatch, Value};
 
@@ -479,10 +479,12 @@ fn physical_plans_agree_with_logical_for_every_alternative() {
 
 #[test]
 fn physical_agrees_with_logical_across_dop_and_batch_size() {
-    // The operator runtime must be invariant under both the degree of
-    // parallelism and the batch boundaries. Sweep dop ∈ {1, 2, 4, 8} ×
-    // batch size ∈ {1, default} over a join + filter + reduce plan, with
-    // wire validation enabled so the opt-in round-trip check also runs.
+    // The operator runtime must be invariant under the degree of
+    // parallelism, the batch boundaries, AND the batch layout. Sweep
+    // dop ∈ {1, 2, 4, 8} × batch size ∈ {1, default} × layout ∈
+    // {row-view, columnar-native} over a join + filter + reduce plan,
+    // with wire validation enabled so the opt-in round-trip check also
+    // runs on both layouts.
     let mut p = ProgramBuilder::new();
     let l = p.source(SourceDef::new("l", &["lk", "lv"], 50));
     let r = p.source(SourceDef::new("r", &["rk"], 20).with_unique_key(&[0]));
@@ -513,17 +515,21 @@ fn physical_agrees_with_logical_across_dop_and_batch_size() {
         let report = opt.optimize(&plan);
         let best = &report.ranked[0];
         for batch_size in [1usize, RecordBatch::DEFAULT_SIZE] {
-            let opts = ExecOptions {
-                batch_size,
-                validate_wire: true,
-                ..ExecOptions::default()
-            };
-            let (out, _) = execute_with(&best.plan, &best.phys, &inputs, dop, &opts).unwrap();
-            if let Err(diff) = reference.bag_diff(&out) {
-                panic!(
-                    "divergence at dop={dop} batch_size={batch_size}:\n{}\ndiff: {diff}",
-                    best.phys.render(&best.plan)
-                );
+            for layout in [BatchLayout::RowView, BatchLayout::ColumnarNative] {
+                let opts = ExecOptions {
+                    batch_size,
+                    validate_wire: true,
+                    layout,
+                    ..ExecOptions::default()
+                };
+                let (out, _) = execute_with(&best.plan, &best.phys, &inputs, dop, &opts).unwrap();
+                if let Err(diff) = reference.bag_diff(&out) {
+                    panic!(
+                        "divergence at dop={dop} batch_size={batch_size} layout={layout:?}:\n{}\n\
+                         diff: {diff}",
+                        best.phys.render(&best.plan)
+                    );
+                }
             }
         }
     }
@@ -579,34 +585,43 @@ fn streaming_runtime_invariant_under_workers_and_channel_capacity() {
                 for capacity in [1usize, 8] {
                     // Memory axis: unbounded vs a budget far below the
                     // working set. Spilling is operator-internal, so even
-                    // the ship accounting must not move.
+                    // the ship accounting must not move. The layout axis
+                    // rides along: row-view and columnar-native runs must
+                    // reproduce the SAME shipped-record/byte totals as the
+                    // (columnar) reference — the layout is a pure
+                    // execution knob, invisible in results and accounting.
                     for mem_budget in [None, Some(64u64)] {
-                        let opts = ExecOptions {
-                            batch_size,
-                            validate_wire: true,
-                            workers: Some(w),
-                            channel_capacity: capacity,
-                            mem_budget,
-                            ..ExecOptions::default()
-                        };
-                        let (out, stats) =
-                            execute_with(&best.plan, &best.phys, &inputs, dop, &opts).unwrap();
-                        let tag = format!(
-                            "dop={dop} batch={batch_size} workers={w} capacity={capacity} \
-                             budget={mem_budget:?}"
-                        );
-                        if let Err(diff) = reference.bag_diff(&out) {
-                            panic!("divergence at {tag}:\ndiff: {diff}");
-                        }
-                        let (_, _, shipped, bytes, _) = stats.snapshot();
-                        assert_eq!(shipped, ref_shipped, "shipped records at {tag}");
-                        assert_eq!(bytes, ref_bytes, "shipped bytes at {tag}");
-                        let (_, _, spill_runs) = stats.spill_snapshot();
-                        match mem_budget {
-                            Some(_) => {
-                                assert!(spill_runs > 0, "tiny budget must spill at {tag}")
+                        for layout in [BatchLayout::RowView, BatchLayout::ColumnarNative] {
+                            let opts = ExecOptions {
+                                batch_size,
+                                validate_wire: true,
+                                workers: Some(w),
+                                channel_capacity: capacity,
+                                mem_budget,
+                                layout,
+                                ..ExecOptions::default()
+                            };
+                            let (out, stats) =
+                                execute_with(&best.plan, &best.phys, &inputs, dop, &opts).unwrap();
+                            let tag = format!(
+                                "dop={dop} batch={batch_size} workers={w} capacity={capacity} \
+                                 budget={mem_budget:?} layout={layout:?}"
+                            );
+                            if let Err(diff) = reference.bag_diff(&out) {
+                                panic!("divergence at {tag}:\ndiff: {diff}");
                             }
-                            None => assert_eq!(spill_runs, 0, "unbounded must not spill at {tag}"),
+                            let (_, _, shipped, bytes, _) = stats.snapshot();
+                            assert_eq!(shipped, ref_shipped, "shipped records at {tag}");
+                            assert_eq!(bytes, ref_bytes, "shipped bytes at {tag}");
+                            let (_, _, spill_runs) = stats.spill_snapshot();
+                            match mem_budget {
+                                Some(_) => {
+                                    assert!(spill_runs > 0, "tiny budget must spill at {tag}")
+                                }
+                                None => {
+                                    assert_eq!(spill_runs, 0, "unbounded must not spill at {tag}")
+                                }
+                            }
                         }
                     }
                 }

@@ -1,0 +1,157 @@
+//! Property tests for the columnar batch layout: row ↔ columnar
+//! round-trip identity and agreement of the vectorized key kernels
+//! (`key_hash_into` / `key_cmp_rows`) with the row-oriented reference
+//! path (`FxHasher` over `Value::hash`, field-wise `Value::cmp`).
+
+use proptest::prelude::*;
+use std::hash::{Hash, Hasher};
+use strato::record::hash::FxHasher;
+use strato::record::{BatchBuilder, ColumnBatch, Record, RecordBatch, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Z0-9 ⟨⟩]{0,12}".prop_map(Value::str),
+    ]
+}
+
+/// A batch-shaped input: a width and rows already normalized to that
+/// width (columnar batches hold uniform-arity rows; ragged records are
+/// null-padded by the scan path before they ever reach a column store).
+fn arb_rows() -> impl Strategy<Value = (usize, Vec<Record>)> {
+    (
+        0usize..5,
+        prop::collection::vec(prop::collection::vec(arb_value(), 0..8), 0..24),
+    )
+        .prop_map(|(width, rows)| {
+            let rows = rows
+                .into_iter()
+                .map(|mut vals| {
+                    vals.truncate(width);
+                    vals.resize(width, Value::Null);
+                    Record::new(vals)
+                })
+                .collect();
+            (width, rows)
+        })
+}
+
+/// Key column indices clamped into `0..width` (empty when `width == 0`).
+fn norm_keys(raw: &[usize], width: usize) -> Vec<usize> {
+    if width == 0 {
+        Vec::new()
+    } else {
+        raw.iter().map(|k| k % width).collect()
+    }
+}
+
+fn build(width: usize, rows: &[Record]) -> ColumnBatch {
+    let mut b = BatchBuilder::new(width);
+    for r in rows {
+        b.push_record(r);
+    }
+    b.finish()
+}
+
+/// The row-oriented reference hash: `FxHasher` fed each key field's
+/// `Value::hash`, exactly as the exec operators hash row-major records.
+fn row_key_hash(r: &Record, keys: &[usize]) -> u64 {
+    let mut h = FxHasher::default();
+    for &k in keys {
+        r.field(k).hash(&mut h);
+    }
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_preserves_rows((width, rows) in arb_rows()) {
+        let cb = build(width, &rows);
+        prop_assert_eq!(cb.len(), rows.len());
+        prop_assert_eq!(cb.width(), width);
+        prop_assert_eq!(cb.to_records(), rows.clone());
+        // Per-row materialization and cell access agree too.
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(&cb.row_record(i), r);
+            prop_assert!(cb.row_eq_record(i, r));
+            for c in 0..width {
+                prop_assert_eq!(&cb.value_at(i, c), r.field(c));
+            }
+        }
+    }
+
+    #[test]
+    fn batches_are_logically_equal_across_layouts((width, rows) in arb_rows()) {
+        let col = RecordBatch::from_columns(build(width, &rows));
+        let row = RecordBatch::from_records(rows);
+        prop_assert_eq!(&col, &row);
+        prop_assert_eq!(&row, &col);
+        prop_assert_eq!(col.to_records(), row.to_records());
+    }
+
+    #[test]
+    fn key_hash_agrees_with_row_hasher(
+        (width, rows) in arb_rows(),
+        raw_keys in prop::collection::vec(0usize..8, 0..4),
+    ) {
+        let keys = norm_keys(&raw_keys, width);
+        let cb = build(width, &rows);
+        let mut hashes = Vec::new();
+        cb.key_hash_into(&keys, &mut hashes);
+        prop_assert_eq!(hashes.len(), rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            let want = row_key_hash(r, &keys);
+            prop_assert_eq!(hashes[i], want);
+            prop_assert_eq!(cb.key_hash_row(i, &keys), want);
+        }
+    }
+
+    #[test]
+    fn key_cmp_agrees_with_value_cmp(
+        (width, rows) in arb_rows(),
+        raw_keys in prop::collection::vec(0usize..8, 0..4),
+        pick in any::<u64>(),
+    ) {
+        prop_assume!(!rows.is_empty());
+        let keys = norm_keys(&raw_keys, width);
+        let cb = build(width, &rows);
+        let a = (pick as usize) % rows.len();
+        let b = (pick >> 32) as usize % rows.len();
+        let want = keys
+            .iter()
+            .map(|&k| rows[a].field(k).cmp(rows[b].field(k)))
+            .find(|o| !o.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal);
+        prop_assert_eq!(cb.key_cmp_rows(a, b, &keys), want);
+        prop_assert_eq!(cb.key_cmp_record(a, &rows[b], &keys), want);
+        let has_null = keys.iter().any(|&k| rows[a].field(k).is_null());
+        prop_assert_eq!(cb.key_has_null(a, &keys), has_null);
+    }
+
+    #[test]
+    fn encoded_len_matches_row_sum((width, rows) in arb_rows()) {
+        let cb = build(width, &rows);
+        let want: usize = rows.iter().map(Record::encoded_len).sum();
+        prop_assert_eq!(cb.encoded_len(), want);
+        let mut lens = Vec::new();
+        cb.row_encoded_lens(&mut lens);
+        prop_assert_eq!(lens.len(), rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(lens[i], r.encoded_len());
+        }
+    }
+
+    #[test]
+    fn null_mask_density_counts_nulls((width, rows) in arb_rows()) {
+        let cb = build(width, &rows);
+        let nulls: usize = rows
+            .iter()
+            .map(|r| r.fields().iter().filter(|v| v.is_null()).count())
+            .sum();
+        prop_assert_eq!(cb.null_cells(), nulls);
+        prop_assert_eq!(cb.total_cells(), rows.len() * width);
+    }
+}
