@@ -1,12 +1,14 @@
 //! Execution-engine benchmarks: record wire encoding, hash partitioning
-//! primitives, interpreter throughput and end-to-end plan execution.
+//! primitives, interpreter throughput, end-to-end plan execution, and
+//! multi-query throughput on the shared engine runtime.
 
 use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hash::Hasher;
+use std::time::Instant;
 use strato_core::{cost::CostWeights, physical::best_physical, PropTable};
 use strato_dataflow::{CostHints, Plan, ProgramBuilder, PropertyMode, SourceDef};
-use strato_exec::{execute, execute_logical, Inputs};
+use strato_exec::{execute, execute_logical, EngineRuntime, Inputs, RuntimeOptions};
 use strato_ir::interp::{Interp, Invocation, Layout};
 use strato_ir::{FuncBuilder, UdfKind};
 use strato_record::hash::{fx_hash, FxHasher};
@@ -264,6 +266,101 @@ fn bench_engine(c: &mut Criterion) {
         })
     });
     g4.finish();
+
+    // Multi-query throughput: `c` identical grouped-aggregate queries
+    // submitted simultaneously to ONE shared EngineRuntime (one worker
+    // pool, one memory budget), swept over the concurrency levels the
+    // admission gate actually sees. `isolated_c4` is the pre-runtime
+    // baseline — four queries each spinning up a private worker pool —
+    // so shared_c4 vs isolated_c4 measures what pooling buys under
+    // oversubscription. Every query's result is asserted byte-identical
+    // to a precomputed serial reference on every iteration.
+    let mut g5 = c.benchmark_group("engine_throughput");
+    g5.sample_size(10);
+    let (tp_plan, tp_inputs) = grouped_agg_workload(30_000, 64);
+    let tp_props = PropTable::build(&tp_plan, PropertyMode::Sca);
+    let tp_phys = best_physical(&tp_plan, &tp_props, &CostWeights::default(), 2);
+    let tp_ref = execute(&tp_plan, &tp_phys, &tp_inputs, 2).unwrap().0;
+    let rt = EngineRuntime::new(RuntimeOptions::default());
+    let run_shared = |conc: usize| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..conc)
+                .map(|_| {
+                    s.spawn(|| {
+                        let out = rt.execute(&tp_plan, &tp_phys, &tp_inputs, 2).unwrap().0;
+                        assert_eq!(out, tp_ref, "shared-pool result must be byte-identical");
+                        out.len()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+    };
+    let run_isolated = |conc: usize| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..conc)
+                .map(|_| {
+                    s.spawn(|| {
+                        let out = execute(&tp_plan, &tp_phys, &tp_inputs, 2).unwrap().0;
+                        assert_eq!(out, tp_ref);
+                        out.len()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+    };
+    for conc in [1usize, 2, 4, 8] {
+        g5.bench_function(&format!("shared_c{conc}"), |b| b.iter(|| run_shared(conc)));
+    }
+    g5.bench_function("isolated_c4", |b| b.iter(|| run_isolated(4)));
+    g5.finish();
+
+    // Fixed-round capture of queries/sec and per-query latency
+    // percentiles for the acceptance comparison (shared pooling must beat
+    // per-query pools at c=4). Not a gated bench — the THROUGHPUT lines
+    // are informational alongside the BENCH_JSON medians above.
+    for (label, shared) in [("shared c=4", true), ("isolated c=4", false)] {
+        const ROUNDS: usize = 15;
+        const CONC: usize = 4;
+        let mut lat_ns: Vec<u64> = Vec::with_capacity(ROUNDS * CONC);
+        let t0 = Instant::now();
+        for _ in 0..ROUNDS {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..CONC)
+                    .map(|_| {
+                        let rt = &rt;
+                        let (tp_plan, tp_phys, tp_inputs) = (&tp_plan, &tp_phys, &tp_inputs);
+                        s.spawn(move || {
+                            let q0 = Instant::now();
+                            let out = if shared {
+                                rt.execute(tp_plan, tp_phys, tp_inputs, 2).unwrap().0
+                            } else {
+                                execute(tp_plan, tp_phys, tp_inputs, 2).unwrap().0
+                            };
+                            criterion::black_box(out.len());
+                            q0.elapsed().as_nanos() as u64
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    lat_ns.push(h.join().unwrap());
+                }
+            });
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        lat_ns.sort_unstable();
+        let qps = (ROUNDS * CONC) as f64 / wall;
+        let p50 = lat_ns[lat_ns.len() / 2] as f64 / 1e6;
+        let p99 = lat_ns[(lat_ns.len() * 99 / 100).min(lat_ns.len() - 1)] as f64 / 1e6;
+        println!("THROUGHPUT {label}: qps={qps:.1} p50_ms={p50:.2} p99_ms={p99:.2}");
+    }
 }
 
 criterion_group!(benches, bench_engine);

@@ -17,6 +17,14 @@ use strato_dataflow::{BoundOp, NodeKind, Pact, Plan, PlanNode};
 /// the **same** threshold, so a plan charged for spilling really spills.
 pub const DEFAULT_MEM_BUDGET_BYTES: u64 = 48 * 1024 * 1024;
 
+/// Default **machine-wide** memory budget of a shared engine runtime
+/// (`strato-exec`'s `EngineRuntime`): the pool per-query budgets are
+/// carved from when many queries run concurrently on one process. Sized
+/// as a handful of default per-query budgets so a lightly loaded runtime
+/// grants every query its full [`DEFAULT_MEM_BUDGET_BYTES`] while a
+/// saturated one degrades to spilling instead of oversubscribing RAM.
+pub const DEFAULT_GLOBAL_MEM_BUDGET_BYTES: u64 = 8 * DEFAULT_MEM_BUDGET_BYTES;
+
 /// Weights combining the three cost dimensions, plus the memory budget that
 /// decides when sort/hash strategies spill to disk.
 #[derive(Debug, Clone, Copy)]

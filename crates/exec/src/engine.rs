@@ -84,7 +84,7 @@ pub fn execute_logical_with(
     opts: &ExecOptions,
 ) -> Result<(DataSet, ExecStats), ExecError> {
     let compiled = pipeline::compile_logical(plan, &plan.root);
-    pipeline::run(plan, &compiled, inputs, 1, opts)
+    pipeline::run(plan, &compiled, inputs, 1, opts, None)
 }
 
 /// Executes a physical plan with `dop` partitions. Every `stage ×
@@ -139,7 +139,7 @@ pub fn execute_with(
     opts: &ExecOptions,
 ) -> Result<(DataSet, ExecStats), ExecError> {
     let compiled = pipeline::compile_physical(&phys.root, opts.combine);
-    pipeline::run(plan, &compiled, inputs, dop, opts)
+    pipeline::run(plan, &compiled, inputs, dop, opts, None)
 }
 
 #[cfg(test)]

@@ -28,8 +28,14 @@
 //!   under pressure, flush it to sorted runs on disk, finishing via a
 //!   loser-tree k-way merge; the pre-ship combiner instead flushes its
 //!   partials downstream Hadoop-style.
+//! * [`runtime`] — the shared engine runtime: one process-wide
+//!   [`EngineRuntime`] worker pool scheduling tasks from all in-flight
+//!   queries round-robin (per-query fairness), and one [`GlobalMemory`]
+//!   budget that per-query governors carve their grants from. The
+//!   single-query entry points below are the `runtime = None` special
+//!   case of the same scheduler — there is no second executor.
 //!
-//! Two entry points:
+//! Two entry points (plus their [`EngineRuntime`] counterparts):
 //!
 //! * [`execute_logical`] — single-partition reference execution of a
 //!   *logical* plan (no strategies). Deterministic and simple; this is the
@@ -50,6 +56,7 @@ pub mod engine;
 pub mod operators;
 pub mod pipeline;
 pub mod profile;
+pub mod runtime;
 mod ship;
 pub mod spill;
 pub mod stats;
@@ -57,7 +64,8 @@ pub mod stats;
 pub use engine::{execute, execute_logical, execute_logical_with, execute_with, ExecError, Inputs};
 pub use pipeline::{BatchLayout, ExecOptions};
 pub use profile::{profile, profile_hints, sample_inputs, OpProfile};
-pub use spill::MemoryGovernor;
+pub use runtime::{EngineRuntime, RuntimeOptions, RuntimeSnapshot};
+pub use spill::{GlobalMemory, MemoryGovernor, MemoryGrant};
 pub use stats::{ExecStats, OpSnapshot, StatsSnapshot};
 
 /// Shared IR builders for this crate's test modules.

@@ -47,6 +47,19 @@
 //! internally, so operator semantics — and the equivalence oracle — are
 //! unchanged; only the transport is streaming.
 //!
+//! ## Standalone vs shared-runtime execution
+//!
+//! The scheduler above is **one** code path with two drivers. Standalone
+//! (`runtime = None`), the driver spins up its own scoped worker pool —
+//! exactly the historic behavior. On a shared
+//! [`EngineRuntime`], the execution
+//! instead *registers* its ready queue with the process-wide pool
+//! (through the `runtime::QueryTasks` trait) and the same task-step
+//! function runs on the shared workers, interleaved round-robin with
+//! every other in-flight query. Task order within a query, operator
+//! semantics, and results are identical either way — the single-query
+//! path is a special case of the shared one, not a second executor.
+//!
 //! Reduces whose UDF the static analysis proved **combinable** escape the
 //! buffering: the optimizer may mark them (`PhysNode::combine`) and this
 //! lowering then splices a **pre-ship combiner** stage — a streaming
@@ -59,11 +72,13 @@
 
 use crate::engine::{ExecError, Inputs};
 use crate::operators::{self, OpCtx, Operator};
+use crate::runtime::{EngineRuntime, QueryTasks, RtShared};
 use crate::ship::{Outbound, Router};
 use crate::spill::MemoryGovernor;
 use crate::stats::ExecStats;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -119,6 +134,12 @@ pub struct ExecOptions {
     /// (which then execute inline on the calling thread, keeping the
     /// logical oracle deterministic and allocation-light). Always clamped
     /// to the number of tasks.
+    ///
+    /// **Runtime-scoped semantics**: on a shared
+    /// [`EngineRuntime`] this knob is
+    /// ignored — the runtime's fixed pool
+    /// ([`RuntimeOptions::workers`](crate::runtime::RuntimeOptions))
+    /// drives every query it runs.
     pub workers: Option<usize>,
     /// Bound of each inter-task channel, in batches. Full channels park
     /// the producer task (backpressure); capacity 1 forces strict
@@ -143,6 +164,13 @@ pub struct ExecOptions {
     /// `None` disables governance entirely. The default equals the cost
     /// model's [`strato_core::cost::CostWeights::mem_budget`], so the
     /// optimizer's spill charges describe what this engine actually does.
+    ///
+    /// **Runtime-scoped semantics**: on a shared
+    /// [`EngineRuntime`] this becomes a
+    /// *cap* on the slice the query may carve from the runtime's global
+    /// [`GlobalMemory`](crate::spill::GlobalMemory) pool — the actual
+    /// budget is `min(mem_budget, pool remainder)`, and `None` claims the
+    /// whole remainder.
     pub mem_budget: Option<u64>,
     /// Parent directory for the execution's scoped spill directory
     /// (`None` = the OS temp dir). The scoped directory is created lazily
@@ -492,6 +520,17 @@ enum SendRes {
     Abort,
 }
 
+/// Who to tell when this execution's ready queue grows: the execution's
+/// own scoped worker pool, or the shared runtime pool it registered with.
+enum Notify {
+    /// Standalone execution: workers of this execution sleep on `Sched::cv`.
+    Local,
+    /// Registered with a shared [`EngineRuntime`]: pool workers sleep on
+    /// the runtime's condvar; `Sched::cv` only carries the end-of-run
+    /// signal to the submitter parked in `wait_done`.
+    Runtime(Arc<RtShared>),
+}
+
 struct Sched<'e> {
     core: Mutex<Core>,
     cv: Condvar,
@@ -500,9 +539,46 @@ struct Sched<'e> {
     /// makes the whole graph deadlock-free under backpressure).
     sink: Mutex<Vec<Arc<RecordBatch>>>,
     stats: &'e ExecStats,
+    /// Mirror of `core.ready.len()`, readable without the core lock — the
+    /// shared pool's workers scan it to pick the next query fairly.
+    ready_hint: AtomicUsize,
+    notify: Notify,
 }
 
 impl Sched<'_> {
+    /// With the core lock held: refreshes the ready hint and routes
+    /// wakeups after a mutation that queued `woke` tasks (and possibly
+    /// finished the run). Every path that can change the ready queue, the
+    /// error, or `live` funnels through here.
+    fn publish(&self, core: &mut Core, woke: usize, done: bool) {
+        if core.error.is_some() {
+            // Aborting: drop everything queued so shared-pool workers stop
+            // picking tasks that would only yield again (task states stay
+            // as they are; `wake` on an unqueued Ready task is a no-op and
+            // the whole graph is torn down once the submitter returns).
+            core.ready.clear();
+        }
+        self.ready_hint.store(core.ready.len(), Ordering::Release);
+        match &self.notify {
+            Notify::Local => {
+                if done || core.error.is_some() || woke > 1 {
+                    self.cv.notify_all();
+                } else if woke == 1 {
+                    self.cv.notify_one();
+                }
+            }
+            Notify::Runtime(rt) => {
+                if woke > 0 && core.error.is_none() {
+                    rt.poke();
+                }
+                if done || core.error.is_some() {
+                    // Release the submitter blocked in `wait_done`.
+                    self.cv.notify_all();
+                }
+            }
+        }
+    }
+
     fn try_send(&self, chan: usize, batch: Arc<RecordBatch>, me: usize) -> SendRes {
         let mut core = self.core.lock().unwrap();
         if core.error.is_some() {
@@ -517,9 +593,8 @@ impl Sched<'_> {
         }
         c.queue.push_back(batch);
         let consumer = c.consumer;
-        if core.wake(consumer) {
-            self.cv.notify_one();
-        }
+        let woke = core.wake(consumer) as usize;
+        self.publish(&mut core, woke, false);
         SendRes::Sent
     }
 
@@ -534,13 +609,11 @@ impl Sched<'_> {
                 // Space freed: unpark every producer parked on this channel
                 // (they re-check and may re-park; the list is ≤ dop long).
                 let unparked = std::mem::take(&mut c.waiting);
-                let mut notify = false;
+                let mut woke = 0;
                 for w in unparked {
-                    notify |= core.wake(w);
+                    woke += core.wake(w) as usize;
                 }
-                if notify {
-                    self.cv.notify_all();
-                }
+                self.publish(&mut core, woke, false);
                 Recv::Batch(b)
             }
             None if c.senders == 0 => Recv::Eof,
@@ -555,18 +628,17 @@ impl Sched<'_> {
         let mut core = self.core.lock().unwrap();
         core.state[t] = TState::Done;
         core.live -= 1;
-        let mut notify = false;
+        let mut woke = 0;
         for &chan in closes {
             let c = &mut core.chans[chan];
             c.senders -= 1;
             if c.senders == 0 {
                 let consumer = c.consumer;
-                notify |= core.wake(consumer);
+                woke += core.wake(consumer) as usize;
             }
         }
-        if notify || core.live == 0 {
-            self.cv.notify_all();
-        }
+        let done = core.live == 0;
+        self.publish(&mut core, woke, done);
     }
 
     /// Parks a yielded task — unless something arrived while it ran, in
@@ -577,9 +649,12 @@ impl Sched<'_> {
             TState::RunningDirty => {
                 core.state[t] = TState::Ready;
                 core.ready.push_back(t);
-                self.cv.notify_one();
+                self.publish(&mut core, 1, false);
             }
-            TState::Running => core.state[t] = TState::Idle,
+            TState::Running => {
+                core.state[t] = TState::Idle;
+                self.publish(&mut core, 0, false);
+            }
             _ => unreachable!("yielded task in state {:?}", core.state[t]),
         }
     }
@@ -592,7 +667,7 @@ impl Sched<'_> {
         }
         core.state[t] = TState::Done;
         core.live -= 1;
-        self.cv.notify_all();
+        self.publish(&mut core, 0, true);
     }
 }
 
@@ -793,42 +868,38 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// One worker of the pool: pop a ready task, run a step, file the outcome.
-/// Panics unwinding out of a step become [`ExecError::Panic`] carrying the
-/// operator name.
-fn worker_loop(sched: &Sched<'_>, bodies: &[Mutex<TaskBody<'_>>]) {
-    loop {
-        let t = {
-            let mut core = sched.core.lock().unwrap();
-            loop {
-                if core.error.is_some() {
-                    return;
-                }
-                if let Some(t) = core.ready.pop_front() {
-                    core.state[t] = TState::Running;
-                    break t;
-                }
-                if core.live == 0 {
-                    return;
-                }
-                core = sched.cv.wait(core).unwrap();
-            }
-        };
+/// One in-flight execution: the scheduler core plus every task body.
+/// Standalone runs drive it with a scoped worker pool
+/// ([`ExecState::worker_loop`]); runs on a shared [`EngineRuntime`]
+/// register it with the pool instead (the [`QueryTasks`] impl) — both
+/// paths execute task steps through the same [`ExecState::run_task`].
+struct ExecState<'a> {
+    sched: Sched<'a>,
+    bodies: Vec<Mutex<TaskBody<'a>>>,
+}
+
+impl ExecState<'_> {
+    /// Runs one step of task `t` and files the outcome. Panics unwinding
+    /// out of a step become [`ExecError::Panic`] carrying the operator
+    /// name; elapsed time is attributed to the task's own operator slot —
+    /// `self.sched.stats` belongs to exactly one query, so attribution
+    /// stays per-query even when shared-pool workers interleave queries.
+    fn run_task(&self, t: usize) {
         // Only the worker that moved `t` to Running touches its body, so
         // this lock is uncontended; it exists to make the borrow safe.
-        let mut body = bodies[t].lock().unwrap();
+        let mut body = self.bodies[t].lock().unwrap();
         let started = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| step(&mut body, sched)));
+        let result = catch_unwind(AssertUnwindSafe(|| step(&mut body, &self.sched)));
         if let Some(op) = body.op_id {
-            sched
+            self.sched
                 .stats
                 .add_op_nanos(op, started.elapsed().as_nanos() as u64);
         }
         match result {
-            Ok(Ok(StepOutcome::Done)) => sched.finish_task(t, &body.closes),
-            Ok(Ok(StepOutcome::Yield)) => sched.park(t),
-            Ok(Err(e)) => sched.fail(t, e),
-            Err(payload) => sched.fail(
+            Ok(Ok(StepOutcome::Done)) => self.sched.finish_task(t, &body.closes),
+            Ok(Ok(StepOutcome::Yield)) => self.sched.park(t),
+            Ok(Err(e)) => self.sched.fail(t, e),
+            Err(payload) => self.sched.fail(
                 t,
                 ExecError::Panic {
                     op: body.name.to_string(),
@@ -837,27 +908,92 @@ fn worker_loop(sched: &Sched<'_>, bodies: &[Mutex<TaskBody<'_>>]) {
             ),
         }
     }
+
+    /// One worker of a standalone run's scoped pool: pop a ready task, run
+    /// a step, repeat until the run drains or fails.
+    fn worker_loop(&self) {
+        loop {
+            let t = {
+                let mut core = self.sched.core.lock().unwrap();
+                loop {
+                    if core.error.is_some() {
+                        return;
+                    }
+                    if let Some(t) = core.ready.pop_front() {
+                        core.state[t] = TState::Running;
+                        self.sched
+                            .ready_hint
+                            .store(core.ready.len(), Ordering::Release);
+                        break t;
+                    }
+                    if core.live == 0 {
+                        return;
+                    }
+                    core = self.sched.cv.wait(core).unwrap();
+                }
+            };
+            self.run_task(t);
+        }
+    }
+}
+
+impl QueryTasks for ExecState<'_> {
+    fn ready_hint(&self) -> usize {
+        self.sched.ready_hint.load(Ordering::Acquire)
+    }
+
+    fn run_one(&self) -> bool {
+        let t = {
+            let mut core = self.sched.core.lock().unwrap();
+            if core.error.is_some() {
+                return false;
+            }
+            match core.ready.pop_front() {
+                Some(t) => {
+                    core.state[t] = TState::Running;
+                    self.sched
+                        .ready_hint
+                        .store(core.ready.len(), Ordering::Release);
+                    t
+                }
+                None => return false,
+            }
+        };
+        self.run_task(t);
+        true
+    }
+
+    fn wait_done(&self) {
+        let mut core = self.sched.core.lock().unwrap();
+        while core.live > 0 && core.error.is_none() {
+            core = self.sched.cv.wait(core).unwrap();
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Driver: build bodies, run the pool, gather the sink.
 // ---------------------------------------------------------------------------
 
-/// Runs a compiled stage tree to completion and gathers the root's output.
+/// Runs a compiled stage tree to completion and gathers the root's
+/// output — standalone (`runtime = None`, a scoped worker pool per run)
+/// or registered with a shared [`EngineRuntime`] pool.
 pub(crate) fn run(
     plan: &Plan,
     root: &Stage,
     inputs: &Inputs,
     dop: usize,
     opts: &ExecOptions,
+    runtime: Option<&EngineRuntime>,
 ) -> Result<(DataSet, ExecStats), ExecError> {
     let stats = ExecStats::with_ops(plan.ctx.ops.len());
-    let out = run_streaming(plan, root, inputs, dop, opts, &stats)?;
+    let out = run_streaming(plan, root, inputs, dop, opts, &stats, runtime)?;
     Ok((out, stats))
 }
 
 /// [`run`] against caller-provided stats (the profiler passes detailed
 /// ones).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_streaming(
     plan: &Plan,
     root: &Stage,
@@ -865,16 +1001,22 @@ pub(crate) fn run_streaming(
     dop: usize,
     opts: &ExecOptions,
     stats: &ExecStats,
+    runtime: Option<&EngineRuntime>,
 ) -> Result<DataSet, ExecError> {
     let dop = dop.max(1);
     let graph = TaskGraph::build(plan, root, dop, opts.fuse_maps);
     let n_tasks = graph.stages.len() * dop;
 
-    // The execution's shared memory budget. Declared before the task
-    // bodies (which borrow it) so it is dropped after them — its scoped
-    // spill directory disappears on every exit path, including a worker
-    // panic surfaced as `ExecError::Panic`.
-    let gov = MemoryGovernor::with_budget_in(opts.mem_budget, opts.spill_dir.clone());
+    // The execution's shared memory budget — carved out of the runtime's
+    // global pool when running on one, standalone otherwise. Declared
+    // before the task bodies (which borrow it) so it is dropped after
+    // them — its scoped spill directory disappears (and its grant returns
+    // to the pool) on every exit path, including a worker panic surfaced
+    // as `ExecError::Panic`.
+    let gov = match runtime {
+        Some(rt) => rt.governor_for(opts),
+        None => MemoryGovernor::with_budget_in(opts.mem_budget, opts.spill_dir.clone()),
+    };
 
     // Channel table: consumer stage × port × partition, ids matching the
     // `chan_base` ranges assigned at graph build.
@@ -1062,50 +1204,69 @@ pub(crate) fn run_streaming(
         }
     }
 
-    let sched = Sched {
-        core: Mutex::new(Core {
-            chans,
-            state: vec![TState::Ready; n_tasks],
-            ready: (0..n_tasks).collect(),
-            live: n_tasks,
-            error: None,
-        }),
-        cv: Condvar::new(),
-        capacity: opts.channel_capacity.max(1),
-        sink: Mutex::new(Vec::new()),
-        stats,
+    let state = ExecState {
+        sched: Sched {
+            core: Mutex::new(Core {
+                chans,
+                state: vec![TState::Ready; n_tasks],
+                ready: (0..n_tasks).collect(),
+                live: n_tasks,
+                error: None,
+            }),
+            cv: Condvar::new(),
+            capacity: opts.channel_capacity.max(1),
+            sink: Mutex::new(Vec::new()),
+            stats,
+            ready_hint: AtomicUsize::new(n_tasks),
+            notify: match runtime {
+                Some(rt) => Notify::Runtime(rt.shared_handle()),
+                None => Notify::Local,
+            },
+        },
+        bodies,
     };
 
-    let workers = opts
-        .workers
-        .unwrap_or_else(|| {
-            if dop == 1 {
-                1
-            } else {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            }
-        })
-        .clamp(1, n_tasks.max(1));
+    match runtime {
+        Some(rt) => {
+            // Shared pool: register, let the runtime's workers interleave
+            // this query's steps with every other in-flight query, wait
+            // for the drain. `opts.workers` is runtime-scoped and ignored.
+            rt.run_query(&state);
+        }
+        None => {
+            let workers = opts
+                .workers
+                .unwrap_or_else(|| {
+                    if dop == 1 {
+                        1
+                    } else {
+                        std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1)
+                    }
+                })
+                .clamp(1, n_tasks.max(1));
 
-    if workers == 1 {
-        // Inline: no threads at all. Same code path, deterministic order.
-        worker_loop(&sched, &bodies);
-    } else {
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| worker_loop(&sched, &bodies));
+            if workers == 1 {
+                // Inline: no threads at all. Same code path, deterministic
+                // order.
+                state.worker_loop();
+            } else {
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| state.worker_loop());
+                    }
+                });
             }
-        });
+        }
     }
 
-    let core = sched.core.into_inner().unwrap();
+    let core = state.sched.core.into_inner().unwrap();
     if let Some(e) = core.error {
         return Err(e);
     }
     let mut all = Vec::new();
-    for b in sched.sink.into_inner().unwrap() {
+    for b in state.sched.sink.into_inner().unwrap() {
         all.extend(operators::take_records(b));
     }
     Ok(DataSet::from_records(all))
@@ -1209,8 +1370,8 @@ mod tests {
             fuse_maps: false,
             ..ExecOptions::default()
         };
-        let (out_f, st_f) = run(&plan, &compiled, &inputs, 1, &fused_opts).unwrap();
-        let (out_u, st_u) = run(&plan, &compiled, &inputs, 1, &unfused_opts).unwrap();
+        let (out_f, st_f) = run(&plan, &compiled, &inputs, 1, &fused_opts, None).unwrap();
+        let (out_u, st_u) = run(&plan, &compiled, &inputs, 1, &unfused_opts, None).unwrap();
         assert_eq!(out_f, out_u);
         // Fusion changes transport, not semantics: identical UDF call and
         // emit counts, globally and per operator.
@@ -1265,8 +1426,8 @@ mod tests {
             combine: false,
             ..ExecOptions::default()
         };
-        let (out_on, st_on) = run(&plan, &with, &inputs, 4, &on).unwrap();
-        let (out_off, st_off) = run(&plan, &without, &inputs, 4, &off).unwrap();
+        let (out_on, st_on) = run(&plan, &with, &inputs, 4, &on, None).unwrap();
+        let (out_off, st_off) = run(&plan, &without, &inputs, 4, &off, None).unwrap();
         assert_eq!(out_on.sorted(), out_off.sorted(), "byte-identical bags");
         let (shipped_on, shipped_off) = (st_on.snapshot().2, st_off.snapshot().2);
         assert!(
@@ -1294,7 +1455,7 @@ mod tests {
         let rows_ref: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
         let inputs = inputs_for(&plan, &rows_ref);
         let (reference, ref_stats) =
-            run(&plan, &compiled, &inputs, 1, &ExecOptions::default()).unwrap();
+            run(&plan, &compiled, &inputs, 1, &ExecOptions::default(), None).unwrap();
         for workers in [1usize, 2, 4] {
             for capacity in [1usize, 8] {
                 for batch_size in [1usize, 1024] {
@@ -1304,7 +1465,7 @@ mod tests {
                         channel_capacity: capacity,
                         ..ExecOptions::default()
                     };
-                    let (out, stats) = run(&plan, &compiled, &inputs, 1, &opts).unwrap();
+                    let (out, stats) = run(&plan, &compiled, &inputs, 1, &opts, None).unwrap();
                     assert_eq!(
                         out, reference,
                         "workers={workers} capacity={capacity} batch={batch_size}"

@@ -1,0 +1,577 @@
+//! The shared engine runtime: one worker pool and one memory budget for
+//! all concurrent executions of a process.
+//!
+//! Without a runtime, every call to [`crate::execute_with`] spins up its
+//! own worker pool and owns a private memory budget — N concurrent
+//! queries oversubscribe the machine N-fold. [`EngineRuntime`] inverts
+//! that: the pool is created **once**, queries *register* with it, and
+//! the same fixed set of workers drives every in-flight execution.
+//!
+//! ## Fair scheduling
+//!
+//! Each registered query exposes its ready-task count through the
+//! `QueryTasks` trait (crate-internal). Workers pick **round-robin across
+//! queries**, one
+//! cooperative task step per pick: a heavy query with hundreds of ready
+//! tasks gets exactly one step before the cursor moves on to the next
+//! query with work, so it can never starve a light neighbor. Within a
+//! query, the task order is the execution's own scheduler queue —
+//! identical to the standalone path, which is why results stay
+//! byte-identical (the single-query path is literally the shared path
+//! with one slot).
+//!
+//! ## Hierarchical memory
+//!
+//! The runtime owns a [`GlobalMemory`] pool
+//! ([`RuntimeOptions::mem_budget`]). Each submitted query carves a
+//! [`MemoryGrant`](crate::spill::MemoryGrant) out of the unpromised
+//! remainder — capped by its own
+//! `ExecOptions::mem_budget` — and its
+//! [`MemoryGovernor`] enforces *that*
+//! grant. The sum of grants never exceeds the pool, and pressure in one
+//! query spills its own state, never a neighbor's.
+//!
+//! ```
+//! use strato_exec::{EngineRuntime, RuntimeOptions};
+//!
+//! let rt = EngineRuntime::new(RuntimeOptions {
+//!     workers: Some(2),
+//!     mem_budget: Some(64 << 20), // 64 MiB shared by every query
+//!     ..RuntimeOptions::default()
+//! });
+//! assert_eq!(rt.snapshot().workers, 2);
+//! assert_eq!(rt.memory().budget(), Some(64 << 20));
+//! // rt.execute_with(...) runs queries on the shared pool; see the
+//! // equivalence suite for concurrent submissions.
+//! ```
+
+use crate::engine::{ExecError, Inputs};
+use crate::pipeline::{self, ExecOptions};
+use crate::spill::{GlobalMemory, MemoryGovernor};
+use crate::stats::ExecStats;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use strato_core::PhysPlan;
+use strato_dataflow::Plan;
+use strato_record::DataSet;
+
+/// Configuration of a shared [`EngineRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Worker threads in the shared pool. `None` picks the machine's
+    /// available parallelism. Per-query `ExecOptions::workers` is ignored
+    /// on a runtime — the pool's size governs everything it runs.
+    pub workers: Option<usize>,
+    /// The machine-wide memory budget all queries share
+    /// ([`GlobalMemory`]). Per-query `ExecOptions::mem_budget` becomes a
+    /// *cap* on the slice a query may carve from this pool. `None` =
+    /// unbounded pool (each query's own cap applies unchanged). Defaults
+    /// to [`strato_core::cost::DEFAULT_GLOBAL_MEM_BUDGET_BYTES`].
+    pub mem_budget: Option<u64>,
+    /// Parent directory for every query's scoped spill directory (`None`
+    /// = the OS temp dir). Per-query `ExecOptions::spill_dir` overrides.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            workers: None,
+            mem_budget: Some(strato_core::cost::DEFAULT_GLOBAL_MEM_BUDGET_BYTES),
+            spill_dir: None,
+        }
+    }
+}
+
+/// Point-in-time view of a runtime's pool and memory gauges (the server's
+/// `/metrics` endpoint renders this).
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeSnapshot {
+    /// Worker threads in the shared pool.
+    pub workers: usize,
+    /// Workers currently executing a task step.
+    pub busy_workers: usize,
+    /// Queries currently registered with the pool.
+    pub active_queries: usize,
+    /// Ready (runnable) task steps across all registered queries.
+    pub queued_tasks: usize,
+    /// Task steps executed since the runtime started.
+    pub tasks_executed: u64,
+    /// Queries ever submitted.
+    pub queries_started: u64,
+    /// Queries that finished (successfully or not).
+    pub queries_finished: u64,
+    /// The pool budget (`None` = unbounded).
+    pub mem_budget: Option<u64>,
+    /// Bytes currently promised to in-flight queries' grants.
+    pub mem_granted: u64,
+    /// Bytes currently buffered across all queries.
+    pub mem_resident: u64,
+    /// High-water mark of `mem_resident`.
+    pub mem_peak_resident: u64,
+    /// `(query id, ready tasks)` per registered query.
+    pub per_query_queued: Vec<(u64, usize)>,
+}
+
+/// What the pool needs from a registered execution: how much runnable
+/// work it has, a way to run one cooperative step, and a way for the
+/// submitter to block until the query drains.
+///
+/// Implemented by `pipeline::ExecState`; object-safe so the pool can hold
+/// queries of erased lifetime.
+pub(crate) trait QueryTasks: Sync {
+    /// Ready (runnable) task count — a racy hint; workers re-check under
+    /// the query's own lock in [`QueryTasks::run_one`].
+    fn ready_hint(&self) -> usize;
+    /// Pops and runs one cooperative task step. Returns `false` when
+    /// nothing was ready (stale hint) or the query is aborting.
+    fn run_one(&self) -> bool;
+    /// Blocks the submitter until every task finished or the query failed.
+    fn wait_done(&self);
+}
+
+/// Drain latch of one registered query: counts workers inside
+/// [`QueryTasks::run_one`] so deregistration can wait until no worker
+/// still holds the (lifetime-erased) query reference.
+#[derive(Debug, Default)]
+struct SlotPin {
+    /// Workers currently inside `run_one` for this query.
+    active: AtomicUsize,
+    /// Pure rendezvous for the drain wait; holds no data.
+    drained: Mutex<()>,
+    cv: Condvar,
+}
+
+/// One registered query in the pool's slot table.
+struct SlotEntry {
+    /// The execution, lifetime-erased. Sound: `run_query` removes the
+    /// slot and drains `pin.active` to zero before its borrow ends.
+    query: &'static (dyn QueryTasks + 'static),
+    pin: Arc<SlotPin>,
+    query_id: u64,
+}
+
+/// The pool's scheduling state: the slot table plus the fairness cursor.
+struct RtSched {
+    /// Registered queries; freed slots are reused.
+    slots: Vec<Option<SlotEntry>>,
+    /// Round-robin position: the slot *after* the last one picked.
+    cursor: usize,
+    shutdown: bool,
+}
+
+/// State shared between the pool's workers, submitters and observers.
+pub(crate) struct RtShared {
+    sched: Mutex<RtSched>,
+    cv: Condvar,
+    memory: Arc<GlobalMemory>,
+    workers: usize,
+    busy: AtomicUsize,
+    tasks_run: AtomicU64,
+    queries_started: AtomicU64,
+    queries_finished: AtomicU64,
+}
+
+impl RtShared {
+    /// Wakes sleeping workers after a query's ready count rose. Taking
+    /// the scheduler mutex (even for an empty critical section) is what
+    /// prevents a lost wakeup: a worker that scanned the hints and is
+    /// about to sleep still holds the mutex, so the notification cannot
+    /// slip between its scan and its wait.
+    pub(crate) fn poke(&self) {
+        let _guard = self.sched.lock().unwrap();
+        self.cv.notify_all();
+    }
+}
+
+/// A process-wide shared execution runtime: one worker pool, one memory
+/// pool, any number of concurrent queries (see the module docs).
+///
+/// Dropping the runtime shuts the pool down (workers join). Queries must
+/// not be in flight at that point — in practice the runtime is held in an
+/// `Arc` that every submitter clones.
+pub struct EngineRuntime {
+    shared: Arc<RtShared>,
+    spill_dir: Option<PathBuf>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EngineRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineRuntime")
+            .field("workers", &self.shared.workers)
+            .field("mem_budget", &self.shared.memory.budget())
+            .finish()
+    }
+}
+
+impl EngineRuntime {
+    /// Starts the shared pool: `opts.workers` threads (available
+    /// parallelism when `None`, always at least 1) and a
+    /// [`GlobalMemory`] pool of `opts.mem_budget` bytes.
+    pub fn new(opts: RuntimeOptions) -> EngineRuntime {
+        let workers = opts
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+        let shared = Arc::new(RtShared {
+            sched: Mutex::new(RtSched {
+                slots: Vec::new(),
+                cursor: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            memory: GlobalMemory::new(opts.mem_budget),
+            workers,
+            busy: AtomicUsize::new(0),
+            tasks_run: AtomicU64::new(0),
+            queries_started: AtomicU64::new(0),
+            queries_finished: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("strato-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        EngineRuntime {
+            shared,
+            spill_dir: opts.spill_dir,
+            handles,
+        }
+    }
+
+    /// The runtime's shared memory pool.
+    pub fn memory(&self) -> &Arc<GlobalMemory> {
+        &self.shared.memory
+    }
+
+    /// Point-in-time pool and memory gauges.
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        let (active, queued, per_query) = {
+            let sched = self.shared.sched.lock().unwrap();
+            let mut per_query = Vec::new();
+            let mut queued = 0usize;
+            for s in sched.slots.iter().flatten() {
+                let ready = s.query.ready_hint();
+                queued += ready;
+                per_query.push((s.query_id, ready));
+            }
+            (per_query.len(), queued, per_query)
+        };
+        RuntimeSnapshot {
+            workers: self.shared.workers,
+            busy_workers: self.shared.busy.load(Ordering::Relaxed),
+            active_queries: active,
+            queued_tasks: queued,
+            tasks_executed: self.shared.tasks_run.load(Ordering::Relaxed),
+            queries_started: self.shared.queries_started.load(Ordering::Relaxed),
+            queries_finished: self.shared.queries_finished.load(Ordering::Relaxed),
+            mem_budget: self.shared.memory.budget(),
+            mem_granted: self.shared.memory.granted(),
+            mem_resident: self.shared.memory.resident(),
+            mem_peak_resident: self.shared.memory.peak_resident(),
+            per_query_queued: per_query,
+        }
+    }
+
+    /// Builds one execution's governor by carving its grant out of the
+    /// shared pool (capped by the query's own `mem_budget`).
+    pub(crate) fn governor_for(&self, opts: &ExecOptions) -> MemoryGovernor {
+        let base = opts.spill_dir.clone().or_else(|| self.spill_dir.clone());
+        MemoryGovernor::with_grant(self.shared.memory.carve(opts.mem_budget), base)
+    }
+
+    /// Handle for the pipeline's wakeup path.
+    pub(crate) fn shared_handle(&self) -> Arc<RtShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Registers `query` with the pool, blocks until it drains, then
+    /// deregisters it. Errors surface through the query's own state; this
+    /// only choreographs scheduling.
+    pub(crate) fn run_query(&self, query: &(dyn QueryTasks + '_)) {
+        let query_id = self.shared.queries_started.fetch_add(1, Ordering::Relaxed) + 1;
+        let pin = Arc::new(SlotPin::default());
+        // SAFETY: the erased reference is only reachable through the slot
+        // table. Before this function returns (and with it the borrow of
+        // `query` ends), the slot is removed under the scheduler lock — no
+        // new picks — and `pin.active` is drained to zero — no worker is
+        // still inside `run_one`. Observers (`snapshot`) read the
+        // reference only while holding the lock that slot removal takes.
+        let erased = unsafe {
+            std::mem::transmute::<&(dyn QueryTasks + '_), &'static (dyn QueryTasks + 'static)>(
+                query,
+            )
+        };
+        {
+            let mut sched = self.shared.sched.lock().unwrap();
+            let entry = SlotEntry {
+                query: erased,
+                pin: Arc::clone(&pin),
+                query_id,
+            };
+            match sched.slots.iter_mut().find(|s| s.is_none()) {
+                Some(free) => *free = Some(entry),
+                None => sched.slots.push(Some(entry)),
+            }
+            self.shared.cv.notify_all();
+        }
+
+        query.wait_done();
+
+        // Deregister first (no new picks), then wait out workers already
+        // inside `run_one`.
+        {
+            let mut sched = self.shared.sched.lock().unwrap();
+            for s in sched.slots.iter_mut() {
+                if s.as_ref().is_some_and(|e| e.query_id == query_id) {
+                    *s = None;
+                    break;
+                }
+            }
+        }
+        let mut guard = pin.drained.lock().unwrap();
+        while pin.active.load(Ordering::SeqCst) > 0 {
+            guard = pin.cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        self.shared.queries_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`crate::execute`] on the shared pool.
+    pub fn execute(
+        &self,
+        plan: &Plan,
+        phys: &PhysPlan,
+        inputs: &Inputs,
+        dop: usize,
+    ) -> Result<(DataSet, ExecStats), ExecError> {
+        self.execute_with(plan, phys, inputs, dop, &ExecOptions::default())
+    }
+
+    /// [`crate::execute_with`] on the shared pool: same lowering, same
+    /// scheduler, same results — only the workers and the memory budget
+    /// are shared with every other in-flight query.
+    pub fn execute_with(
+        &self,
+        plan: &Plan,
+        phys: &PhysPlan,
+        inputs: &Inputs,
+        dop: usize,
+        opts: &ExecOptions,
+    ) -> Result<(DataSet, ExecStats), ExecError> {
+        let compiled = pipeline::compile_physical(&phys.root, opts.combine);
+        pipeline::run(plan, &compiled, inputs, dop, opts, Some(self))
+    }
+
+    /// [`crate::execute_logical`] on the shared pool.
+    pub fn execute_logical(
+        &self,
+        plan: &Plan,
+        inputs: &Inputs,
+    ) -> Result<(DataSet, ExecStats), ExecError> {
+        self.execute_logical_with(plan, inputs, &ExecOptions::default())
+    }
+
+    /// [`crate::execute_logical_with`] on the shared pool.
+    pub fn execute_logical_with(
+        &self,
+        plan: &Plan,
+        inputs: &Inputs,
+        opts: &ExecOptions,
+    ) -> Result<(DataSet, ExecStats), ExecError> {
+        let compiled = pipeline::compile_logical(plan, &plan.root);
+        pipeline::run(plan, &compiled, inputs, 1, opts, Some(self))
+    }
+}
+
+impl Drop for EngineRuntime {
+    fn drop(&mut self) {
+        {
+            let mut sched = self.shared.sched.lock().unwrap();
+            sched.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One worker of the shared pool: round-robin across registered queries,
+/// one cooperative task step per pick.
+fn worker_loop(shared: &RtShared) {
+    loop {
+        let (query, pin) = {
+            let mut sched = shared.sched.lock().unwrap();
+            'pick: loop {
+                if sched.shutdown {
+                    return;
+                }
+                let n = sched.slots.len();
+                for k in 0..n {
+                    let i = (sched.cursor + k) % n;
+                    if let Some(slot) = &sched.slots[i] {
+                        if slot.query.ready_hint() > 0 {
+                            // Pin before releasing the lock: deregistration
+                            // waits for this count, so the erased reference
+                            // stays valid through `run_one`.
+                            slot.pin.active.fetch_add(1, Ordering::SeqCst);
+                            let picked = (slot.query, Arc::clone(&slot.pin));
+                            sched.cursor = (i + 1) % n;
+                            break 'pick picked;
+                        }
+                    }
+                }
+                sched = shared.cv.wait(sched).unwrap();
+            }
+        };
+        shared.busy.fetch_add(1, Ordering::Relaxed);
+        let ran = query.run_one();
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
+        if ran {
+            shared.tasks_run.fetch_add(1, Ordering::Relaxed);
+        }
+        if pin.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last worker out: rendezvous through the mutex so a
+            // deregistration that just checked the count cannot miss the
+            // notification.
+            let _guard = pin.drained.lock().unwrap();
+            pin.cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{execute_logical, execute_with};
+    use strato_core::{cost::CostWeights, physical::best_physical, PropTable};
+    use strato_dataflow::{CostHints, ProgramBuilder, PropertyMode, SourceDef};
+    use strato_record::{Record, Value};
+
+    fn sum_plan(rows: i64) -> (Plan, PhysPlan, Inputs) {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], rows as u64));
+        let r = p.reduce(
+            "sum",
+            &[0],
+            crate::testutil::sum_inplace(2, 1),
+            CostHints::default().with_distinct_keys(8),
+            s,
+        );
+        let plan = p.finish(r).unwrap().bind().unwrap();
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let phys = best_physical(&plan, &props, &CostWeights::default(), 4);
+        let ds: DataSet = (0..rows)
+            .map(|i| Record::from_values([Value::Int(i % 8), Value::Int(i)]))
+            .collect();
+        let mut inputs = Inputs::new();
+        inputs.insert("s".into(), ds);
+        (plan, phys, inputs)
+    }
+
+    #[test]
+    fn runtime_execution_matches_standalone_and_reuses_the_pool() {
+        let (plan, phys, inputs) = sum_plan(200);
+        let (reference, ref_stats) =
+            execute_with(&plan, &phys, &inputs, 4, &ExecOptions::default()).unwrap();
+
+        let rt = EngineRuntime::new(RuntimeOptions {
+            workers: Some(2),
+            ..RuntimeOptions::default()
+        });
+        // Sequential reuse: the pool survives across queries.
+        for _ in 0..3 {
+            let (out, stats) = rt
+                .execute_with(&plan, &phys, &inputs, 4, &ExecOptions::default())
+                .unwrap();
+            assert_eq!(out, reference, "shared pool must be byte-identical");
+            assert_eq!(stats.snapshot(), ref_stats.snapshot());
+        }
+        let (logical, _) = rt.execute_logical(&plan, &inputs).unwrap();
+        assert_eq!(logical, execute_logical(&plan, &inputs).unwrap().0);
+
+        let snap = rt.snapshot();
+        assert_eq!(snap.workers, 2);
+        assert_eq!(snap.queries_started, 4);
+        assert_eq!(snap.queries_finished, 4);
+        assert_eq!(snap.active_queries, 0, "all slots freed");
+        assert!(snap.tasks_executed > 0, "the pool really ran the tasks");
+        assert_eq!(snap.mem_resident, 0, "all operator state released");
+        assert_eq!(snap.mem_granted, 0, "all grants returned");
+    }
+
+    #[test]
+    fn runtime_contains_worker_panics_and_stays_usable() {
+        // A panicking UDF fails its own query; the pool workers survive
+        // (the unwind is caught at the task boundary, inside `run_one`).
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["v"], 4));
+        let boom = {
+            use strato_ir::{FuncBuilder, UdfKind};
+            let mut b = FuncBuilder::new("boom", UdfKind::Map, vec![1]);
+            let v = b.get_input(0, 0);
+            b.call(strato_ir::Intrinsic::AbortIf, vec![v]);
+            let or = b.copy_input(0);
+            b.emit(or);
+            b.ret();
+            b.finish().unwrap()
+        };
+        let m = p.map("boom", boom, CostHints::default(), s);
+        let plan = p.finish(m).unwrap().bind().unwrap();
+        let mut inputs = Inputs::new();
+        inputs.insert(
+            "s".into(),
+            [0i64, 7, 0, 0]
+                .iter()
+                .map(|&v| Record::from_values([Value::Int(v)]))
+                .collect::<DataSet>(),
+        );
+
+        let rt = EngineRuntime::new(RuntimeOptions {
+            workers: Some(2),
+            ..RuntimeOptions::default()
+        });
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = rt.execute_logical(&plan, &inputs).unwrap_err();
+        std::panic::set_hook(prev);
+        assert!(matches!(err, ExecError::Panic { .. }), "{err}");
+
+        // The pool is still alive: a healthy query runs fine after.
+        let (plan2, phys2, inputs2) = sum_plan(50);
+        let (out, _) = rt.execute(&plan2, &phys2, &inputs2, 2).unwrap();
+        let (reference, _) = crate::engine::execute(&plan2, &phys2, &inputs2, 2).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn grants_are_carved_and_returned_per_query() {
+        let (plan, phys, inputs) = sum_plan(100);
+        let rt = EngineRuntime::new(RuntimeOptions {
+            workers: Some(1),
+            mem_budget: Some(1 << 20),
+            ..RuntimeOptions::default()
+        });
+        let opts = ExecOptions {
+            mem_budget: Some(4096),
+            ..ExecOptions::default()
+        };
+        let (out, _) = rt.execute_with(&plan, &phys, &inputs, 2, &opts).unwrap();
+        let (reference, _) = execute_with(&plan, &phys, &inputs, 2, &opts).unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(rt.memory().granted(), 0, "grant returned after the run");
+        assert_eq!(rt.memory().resident(), 0);
+    }
+}

@@ -1,11 +1,158 @@
-//! The per-execution memory budget tracker and scoped spill directory.
+//! The per-execution memory budget tracker and scoped spill directory —
+//! and the process-wide memory pool per-execution budgets are carved from.
+//!
+//! Two layers:
+//!
+//! * [`GlobalMemory`] is one machine-wide budget shared by every
+//!   execution on an [`EngineRuntime`](crate::runtime::EngineRuntime).
+//!   [`GlobalMemory::carve`] hands out a [`MemoryGrant`] — a slice of the
+//!   not-yet-granted budget, capped by the query's own `mem_budget` —
+//!   which returns to the pool when dropped.
+//! * [`MemoryGovernor`] is the per-execution tracker the operators charge.
+//!   Built [`MemoryGovernor::with_grant`], its budget *is* the grant and
+//!   its resident bytes mirror up into the pool's gauges; built standalone
+//!   ([`MemoryGovernor::with_budget_in`]), it behaves exactly as before.
+//!
+//! Pressure is strictly per-query: [`MemoryGovernor::over_budget`]
+//! compares an execution's own resident bytes against its own grant, so a
+//! query blowing through its slice spills *its* state — it can never force
+//! a neighbor to spill, and the sum of grants never exceeds the pool.
 
 use crate::engine::ExecError;
 use crate::spill::file::{RunWriter, SortedRun};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use strato_record::Record;
+
+/// The process-wide memory pool of a shared engine runtime.
+///
+/// Tracks two quantities: `granted` (bytes promised to in-flight
+/// executions via [`GlobalMemory::carve`], under a mutex because carving
+/// must read-modify-write against the budget) and `resident` (bytes
+/// actually buffered right now, mirrored up from each execution's
+/// [`MemoryGovernor`]; atomic, on the operators' accounting path).
+#[derive(Debug)]
+pub struct GlobalMemory {
+    /// `None` = unbounded pool: every carve passes the query's own cap
+    /// through unchanged.
+    budget: Option<u64>,
+    /// Bytes currently promised to live grants.
+    granted: Mutex<u64>,
+    /// Bytes currently buffered across all executions of the pool.
+    resident: AtomicU64,
+    /// High-water mark of `resident`.
+    peak_resident: AtomicU64,
+}
+
+impl GlobalMemory {
+    /// A pool enforcing `budget` bytes across all executions (`None` =
+    /// unbounded; grants then just pass each query's cap through).
+    pub fn new(budget: Option<u64>) -> Arc<GlobalMemory> {
+        Arc::new(GlobalMemory {
+            budget,
+            granted: Mutex::new(0),
+            resident: AtomicU64::new(0),
+            peak_resident: AtomicU64::new(0),
+        })
+    }
+
+    /// Carves a grant for one execution out of the unpromised remainder of
+    /// the pool, capped by the query's own `cap` (its `mem_budget`).
+    ///
+    /// On a bounded pool the grant is `min(cap, budget - granted)` — a
+    /// query without a cap of its own claims the entire remainder. A
+    /// late-arriving query can receive a **zero** grant; it then spills
+    /// every batch it buffers, which is slow but correct, and its grant
+    /// grows back to normal once earlier queries finish and return theirs.
+    /// On an unbounded pool the grant is simply `cap` (`None` = the
+    /// execution runs ungoverned, exactly as without a runtime).
+    pub fn carve(self: &Arc<Self>, cap: Option<u64>) -> MemoryGrant {
+        let bytes = match self.budget {
+            None => cap,
+            Some(total) => {
+                let mut granted = self.granted.lock().unwrap();
+                let avail = total.saturating_sub(*granted);
+                let take = cap.unwrap_or(avail).min(avail);
+                *granted += take;
+                Some(take)
+            }
+        };
+        MemoryGrant {
+            bytes,
+            pool: Arc::clone(self),
+        }
+    }
+
+    /// Returns a grant's bytes to the pool (called by [`MemoryGrant`]'s
+    /// drop).
+    fn return_grant(&self, bytes: u64) {
+        if self.budget.is_some() {
+            let mut granted = self.granted.lock().unwrap();
+            *granted = granted.saturating_sub(bytes);
+        }
+    }
+
+    /// Mirrors newly buffered execution state into the pool's gauges.
+    fn add_resident(&self, bytes: u64) {
+        let now = self.resident.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_resident.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Mirrors released execution state out of the pool's gauges.
+    fn sub_resident(&self, bytes: u64) {
+        let _ = self
+            .resident
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            });
+    }
+
+    /// The pool budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Bytes currently promised to live grants.
+    pub fn granted(&self) -> u64 {
+        *self.granted.lock().unwrap()
+    }
+
+    /// Bytes currently buffered across all executions of the pool.
+    pub fn resident(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`GlobalMemory::resident`].
+    pub fn peak_resident(&self) -> u64 {
+        self.peak_resident.load(Ordering::Relaxed)
+    }
+}
+
+/// One execution's slice of a [`GlobalMemory`] pool — RAII: the bytes
+/// return to the pool when the grant drops (normally via the owning
+/// [`MemoryGovernor`], on every exit path including worker panics).
+#[derive(Debug)]
+pub struct MemoryGrant {
+    /// The granted budget (`None` = ungoverned execution).
+    bytes: Option<u64>,
+    pool: Arc<GlobalMemory>,
+}
+
+impl MemoryGrant {
+    /// The granted budget (`None` = the execution runs ungoverned).
+    pub fn bytes(&self) -> Option<u64> {
+        self.bytes
+    }
+}
+
+impl Drop for MemoryGrant {
+    fn drop(&mut self) {
+        if let Some(b) = self.bytes {
+            self.pool.return_grant(b);
+        }
+    }
+}
 
 /// Scoped temp directory holding one execution's spill files. Removing it
 /// recursively on drop is what guarantees no spill file outlives its
@@ -56,6 +203,11 @@ pub struct MemoryGovernor {
     base: Option<PathBuf>,
     /// Names run files uniquely within the directory.
     run_seq: AtomicU64,
+    /// The pool grant this governor's budget was carved from, when the
+    /// execution runs on a shared runtime. Held here so the grant returns
+    /// to the pool exactly when the governor drops; resident bytes mirror
+    /// into the pool's gauges through it.
+    grant: Option<MemoryGrant>,
 }
 
 impl MemoryGovernor {
@@ -79,6 +231,25 @@ impl MemoryGovernor {
             dir: Mutex::new(None),
             base,
             run_seq: AtomicU64::new(0),
+            grant: None,
+        }
+    }
+
+    /// A governor whose budget is a [`MemoryGrant`] carved from a shared
+    /// [`GlobalMemory`] pool. The budget *is* the grant's bytes; resident
+    /// bytes mirror into the pool's gauges; [`over_budget`] still compares
+    /// only this execution's resident bytes against its own grant, so one
+    /// query's pressure never spills another.
+    ///
+    /// [`over_budget`]: MemoryGovernor::over_budget
+    pub fn with_grant(grant: MemoryGrant, base: Option<PathBuf>) -> Self {
+        MemoryGovernor {
+            budget: grant.bytes(),
+            resident: AtomicU64::new(0),
+            dir: Mutex::new(None),
+            base,
+            run_seq: AtomicU64::new(0),
+            grant: Some(grant),
         }
     }
 
@@ -94,6 +265,9 @@ impl MemoryGovernor {
     pub fn grant(&self, bytes: u64) {
         if self.budget.is_some() {
             self.resident.fetch_add(bytes, Ordering::Relaxed);
+            if let Some(g) = &self.grant {
+                g.pool.add_resident(bytes);
+            }
         }
     }
 
@@ -103,11 +277,18 @@ impl MemoryGovernor {
         if self.budget.is_some() {
             // Saturating: a release can race a concurrent grant's visibility,
             // and clamping beats wrapping to u64::MAX (permanent pressure).
+            // The pool mirror subtracts what was actually subtracted here,
+            // so it can never eat into a sibling execution's accounting.
+            let mut freed = bytes;
             let _ = self
                 .resident
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                    Some(v.saturating_sub(bytes))
+                    freed = v.min(bytes);
+                    Some(v - freed)
                 });
+            if let Some(g) = &self.grant {
+                g.pool.sub_resident(freed);
+            }
         }
     }
 
@@ -150,6 +331,21 @@ impl MemoryGovernor {
     /// Path of the scoped spill directory, if any spill happened yet.
     pub fn spill_dir_path(&self) -> Option<PathBuf> {
         self.dir.lock().unwrap().as_ref().map(|d| d.path.clone())
+    }
+}
+
+impl Drop for MemoryGovernor {
+    fn drop(&mut self) {
+        // On error/panic exits operators never release what they buffered;
+        // square the pool's resident gauge so an aborted query cannot leave
+        // phantom bytes pinned against everyone else's headroom. (The grant
+        // itself returns via its own drop, which runs after this body.)
+        if let Some(g) = &self.grant {
+            let leftover = self.resident.load(Ordering::Relaxed);
+            if leftover > 0 {
+                g.pool.sub_resident(leftover);
+            }
+        }
     }
 }
 
@@ -220,6 +416,74 @@ mod tests {
         assert_eq!(run.records(), 2);
         drop(g);
         assert!(!dir.exists(), "scoped directory removed on drop");
+    }
+
+    #[test]
+    fn carve_caps_grants_at_the_pool_remainder() {
+        let pool = GlobalMemory::new(Some(100));
+        let a = pool.carve(Some(60));
+        assert_eq!(a.bytes(), Some(60));
+        // Uncapped query: takes the whole remainder.
+        let b = pool.carve(None);
+        assert_eq!(b.bytes(), Some(40));
+        assert_eq!(pool.granted(), 100);
+        // Exhausted pool: a zero grant (spill-everything), not a panic.
+        let c = pool.carve(Some(10));
+        assert_eq!(c.bytes(), Some(0));
+        // Grants return on drop.
+        drop(a);
+        assert_eq!(pool.granted(), 40);
+        let d = pool.carve(Some(1_000));
+        assert_eq!(d.bytes(), Some(60), "cap above remainder clamps");
+    }
+
+    #[test]
+    fn unbounded_pool_passes_caps_through() {
+        let pool = GlobalMemory::new(None);
+        assert_eq!(pool.carve(Some(7)).bytes(), Some(7));
+        assert_eq!(pool.carve(None).bytes(), None, "ungoverned stays so");
+        assert_eq!(pool.granted(), 0);
+    }
+
+    #[test]
+    fn governor_mirrors_resident_bytes_into_the_pool() {
+        let pool = GlobalMemory::new(Some(100));
+        let g1 = MemoryGovernor::with_grant(pool.carve(Some(50)), None);
+        let g2 = MemoryGovernor::with_grant(pool.carve(Some(50)), None);
+        g1.grant(30);
+        g2.grant(20);
+        assert_eq!(pool.resident(), 50);
+        assert_eq!(pool.peak_resident(), 50);
+        g1.release(30);
+        assert_eq!(pool.resident(), 20);
+        assert_eq!(pool.peak_resident(), 50, "peak is a high-water mark");
+        // Over-release clamps locally and mirrors only what was freed.
+        g2.release(1_000);
+        assert_eq!((g2.resident(), pool.resident()), (0, 0));
+    }
+
+    #[test]
+    fn pressure_is_per_query_not_per_pool() {
+        let pool = GlobalMemory::new(Some(100));
+        let heavy = MemoryGovernor::with_grant(pool.carve(Some(10)), None);
+        let light = MemoryGovernor::with_grant(pool.carve(Some(50)), None);
+        heavy.grant(25);
+        assert!(heavy.over_budget(), "heavy blew its own grant");
+        assert!(!light.over_budget(), "…but the neighbor feels nothing");
+        light.grant(10);
+        assert!(!light.over_budget());
+    }
+
+    #[test]
+    fn dropping_a_governor_squares_the_pool_gauges() {
+        let pool = GlobalMemory::new(Some(100));
+        let g = MemoryGovernor::with_grant(pool.carve(Some(80)), None);
+        g.grant(64);
+        assert_eq!((pool.resident(), pool.granted()), (64, 80));
+        // Simulates an aborted query: nothing released, governor dropped.
+        drop(g);
+        assert_eq!(pool.resident(), 0, "residual resident bytes squared");
+        assert_eq!(pool.granted(), 0, "grant returned");
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //!   directory**: created lazily on first spill, removed on drop on every
 //!   path (success, error, and worker panic — the scheduler contains
 //!   panics, so the governor's `Drop` always runs).
+//! * [`GlobalMemory`] — the machine-wide pool of a shared
+//!   [`EngineRuntime`](crate::runtime::EngineRuntime). Each query's
+//!   governor is then built from a [`MemoryGrant`] carved out of the
+//!   pool's unpromised remainder (capped by the query's own
+//!   `mem_budget`), so the sum of per-query budgets never exceeds the
+//!   machine budget — and because `over_budget` still compares only the
+//!   query's own resident bytes against its own grant, pressure in one
+//!   query spills *its* state, never a neighbor's.
 //! * `file` — spill files: length-framed records in the existing wire
 //!   encoding ([`strato_record::wire`]), written/read through buffered
 //!   file IO. A `file::SortedRun` is one file of records in
@@ -55,5 +63,5 @@ pub mod governor;
 pub mod merge;
 
 pub use file::{RunReader, SortedRun};
-pub use governor::MemoryGovernor;
+pub use governor::{GlobalMemory, MemoryGovernor, MemoryGrant};
 pub use merge::{merge_runs, LoserTree};

@@ -91,7 +91,8 @@ impl RecordBatch {
     ///
     /// # Panics
     /// Panics on a columnar batch — columnar batches are assembled
-    /// through [`BatchBuilder`] and immutable afterwards.
+    /// through [`BatchBuilder`](crate::columns::BatchBuilder) and
+    /// immutable afterwards.
     pub fn push(&mut self, r: Record) {
         match &mut self.repr {
             Repr::Rows(recs) => recs.push(r),

@@ -12,6 +12,7 @@
 //! provides (no strict FIFO) — acceptable at this queue depth.
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
 struct GateState {
@@ -55,7 +56,10 @@ impl Drop for Permit {
         let mut st = self.inner.state.lock().unwrap();
         st.running -= 1;
         drop(st);
-        self.inner.freed.notify_one();
+        // `notify_all`, not `notify_one`: besides queued queries, a
+        // draining shutdown may be parked on the same condvar, and waking
+        // only one waiter could hand the wakeup to the wrong party.
+        self.inner.freed.notify_all();
     }
 }
 
@@ -98,6 +102,37 @@ impl AdmissionGate {
     pub fn load(&self) -> (usize, usize) {
         let st = self.inner.state.lock().unwrap();
         (st.running, st.queued)
+    }
+
+    /// Seconds a shed client should wait before retrying (the `429`
+    /// response's `Retry-After` header): one second of slack plus one per
+    /// query already parked in the queue ahead of it.
+    pub fn retry_after_secs(&self) -> u64 {
+        let st = self.inner.state.lock().unwrap();
+        1 + st.queued as u64
+    }
+
+    /// Blocks until every admitted **and** queued query has finished (the
+    /// gate is fully idle) or `timeout` elapses. Returns `true` when the
+    /// gate drained. Used by graceful shutdown: after the accept loop
+    /// stops, no new queries can arrive, so an idle gate means every
+    /// in-flight response has been written and flushed (permits are held
+    /// through response streaming).
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        while st.running > 0 || st.queued > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, timed_out) = self.inner.freed.wait_timeout(st, deadline - now).unwrap();
+            st = next;
+            if timed_out.timed_out() && (st.running > 0 || st.queued > 0) {
+                return false;
+            }
+        }
+        true
     }
 
     fn permit(&self) -> Permit {
@@ -163,5 +198,42 @@ mod tests {
     fn zero_concurrency_is_clamped_to_one() {
         let gate = AdmissionGate::new(0, 0);
         assert!(matches!(gate.admit(), Admission::Admitted(_)));
+    }
+
+    #[test]
+    fn retry_after_grows_with_the_queue() {
+        let gate = AdmissionGate::new(1, 2);
+        assert_eq!(gate.retry_after_secs(), 1, "idle gate: minimal backoff");
+        let _p = gate.admit();
+        let _waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = gate.clone();
+                std::thread::spawn(move || drop(gate.admit()))
+            })
+            .collect();
+        while gate.load().1 < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(gate.retry_after_secs(), 3, "one second per queued query");
+    }
+
+    #[test]
+    fn drain_waits_for_permits_and_times_out_while_held() {
+        let gate = AdmissionGate::new(1, 0);
+        assert!(gate.drain(Duration::ZERO), "idle gate drains instantly");
+        let p = match gate.admit() {
+            Admission::Admitted(p) => p,
+            Admission::Rejected => panic!("admit"),
+        };
+        assert!(
+            !gate.drain(Duration::from_millis(10)),
+            "held permit blocks the drain"
+        );
+        let t = {
+            let gate = gate.clone();
+            std::thread::spawn(move || gate.drain(Duration::from_secs(10)))
+        };
+        drop(p);
+        assert!(t.join().unwrap(), "drain completes once the permit drops");
     }
 }

@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! strato-serve [--addr HOST:PORT] [--max-concurrent N] [--queue-depth N]
+//!              [--workers N] [--mem-budget BYTES]
 //! ```
+//!
+//! `--workers` and `--mem-budget` size the **shared engine runtime**: one
+//! worker pool and one memory budget divided across all concurrent
+//! queries (they are machine-wide totals, not per-query limits).
 
 use std::process::ExitCode;
 use strato_server::{Server, ServerConfig};
@@ -38,10 +43,14 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-const USAGE: &str = "usage: strato-serve [--addr HOST:PORT] [--max-concurrent N] [--queue-depth N]
+const USAGE: &str = "usage: strato-serve [--addr HOST:PORT] [--max-concurrent N] [--queue-depth N] [--workers N] [--mem-budget BYTES]
   --addr            listen address (default 127.0.0.1:8464; port 0 binds ephemerally)
   --max-concurrent  queries executing at once (default 4)
-  --queue-depth     queries allowed to wait before 429 (default 16)";
+  --queue-depth     queries allowed to wait before 429 (default 16)
+  --workers         threads in the shared engine pool all queries run on
+                    (default: available parallelism)
+  --mem-budget      machine-wide memory budget in bytes shared by all
+                    concurrent queries (default 384 MiB)";
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<ServerConfig>, String> {
     let mut config = ServerConfig::default();
@@ -60,6 +69,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<ServerConfig>
             }
             "--queue-depth" => {
                 config.queue_depth = parse_count(args.next(), "--queue-depth")?;
+            }
+            "--workers" => {
+                config.workers = Some(parse_count(args.next(), "--workers")?);
+            }
+            "--mem-budget" => {
+                config.mem_budget = Some(parse_count(args.next(), "--mem-budget")? as u64);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

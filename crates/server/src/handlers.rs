@@ -4,15 +4,18 @@
 //! `POST /v1/query` is the main entry point. Its life cycle:
 //!
 //! 1. **admission** — take a token from the [`AdmissionGate`] (or answer
-//!    `429` immediately when bucket and queue are both full),
+//!    `429` immediately — with a queue-depth-derived `Retry-After`
+//!    header — when bucket and queue are both full),
 //! 2. **decode** — parse the JSON body (`400` on syntax errors), decode
 //!    the flow/inputs/options (`422` on shape errors), compile the
 //!    [`FlowSpec`](strato_dataflow::spec::FlowSpec) into a bound plan
 //!    (`422` on structural errors),
 //! 3. **optimize** — run the full enumerate-and-cost optimizer at the
 //!    requested degree of parallelism,
-//! 4. **execute** — run the chosen physical plan on the worker pool with
-//!    the request's [`ExecOptions`](strato_exec::ExecOptions) overrides,
+//! 4. **execute** — run the chosen physical plan on the server's shared
+//!    [`EngineRuntime`] (one worker pool and one memory budget across all
+//!    concurrent queries) with the request's
+//!    [`ExecOptions`](strato_exec::ExecOptions) overrides,
 //! 5. **respond** — stream result rows back in canonical order as a
 //!    chunked JSON body, closing with the execution statistics, and fold
 //!    those statistics into the server's `/metrics` registry.
@@ -22,14 +25,16 @@
 
 use crate::admission::{Admission, AdmissionGate};
 use crate::decode::{decode_query, value_to_json};
-use crate::http::{read_request, write_response, ChunkedWriter, HttpError, Request};
+use crate::http::{
+    read_request, write_response, write_response_with, ChunkedWriter, HttpError, Request,
+};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use std::net::TcpStream;
 use std::sync::Arc;
 use strato_core::Optimizer;
 use strato_dataflow::PropertyMode;
-use strato_exec::{execute_with, ExecStats};
+use strato_exec::{EngineRuntime, ExecStats, RuntimeOptions};
 use strato_record::DataSet;
 
 /// Result rows per HTTP chunk of a query response.
@@ -42,15 +47,33 @@ pub struct AppState {
     pub gate: AdmissionGate,
     /// The cumulative metrics registry behind `GET /metrics`.
     pub metrics: Arc<Metrics>,
+    /// The shared engine runtime every admitted query executes on: one
+    /// worker pool and one memory budget across all concurrent queries.
+    pub runtime: Arc<EngineRuntime>,
 }
 
 impl AppState {
     /// State for a gate of `max_concurrent` tokens and `queue_depth`
-    /// waiting slots.
+    /// waiting slots, executing on a default-configured shared runtime.
     pub fn new(max_concurrent: usize, queue_depth: usize) -> Self {
+        AppState::with_runtime(
+            max_concurrent,
+            queue_depth,
+            Arc::new(EngineRuntime::new(RuntimeOptions::default())),
+        )
+    }
+
+    /// State executing on a caller-provided shared runtime (how the
+    /// server's `--workers`/`--mem-budget` flags reach the engine).
+    pub fn with_runtime(
+        max_concurrent: usize,
+        queue_depth: usize,
+        runtime: Arc<EngineRuntime>,
+    ) -> Self {
         AppState {
             gate: AdmissionGate::new(max_concurrent, queue_depth),
             metrics: Arc::new(Metrics::new()),
+            runtime,
         }
     }
 }
@@ -80,7 +103,9 @@ fn dispatch(stream: &mut TcpStream, req: &Request, state: &AppState) -> std::io:
         ("POST", "/v1/query") => handle_query(stream, req, state),
         ("GET", "/metrics") => {
             let (running, queued) = state.gate.load();
-            let body = state.metrics.render(running, queued);
+            let body = state
+                .metrics
+                .render(running, queued, &state.runtime.snapshot());
             write_response(stream, 200, "text/plain; version=0.0.4", body.as_bytes())
         }
         ("GET", "/healthz") => write_response(stream, 200, "text/plain", b"ok"),
@@ -99,7 +124,21 @@ fn handle_query(stream: &mut TcpStream, req: &Request, state: &AppState) -> std:
         Admission::Admitted(permit) => permit,
         Admission::Rejected => {
             state.metrics.record_rejected();
-            return error_response(stream, 429, "server saturated, retry later");
+            // Tell the client when capacity is likely back: the deeper
+            // the queue, the longer the suggested backoff.
+            let retry_after = state.gate.retry_after_secs().to_string();
+            let body = Json::Obj(vec![(
+                "error".to_string(),
+                Json::Str("server saturated, retry later".to_string()),
+            )])
+            .to_string();
+            return write_response_with(
+                stream,
+                429,
+                "application/json",
+                body.as_bytes(),
+                &[("retry-after", &retry_after)],
+            );
         }
     };
 
@@ -135,7 +174,7 @@ fn handle_query(stream: &mut TcpStream, req: &Request, state: &AppState) -> std:
     let best = Optimizer::new(PropertyMode::Sca)
         .with_dop(query.dop)
         .best(&plan);
-    let (out, stats) = match execute_with(
+    let (out, stats) = match state.runtime.execute_with(
         &best.plan,
         &best.phys,
         &query.inputs,

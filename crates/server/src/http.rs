@@ -189,14 +189,31 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_with(stream, status, content_type, body, &[])
+}
+
+/// Writes a complete fixed-length response with extra headers (name,
+/// value) appended after the standard set — how the 429 path attaches
+/// `Retry-After`.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
         status,
         reason(status),
         content_type,
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -355,6 +372,28 @@ mod tests {
             },
             |c| {
                 c.shutdown(std::net::Shutdown::Write).unwrap();
+            },
+        );
+    }
+
+    #[test]
+    fn extra_headers_ride_along() {
+        pair(
+            |s| {
+                let _ = read_request(s).unwrap();
+                write_response_with(s, 429, "application/json", b"{}", &[("retry-after", "3")])
+                    .unwrap();
+            },
+            |c| {
+                c.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+                let mut out = String::new();
+                c.read_to_string(&mut out).unwrap();
+                assert!(
+                    out.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+                    "{out}"
+                );
+                assert!(out.contains("\r\nretry-after: 3\r\n"), "{out}");
+                assert!(out.ends_with("\r\n\r\n{}"), "{out}");
             },
         );
     }

@@ -19,7 +19,17 @@
 //!
 //! Admission is controlled by a token-bucket gate: at most
 //! `max_concurrent` queries execute at once, at most `queue_depth` more
-//! wait, and everything beyond that is answered `429` immediately.
+//! wait, and everything beyond that is answered `429` immediately — with
+//! a `Retry-After` header sized to the current queue depth.
+//!
+//! Admitted queries all execute on **one shared
+//! [`EngineRuntime`](strato_exec::EngineRuntime)**: a single worker pool
+//! scheduling task steps round-robin across in-flight queries, and a
+//! single machine-wide memory budget their per-query grants are carved
+//! from ([`ServerConfig::workers`](server::ServerConfig) /
+//! `ServerConfig::mem_budget`, the bin's `--workers`/`--mem-budget`).
+//! Shutdown drains in-flight queries for a bounded grace period before
+//! returning, so accepted queries finish streaming their responses.
 //!
 //! The build environment is offline, so the crate is dependency-free in
 //! the spirit of the vendored shims under `crates/shims/`: JSON codec

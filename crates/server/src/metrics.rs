@@ -8,6 +8,13 @@
 //!   over completed queries, plus per-operator series (UDF calls, emitted
 //!   records, task nanoseconds, spill activity) labelled by operator name.
 //!
+//! A scrape additionally renders the shared [`EngineRuntime`]'s
+//! point-in-time gauges (`strato_pool_*`, `strato_mem_*`, and per-query
+//! `strato_query_queued_tasks`) from the [`RuntimeSnapshot`] the handler
+//! takes at scrape time — these live in the runtime, not the registry.
+//!
+//! [`EngineRuntime`]: strato_exec::EngineRuntime
+//!
 //! Rendering follows the Prometheus text exposition format, version
 //! `0.0.4`: `# HELP`/`# TYPE` preambles, `_total` suffixes on counters,
 //! escaped label values.
@@ -15,7 +22,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use strato_exec::{ExecStats, OpSnapshot};
+use strato_exec::{ExecStats, OpSnapshot, RuntimeSnapshot};
 
 /// Per-operator accumulation across queries, keyed by operator name.
 #[derive(Debug, Default, Clone, Copy)]
@@ -135,8 +142,9 @@ impl Metrics {
     }
 
     /// Renders the registry in Prometheus text exposition format.
-    /// `in_flight`/`queued` come from the admission gate at scrape time.
-    pub fn render(&self, in_flight: usize, queued: usize) -> String {
+    /// `in_flight`/`queued` come from the admission gate and `rt` from the
+    /// shared runtime, both read at scrape time.
+    pub fn render(&self, in_flight: usize, queued: usize, rt: &RuntimeSnapshot) -> String {
         let mut out = String::with_capacity(4096);
         let mut gauge = |name: &str, help: &str, v: u64| {
             out.push_str(&format!(
@@ -153,6 +161,62 @@ impl Metrics {
             "Queries parked in the admission queue.",
             queued as u64,
         );
+        gauge(
+            "strato_pool_workers",
+            "Worker threads in the shared engine pool.",
+            rt.workers as u64,
+        );
+        gauge(
+            "strato_pool_busy_workers",
+            "Pool workers currently executing a task step.",
+            rt.busy_workers as u64,
+        );
+        gauge(
+            "strato_pool_active_queries",
+            "Queries currently registered with the shared pool.",
+            rt.active_queries as u64,
+        );
+        gauge(
+            "strato_pool_queued_tasks",
+            "Ready task steps across all registered queries.",
+            rt.queued_tasks as u64,
+        );
+        gauge(
+            "strato_mem_budget_bytes",
+            "Machine-wide memory budget of the shared pool (0 = unbounded).",
+            rt.mem_budget.unwrap_or(0),
+        );
+        gauge(
+            "strato_mem_granted_bytes",
+            "Bytes promised to in-flight queries' memory grants.",
+            rt.mem_granted,
+        );
+        gauge(
+            "strato_mem_resident_bytes",
+            "Bytes currently buffered across all queries.",
+            rt.mem_resident,
+        );
+        gauge(
+            "strato_mem_peak_resident_bytes",
+            "High-water mark of resident bytes across all queries.",
+            rt.mem_peak_resident,
+        );
+        if !rt.per_query_queued.is_empty() {
+            out.push_str(
+                "# HELP strato_query_queued_tasks Ready task steps per registered query.\n\
+                 # TYPE strato_query_queued_tasks gauge\n",
+            );
+            for (id, ready) in &rt.per_query_queued {
+                out.push_str(&format!(
+                    "strato_query_queued_tasks{{query=\"q{id}\"}} {ready}\n"
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "# HELP strato_pool_tasks_total Task steps executed by the shared pool.\n\
+             # TYPE strato_pool_tasks_total counter\nstrato_pool_tasks_total {}\n",
+            rt.tasks_executed
+        ));
 
         let counters: [(&str, &str, u64); 16] = [
             (
@@ -320,9 +384,42 @@ mod tests {
         stats.total_cells.fetch_add(40, Ordering::Relaxed);
         m.record_query(&stats, &["scan\"s".into(), "sum".into()]);
 
-        let text = m.render(1, 2);
+        let rt = RuntimeSnapshot {
+            workers: 4,
+            busy_workers: 1,
+            active_queries: 2,
+            queued_tasks: 7,
+            tasks_executed: 99,
+            mem_budget: Some(1024),
+            mem_granted: 256,
+            mem_resident: 128,
+            mem_peak_resident: 512,
+            per_query_queued: vec![(3, 5), (4, 2)],
+            ..RuntimeSnapshot::default()
+        };
+        let text = m.render(1, 2, &rt);
         assert!(text.contains("strato_queries_in_flight 1\n"), "{text}");
         assert!(text.contains("strato_queries_queued 2\n"), "{text}");
+        assert!(text.contains("strato_pool_workers 4\n"), "{text}");
+        assert!(text.contains("strato_pool_busy_workers 1\n"), "{text}");
+        assert!(text.contains("strato_pool_active_queries 2\n"), "{text}");
+        assert!(text.contains("strato_pool_queued_tasks 7\n"), "{text}");
+        assert!(text.contains("strato_pool_tasks_total 99\n"), "{text}");
+        assert!(text.contains("strato_mem_budget_bytes 1024\n"), "{text}");
+        assert!(text.contains("strato_mem_granted_bytes 256\n"), "{text}");
+        assert!(text.contains("strato_mem_resident_bytes 128\n"), "{text}");
+        assert!(
+            text.contains("strato_mem_peak_resident_bytes 512\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("strato_query_queued_tasks{query=\"q3\"} 5\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("strato_query_queued_tasks{query=\"q4\"} 2\n"),
+            "{text}"
+        );
         assert!(text.contains("strato_queries_completed_total 1\n"));
         assert!(text.contains("strato_queries_errored_total 1\n"));
         assert!(text.contains("strato_queries_rejected_total 1\n"));
@@ -353,7 +450,7 @@ mod tests {
         m.record_query(&ExecStats::with_ops(1), &["sum".into()]);
         m.fold_named_ops(&[("sum".into(), snap), ("sum".into(), snap)]);
         assert_eq!(m.completed(), 2);
-        let text = m.render(0, 0);
+        let text = m.render(0, 0, &RuntimeSnapshot::default());
         assert!(
             text.contains("strato_op_task_nanos_total{op=\"sum\"} 10\n"),
             "{text}"
@@ -364,7 +461,11 @@ mod tests {
     fn no_per_op_series_without_slots() {
         let m = Metrics::new();
         m.record_query(&ExecStats::new(), &[]);
-        let text = m.render(0, 0);
+        let text = m.render(0, 0, &RuntimeSnapshot::default());
         assert!(!text.contains("strato_op_"), "{text}");
+        assert!(
+            !text.contains("strato_query_queued_tasks"),
+            "no per-query series without registered queries: {text}"
+        );
     }
 }

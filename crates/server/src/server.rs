@@ -10,6 +10,16 @@
 //! [`Server::spawn`] runs the loop on a background thread and returns a
 //! [`ServerHandle`] with the bound address and a shutdown switch — the
 //! shape integration tests need (bind port 0, query it, shut down).
+//! Shutdown is **graceful**: after the accept loop stops, the handle
+//! drains the admission gate for a bounded grace period, so in-flight
+//! queries finish streaming their responses instead of being cut off
+//! mid-body ([`ServerHandle::shutdown_within`] makes the grace explicit).
+//!
+//! Every query a server admits executes on one shared
+//! [`EngineRuntime`] created at [`Server::bind`] — the
+//! [`ServerConfig::workers`] pool and [`ServerConfig::mem_budget`] bytes
+//! are machine-wide totals divided across concurrent queries, not
+//! per-query multipliers.
 //!
 //! [`AdmissionGate`]: crate::admission::AdmissionGate
 
@@ -20,6 +30,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+use strato_exec::{EngineRuntime, RuntimeOptions};
+
+/// Grace period [`ServerHandle::shutdown`] gives in-flight queries to
+/// finish before giving up on the drain.
+const DEFAULT_SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
 /// Server configuration (the bin's flags map onto this 1:1).
 #[derive(Debug, Clone)]
@@ -31,6 +47,12 @@ pub struct ServerConfig {
     /// Queries allowed to wait for an execution token before new arrivals
     /// are answered `429`.
     pub queue_depth: usize,
+    /// Worker threads in the shared engine pool all queries execute on
+    /// (`None` = the machine's available parallelism).
+    pub workers: Option<usize>,
+    /// Machine-wide memory budget in bytes shared by every concurrent
+    /// query (`None` = the engine's default global budget).
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +61,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:8464".to_string(),
             max_concurrent: 4,
             queue_depth: 16,
+            workers: None,
+            mem_budget: None,
         }
     }
 }
@@ -51,13 +75,22 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listen socket. The admission gate and metrics registry
-    /// are created here, so [`Server::state`] is observable before (and
-    /// during) serving.
+    /// Binds the listen socket. The admission gate, metrics registry and
+    /// shared engine runtime are created here, so [`Server::state`] is
+    /// observable before (and during) serving.
     pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        let runtime = EngineRuntime::new(RuntimeOptions {
+            workers: config.workers,
+            mem_budget: config.mem_budget.or(RuntimeOptions::default().mem_budget),
+            ..RuntimeOptions::default()
+        });
         Ok(Server {
             listener: TcpListener::bind(&config.addr)?,
-            state: AppState::new(config.max_concurrent, config.queue_depth),
+            state: AppState::with_runtime(
+                config.max_concurrent,
+                config.queue_depth,
+                Arc::new(runtime),
+            ),
         })
     }
 
@@ -90,7 +123,7 @@ impl Server {
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let metrics = Arc::clone(&self.state.metrics);
+        let state = self.state.clone();
         let thread = {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
@@ -108,7 +141,7 @@ impl Server {
             addr,
             stop,
             thread: Some(thread),
-            metrics,
+            state,
         })
     }
 }
@@ -123,7 +156,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
-    metrics: Arc<Metrics>,
+    state: AppState,
 }
 
 impl ServerHandle {
@@ -134,12 +167,33 @@ impl ServerHandle {
 
     /// The server's metrics registry (for assertions without a scrape).
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        &self.state.metrics
     }
 
-    /// Stops the accept loop and joins the server thread. In-flight
-    /// connection handlers finish on their own threads.
-    pub fn shutdown(mut self) {
+    /// The shared per-server state (gate, metrics, engine runtime).
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// Stops the accept loop and **drains in-flight queries**: admitted
+    /// and queued queries get a default 5-second grace to finish — and
+    /// since execution permits are held until the response is flushed, a
+    /// drained gate means every accepted query got its full answer.
+    pub fn shutdown(self) {
+        self.shutdown_within(DEFAULT_SHUTDOWN_GRACE);
+    }
+
+    /// [`ServerHandle::shutdown`] with an explicit grace period. Returns
+    /// `true` when every in-flight query finished within `grace`, `false`
+    /// when the drain timed out (handler threads then finish detached).
+    pub fn shutdown_within(mut self, grace: Duration) -> bool {
+        self.stop_accepting();
+        self.state.gate.drain(grace)
+    }
+
+    /// Stops the accept loop and joins the server thread; no new
+    /// connections are handled after this returns.
+    fn stop_accepting(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept call with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -151,10 +205,9 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if let Some(t) = self.thread.take() {
-            self.stop.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(self.addr);
-            let _ = t.join();
+        if self.thread.is_some() {
+            self.stop_accepting();
+            self.state.gate.drain(DEFAULT_SHUTDOWN_GRACE);
         }
     }
 }

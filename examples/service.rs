@@ -17,6 +17,7 @@ fn main() {
         addr: "127.0.0.1:0".to_string(),
         max_concurrent: 2,
         queue_depth: 4,
+        ..ServerConfig::default()
     };
     let handle = Server::bind(&config).expect("bind").spawn().expect("spawn");
     println!("serving on http://{}", handle.addr());

@@ -1,0 +1,218 @@
+//! End-to-end tests of the shared engine runtime: many concurrent
+//! queries on **one** worker pool and **one** machine-wide memory budget.
+//!
+//! The central guarantees, pinned here:
+//!
+//! * every concurrently submitted query is **byte-identical** to the same
+//!   query run serially (standalone pool) and to the logical oracle —
+//!   sharing workers and memory is invisible in results,
+//! * the global pool bounds resident memory: grants are carved from one
+//!   budget, so the peak resident bytes across all queries stay within
+//!   the budget plus a small per-query batch slack — starvation shows up
+//!   as *spilling*, never as oversubscription,
+//! * per-operator statistics stay attributed to the right query even
+//!   though pool workers interleave task steps from different queries.
+
+use strato::core::cost::CostWeights;
+use strato::core::physical::best_physical;
+use strato::core::{PhysPlan, PropTable};
+use strato::dataflow::{CostHints, Plan, ProgramBuilder, PropertyMode, SourceDef};
+use strato::exec::{
+    execute_logical, execute_with, EngineRuntime, ExecOptions, Inputs, RuntimeOptions,
+};
+use strato::record::{DataSet, Record, Value};
+use strato::workloads::udfs;
+
+/// One grouped-aggregation query: `rows` (k, v) records, summed per key.
+/// `seed` varies the data so concurrent queries are distinguishable.
+fn grouped_sum(rows: i64, seed: i64) -> (Plan, PhysPlan, Inputs) {
+    let mut p = ProgramBuilder::new();
+    let s = p.source(SourceDef::new("s", &["k", "v"], rows as u64));
+    let g = p.reduce(
+        "agg",
+        &[0],
+        udfs::sum_group_inplace(2, 1),
+        CostHints::default().with_distinct_keys(7),
+        s,
+    );
+    let plan = p.finish(g).unwrap().bind().unwrap();
+    let props = PropTable::build(&plan, PropertyMode::Sca);
+    let phys = best_physical(&plan, &props, &CostWeights::default(), 2);
+    let ds: DataSet = (0..rows)
+        .map(|i| {
+            Record::from_values([
+                Value::Int((i * (seed + 3)) % 7),
+                Value::Int((i * 13 + seed) % 101 - 50),
+            ])
+        })
+        .collect();
+    let mut inputs = Inputs::new();
+    inputs.insert("s".into(), ds);
+    (plan, phys, inputs)
+}
+
+#[test]
+fn concurrent_queries_on_a_starved_pool_match_serial_oracles() {
+    const K: usize = 4;
+    // A global budget far below the queries' combined working set: later
+    // grants shrink toward zero, so some queries must spill everything.
+    const GLOBAL_BUDGET: u64 = 24 * 1024;
+    const PER_QUERY_CAP: u64 = 16 * 1024;
+    // Per-query overshoot allowance: operators check the budget *after*
+    // absorbing a batch, so each query may sit one small batch above its
+    // grant at the instant of the check.
+    const PER_QUERY_SLACK: u64 = 16 * 1024;
+
+    let queries: Vec<_> = (0..K as i64).map(|s| grouped_sum(600, s)).collect();
+    let opts = ExecOptions {
+        batch_size: 32,
+        mem_budget: Some(PER_QUERY_CAP),
+        ..ExecOptions::default()
+    };
+
+    // Serial references: the standalone engine (its own pool, its own
+    // budget) and the single-partition logical oracle.
+    let references: Vec<DataSet> = queries
+        .iter()
+        .map(|(plan, phys, inputs)| {
+            let (out, _) = execute_with(plan, phys, inputs, 2, &opts).expect("serial run");
+            let (oracle, _) = execute_logical(plan, inputs).expect("oracle");
+            assert_eq!(out.sorted(), oracle.sorted(), "serial matches the oracle");
+            out
+        })
+        .collect();
+
+    let rt = EngineRuntime::new(RuntimeOptions {
+        workers: Some(3),
+        mem_budget: Some(GLOBAL_BUDGET),
+        ..RuntimeOptions::default()
+    });
+
+    // All K queries in flight at once on the shared pool.
+    let results: Vec<(DataSet, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|(plan, phys, inputs)| {
+                let opts = &opts;
+                let rt = &rt;
+                scope.spawn(move || {
+                    let (out, stats) = rt
+                        .execute_with(plan, phys, inputs, 2, opts)
+                        .expect("concurrent run");
+                    (out, stats.totals().spill_runs)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut total_spill_runs = 0;
+    for (i, ((out, spill_runs), reference)) in results.iter().zip(&references).enumerate() {
+        assert_eq!(
+            out, reference,
+            "query {i}: concurrent result must be byte-identical to serial"
+        );
+        total_spill_runs += spill_runs;
+    }
+    assert!(
+        total_spill_runs > 0,
+        "a starved global budget must force real spills"
+    );
+
+    // The pool held the machine-wide line: every query's grant came out
+    // of one budget, and resident bytes never exceeded it by more than
+    // the per-query batch slack.
+    let snap = rt.snapshot();
+    assert!(
+        snap.mem_peak_resident <= GLOBAL_BUDGET + K as u64 * PER_QUERY_SLACK,
+        "peak resident {} exceeds budget {} + slack",
+        snap.mem_peak_resident,
+        GLOBAL_BUDGET
+    );
+    assert_eq!(snap.mem_granted, 0, "all grants returned");
+    assert_eq!(snap.mem_resident, 0, "all operator state released");
+    assert_eq!(snap.queries_finished, K as u64);
+}
+
+#[test]
+fn per_op_stats_stay_attributed_to_their_query_under_interleaving() {
+    // Two queries with different shapes run concurrently on a 2-worker
+    // pool, so workers interleave task steps from both. Each query's
+    // per-operator calls/emits must equal its own serial run exactly —
+    // no cross-query bleed — and step time must land somewhere.
+    let a = grouped_sum(400, 1);
+    let b = {
+        let mut p = ProgramBuilder::new();
+        let s = p.source(SourceDef::new("s", &["k", "v"], 300));
+        let m = p.map(
+            "keep",
+            udfs::filter_range(2, 1, -10, 1000),
+            CostHints::selectivity(0.8),
+            s,
+        );
+        let g = p.reduce(
+            "agg",
+            &[0],
+            udfs::sum_group_inplace(2, 1),
+            CostHints::default().with_distinct_keys(5),
+            m,
+        );
+        let plan = p.finish(g).unwrap().bind().unwrap();
+        let props = PropTable::build(&plan, PropertyMode::Sca);
+        let phys = best_physical(&plan, &props, &CostWeights::default(), 2);
+        let ds: DataSet = (0..300)
+            .map(|i| Record::from_values([Value::Int(i % 5), Value::Int((i * 11) % 61 - 30)]))
+            .collect();
+        let mut inputs = Inputs::new();
+        inputs.insert("s".into(), ds);
+        (plan, phys, inputs)
+    };
+    let opts = ExecOptions::default();
+
+    // Serial per-op references.
+    let serial: Vec<Vec<(u64, u64)>> = [&a, &b]
+        .iter()
+        .map(|(plan, phys, inputs)| {
+            let (_, stats) = execute_with(plan, phys, inputs, 2, &opts).expect("serial");
+            stats
+                .op_snapshots()
+                .iter()
+                .map(|s| (s.calls, s.emits))
+                .collect()
+        })
+        .collect();
+
+    let rt = EngineRuntime::new(RuntimeOptions {
+        workers: Some(2),
+        ..RuntimeOptions::default()
+    });
+    for _ in 0..3 {
+        let snaps: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = [&a, &b]
+                .iter()
+                .map(|(plan, phys, inputs)| {
+                    let opts = &opts;
+                    let rt = &rt;
+                    scope.spawn(move || {
+                        let (_, stats) = rt
+                            .execute_with(plan, phys, inputs, 2, opts)
+                            .expect("concurrent run");
+                        stats.op_snapshots()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (q, (snap, reference)) in snaps.iter().zip(&serial).enumerate() {
+            let got: Vec<(u64, u64)> = snap.iter().map(|s| (s.calls, s.emits)).collect();
+            assert_eq!(
+                &got, reference,
+                "query {q}: per-op calls/emits must match its serial run exactly"
+            );
+            assert!(
+                snap.iter().map(|s| s.nanos).sum::<u64>() > 0,
+                "query {q}: task step time must be attributed to its own ops"
+            );
+        }
+    }
+}

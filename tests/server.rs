@@ -23,6 +23,7 @@ fn boot(max_concurrent: usize, queue_depth: usize) -> strato::server::ServerHand
         addr: "127.0.0.1:0".to_string(),
         max_concurrent,
         queue_depth,
+        ..ServerConfig::default()
     };
     Server::bind(&config).expect("bind").spawn().expect("spawn")
 }
@@ -170,7 +171,68 @@ fn served_query_matches_direct_execution_byte_for_byte() {
         );
     }
 
+    // The scrape exposes the shared runtime's pool and memory gauges.
+    assert!(
+        metric(&scrape, "strato_pool_workers").unwrap() > 0,
+        "{scrape}"
+    );
+    assert!(
+        metric(&scrape, "strato_pool_tasks_total").unwrap() > 0,
+        "the query ran on the shared pool: {scrape}"
+    );
+    assert_eq!(metric(&scrape, "strato_pool_active_queries"), Some(0));
+    assert_eq!(metric(&scrape, "strato_mem_granted_bytes"), Some(0));
+
     handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_queries() {
+    let slow_body = r#"{
+      "flow": {
+        "op": {"name": "extract", "kind": "map",
+               "udf": {"fn": "burn", "field": 0, "units": 500000}},
+        "inputs": [{"source": {"name": "s", "fields": ["x"], "est_rows": 8}}]
+      },
+      "inputs": {"s": [[0],[1],[2],[3],[4],[5],[6],[7]]}
+    }"#;
+    let wait_in_flight = |handle: &strato::server::ServerHandle| {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while handle.state().gate.load().0 == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "slow query never became in-flight"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    };
+
+    // Zero grace: the drain reports failure while the query holds its
+    // permit — but the handler thread still finishes detached, so the
+    // client gets its full response anyway.
+    let handle = boot(1, 0);
+    let addr = handle.addr();
+    let slow = std::thread::spawn(move || client::post_json(addr, "/v1/query", slow_body));
+    wait_in_flight(&handle);
+    assert!(
+        !handle.shutdown_within(std::time::Duration::ZERO),
+        "zero grace cannot drain a busy gate"
+    );
+    let response = slow.join().expect("join").expect("slow query");
+    assert_eq!(response.status, 200, "{}", response.text());
+
+    // Generous grace: shutdown blocks until the in-flight query finished
+    // streaming its response (the permit is held until the flush).
+    let handle = boot(1, 0);
+    let addr = handle.addr();
+    let slow = std::thread::spawn(move || client::post_json(addr, "/v1/query", slow_body));
+    wait_in_flight(&handle);
+    assert!(
+        handle.shutdown_within(std::time::Duration::from_secs(30)),
+        "drain must complete once the query finishes"
+    );
+    let response = slow.join().expect("join").expect("slow query");
+    assert_eq!(response.status, 200, "{}", response.text());
 }
 
 #[test]
@@ -214,6 +276,12 @@ fn admission_gate_sheds_load_with_429() {
     let rejected = client::post_json(addr, "/v1/query", tiny_body).expect("request");
     assert_eq!(rejected.status, 429, "{}", rejected.text());
     assert!(rejected.text().contains("error"));
+    // With an empty queue the suggested backoff is the minimal 1 second.
+    assert_eq!(
+        rejected.header("retry-after"),
+        Some("1"),
+        "429 must carry a queue-depth-derived Retry-After"
+    );
 
     // The slow query still completes fine.
     let slow_response = slow.join().expect("join").expect("slow query");
