@@ -212,6 +212,37 @@ fn bench_engine(c: &mut Criterion) {
     });
     g3.finish();
 
+    // Tracing overhead A/B: the same shuffle workload untraced and with
+    // a live recorder capturing every task/ship span. Pins the
+    // `ExecOptions::trace` overhead contract — one `Option` check when
+    // off, bounded lock-light recording when on — via bench-smoke's
+    // regression gate on both sides of the pair.
+    let mut g_tr = c.benchmark_group("engine_trace");
+    g_tr.sample_size(10);
+    g_tr.bench_function("shuffle_50k_dop4_untraced", |b| {
+        b.iter(|| {
+            let opts = strato_exec::ExecOptions::default();
+            strato_exec::execute_with(&sh_plan, &sh_phys, &sh_inputs, 4, &opts)
+                .unwrap()
+                .0
+                .len()
+        })
+    });
+    g_tr.bench_function("shuffle_50k_dop4_traced", |b| {
+        b.iter(|| {
+            let recorder = strato_exec::TraceRecorder::new(1);
+            let opts = strato_exec::ExecOptions {
+                trace: Some(recorder.clone()),
+                ..strato_exec::ExecOptions::default()
+            };
+            let (out, _) =
+                strato_exec::execute_with(&sh_plan, &sh_phys, &sh_inputs, 4, &opts).unwrap();
+            assert!(!recorder.spans().is_empty(), "bench must actually record");
+            out.len()
+        })
+    });
+    g_tr.finish();
+
     // Columnar kernels against the row-at-a-time reference, micro and
     // end-to-end. The micro pair isolates the vectorized key-hash kernel
     // on the shuffle workload's own 50k-row data; the e2e pair A/Bs the

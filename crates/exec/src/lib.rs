@@ -34,6 +34,12 @@
 //!   budget that per-query governors carve their grants from. The
 //!   single-query entry points below are the `runtime = None` special
 //!   case of the same scheduler — there is no second executor.
+//! * [`trace`] — opt-in end-to-end query tracing
+//!   ([`ExecOptions::trace`]): a lock-light per-worker span recorder fed
+//!   by the pipeline, ship, spill and runtime layers, rendered as Chrome
+//!   trace-event JSON ([`TraceRecorder::chrome_trace_json`]) or as an
+//!   estimate-vs-actual [`trace::explain_analyze`] report; plus the
+//!   log-bucketed [`LatencyHisto`] the server exports from `/metrics`.
 //!
 //! Two entry points (plus their [`EngineRuntime`] counterparts):
 //!
@@ -60,6 +66,7 @@ pub mod runtime;
 mod ship;
 pub mod spill;
 pub mod stats;
+pub mod trace;
 
 pub use engine::{execute, execute_logical, execute_logical_with, execute_with, ExecError, Inputs};
 pub use pipeline::{BatchLayout, ExecOptions};
@@ -67,6 +74,7 @@ pub use profile::{profile, profile_hints, sample_inputs, OpProfile};
 pub use runtime::{EngineRuntime, RuntimeOptions, RuntimeSnapshot};
 pub use spill::{GlobalMemory, MemoryGovernor, MemoryGrant};
 pub use stats::{ExecStats, OpSnapshot, StatsSnapshot};
+pub use trace::{explain_analyze, HistoSnapshot, LatencyHisto, Span, TraceRecorder};
 
 /// Shared IR builders for this crate's test modules.
 #[cfg(test)]

@@ -180,6 +180,15 @@ pub struct ExecOptions {
     /// Batch layout on the scan/shuffle hot paths (see [`BatchLayout`]).
     /// Columnar by default; `RowView` reproduces the row-at-a-time engine.
     pub layout: BatchLayout,
+    /// Span recorder for end-to-end query tracing
+    /// ([`crate::trace::TraceRecorder`]). `None` (the default) disables
+    /// tracing entirely: every instrumentation point reduces to one
+    /// `Option` check, so the untraced hot path stays unmeasurably close
+    /// to a build without the subsystem (pinned by the `engine_trace`
+    /// bench group). When set, the execution records task-step,
+    /// ship/scatter, spill-run, k-way-merge and memory-grant spans into
+    /// the recorder's bounded per-worker ring buffers.
+    pub trace: Option<std::sync::Arc<crate::trace::TraceRecorder>>,
 }
 
 impl Default for ExecOptions {
@@ -194,6 +203,7 @@ impl Default for ExecOptions {
             mem_budget: Some(strato_core::cost::DEFAULT_MEM_BUDGET_BYTES),
             spill_dir: None,
             layout: BatchLayout::default(),
+            trace: None,
         }
     }
 }
@@ -543,6 +553,12 @@ struct Sched<'e> {
     /// shared pool's workers scan it to pick the next query fairly.
     ready_hint: AtomicUsize,
     notify: Notify,
+    /// Span recorder when this execution is traced (`None` = tracing off,
+    /// see [`ExecOptions::trace`]).
+    trace: Option<Arc<crate::trace::TraceRecorder>>,
+    /// Degree of parallelism, for decoding task ids into
+    /// `stage × partition` span labels.
+    dop: usize,
 }
 
 impl Sched<'_> {
@@ -844,11 +860,21 @@ fn step(body: &mut TaskBody<'_>, sched: &Sched<'_>) -> Result<StepOutcome, ExecE
         match &mut body.out {
             Output::Sink => sched.sink.lock().unwrap().extend(scratch.drain(..)),
             Output::Route(r) => {
+                // Ship/scatter span: only for routers that move data across
+                // partitions, and only when this step produced something.
+                let ship_t0 = match &sched.trace {
+                    Some(tr) if r.ships() && !scratch.is_empty() => Some(tr.now_ns()),
+                    _ => None,
+                };
+                let routed = scratch.len() as u64;
                 for b in scratch.drain(..) {
                     r.route(b, &mut body.pending, sched.stats)?;
                 }
                 if produced_final {
                     r.finish(&mut body.pending);
+                }
+                if let (Some(t0), Some(tr)) = (ship_t0, &sched.trace) {
+                    tr.record("ship", "ship", t0, vec![("batches", routed)]);
                 }
             }
         }
@@ -894,6 +920,18 @@ impl ExecState<'_> {
             self.sched
                 .stats
                 .add_op_nanos(op, started.elapsed().as_nanos() as u64);
+        }
+        if let Some(tr) = &self.sched.trace {
+            // Task ids are stage-major: `stage * dop + partition`.
+            tr.record(
+                body.name,
+                "task",
+                tr.rel_ns(started),
+                vec![
+                    ("stage", (t / self.sched.dop) as u64),
+                    ("partition", (t % self.sched.dop) as u64),
+                ],
+            );
         }
         match result {
             Ok(Ok(StepOutcome::Done)) => self.sched.finish_task(t, &body.closes),
@@ -1013,9 +1051,15 @@ pub(crate) fn run_streaming(
     // them — its scoped spill directory disappears (and its grant returns
     // to the pool) on every exit path, including a worker panic surfaced
     // as `ExecError::Panic`.
-    let gov = match runtime {
-        Some(rt) => rt.governor_for(opts),
-        None => MemoryGovernor::with_budget_in(opts.mem_budget, opts.spill_dir.clone()),
+    let gov = {
+        let mut gov = match runtime {
+            Some(rt) => rt.governor_for(opts),
+            None => MemoryGovernor::with_budget_in(opts.mem_budget, opts.spill_dir.clone()),
+        };
+        // Spill-run and merge spans land in the same recorder as the task
+        // spans of the operators that triggered them.
+        gov.set_trace(opts.trace.clone());
+        gov
     };
 
     // Channel table: consumer stage × port × partition, ids matching the
@@ -1178,6 +1222,7 @@ pub(crate) fn run_streaming(
                             Output::Route(Box::new(Router::partition(
                                 base,
                                 dop,
+                                op_id,
                                 key,
                                 opts.batch_size,
                                 opts.validate_wire,
@@ -1185,7 +1230,7 @@ pub(crate) fn run_streaming(
                             (base..base + dop).collect(),
                         ),
                         Ship::Broadcast => (
-                            Output::Route(Box::new(Router::broadcast(base, dop))),
+                            Output::Route(Box::new(Router::broadcast(base, dop, op_id))),
                             (base..base + dop).collect(),
                         ),
                     }
@@ -1222,6 +1267,8 @@ pub(crate) fn run_streaming(
                 Some(rt) => Notify::Runtime(rt.shared_handle()),
                 None => Notify::Local,
             },
+            trace: opts.trace.clone(),
+            dop,
         },
         bodies,
     };

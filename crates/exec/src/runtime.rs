@@ -49,10 +49,13 @@ use crate::engine::{ExecError, Inputs};
 use crate::pipeline::{self, ExecOptions};
 use crate::spill::{GlobalMemory, MemoryGovernor};
 use crate::stats::ExecStats;
+use crate::trace::{HistoSnapshot, LatencyHisto};
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use strato_core::PhysPlan;
 use strato_dataflow::Plan;
 use strato_record::DataSet;
@@ -113,7 +116,18 @@ pub struct RuntimeSnapshot {
     pub mem_peak_resident: u64,
     /// `(query id, ready tasks)` per registered query.
     pub per_query_queued: Vec<(u64, usize)>,
+    /// Ids of recently finished queries, oldest first (bounded window of
+    /// [`RECENT_QUERIES`] — the metrics renderer uses it to terminate
+    /// per-query series without unbounded cardinality).
+    pub recent_queries: Vec<u64>,
+    /// Log-bucketed histogram of memory-grant carve waits (time spent
+    /// acquiring a [`MemoryGrant`](crate::spill::MemoryGrant) from the
+    /// shared pool, lock contention included).
+    pub grant_wait: HistoSnapshot,
 }
+
+/// Bound of the [`RuntimeSnapshot::recent_queries`] window.
+pub const RECENT_QUERIES: usize = 8;
 
 /// What the pool needs from a registered execution: how much runnable
 /// work it has, a way to run one cooperative step, and a way for the
@@ -160,6 +174,9 @@ struct RtSched {
     /// Round-robin position: the slot *after* the last one picked.
     cursor: usize,
     shutdown: bool,
+    /// Ids of recently deregistered queries, oldest first (bounded to
+    /// [`RECENT_QUERIES`]).
+    recent: VecDeque<u64>,
 }
 
 /// State shared between the pool's workers, submitters and observers.
@@ -172,6 +189,9 @@ pub(crate) struct RtShared {
     tasks_run: AtomicU64,
     queries_started: AtomicU64,
     queries_finished: AtomicU64,
+    /// Memory-grant carve wait times (see
+    /// [`RuntimeSnapshot::grant_wait`]).
+    grant_wait: LatencyHisto,
 }
 
 impl RtShared {
@@ -225,6 +245,7 @@ impl EngineRuntime {
                 slots: Vec::new(),
                 cursor: 0,
                 shutdown: false,
+                recent: VecDeque::new(),
             }),
             cv: Condvar::new(),
             memory: GlobalMemory::new(opts.mem_budget),
@@ -233,6 +254,7 @@ impl EngineRuntime {
             tasks_run: AtomicU64::new(0),
             queries_started: AtomicU64::new(0),
             queries_finished: AtomicU64::new(0),
+            grant_wait: LatencyHisto::new(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -257,7 +279,7 @@ impl EngineRuntime {
 
     /// Point-in-time pool and memory gauges.
     pub fn snapshot(&self) -> RuntimeSnapshot {
-        let (active, queued, per_query) = {
+        let (active, queued, per_query, recent) = {
             let sched = self.shared.sched.lock().unwrap();
             let mut per_query = Vec::new();
             let mut queued = 0usize;
@@ -266,7 +288,8 @@ impl EngineRuntime {
                 queued += ready;
                 per_query.push((s.query_id, ready));
             }
-            (per_query.len(), queued, per_query)
+            let recent: Vec<u64> = sched.recent.iter().copied().collect();
+            (per_query.len(), queued, per_query, recent)
         };
         RuntimeSnapshot {
             workers: self.shared.workers,
@@ -281,6 +304,8 @@ impl EngineRuntime {
             mem_resident: self.shared.memory.resident(),
             mem_peak_resident: self.shared.memory.peak_resident(),
             per_query_queued: per_query,
+            recent_queries: recent,
+            grant_wait: self.shared.grant_wait.snapshot(),
         }
     }
 
@@ -288,7 +313,20 @@ impl EngineRuntime {
     /// shared pool (capped by the query's own `mem_budget`).
     pub(crate) fn governor_for(&self, opts: &ExecOptions) -> MemoryGovernor {
         let base = opts.spill_dir.clone().or_else(|| self.spill_dir.clone());
-        MemoryGovernor::with_grant(self.shared.memory.carve(opts.mem_budget), base)
+        let t0 = Instant::now();
+        let grant = self.shared.memory.carve(opts.mem_budget);
+        self.shared
+            .grant_wait
+            .observe_ns(t0.elapsed().as_nanos() as u64);
+        if let Some(tr) = &opts.trace {
+            tr.record(
+                "mem-grant",
+                "mem",
+                tr.rel_ns(t0),
+                vec![("granted_bytes", grant.bytes().unwrap_or(0))],
+            );
+        }
+        MemoryGovernor::with_grant(grant, base)
     }
 
     /// Handle for the pipeline's wakeup path.
@@ -339,6 +377,13 @@ impl EngineRuntime {
                     break;
                 }
             }
+            // Remember the finished id in the bounded recently-completed
+            // window (how the metrics renderer terminates per-query series
+            // without leaking one series per query ever run).
+            if sched.recent.len() >= RECENT_QUERIES {
+                sched.recent.pop_front();
+            }
+            sched.recent.push_back(query_id);
         }
         let mut guard = pin.drained.lock().unwrap();
         while pin.active.load(Ordering::SeqCst) > 0 {

@@ -64,6 +64,9 @@ pub(crate) enum Router<'a> {
     Partition {
         first: usize,
         dop: usize,
+        /// Producing operator id for per-op ship attribution (`None` for
+        /// scan-fed edges without an operator slot).
+        op: Option<usize>,
         key: &'a [AttrId],
         /// Key attribute positions (for the columnar kernels).
         key_idx: Vec<usize>,
@@ -84,7 +87,12 @@ pub(crate) enum Router<'a> {
         dests: Vec<u32>,
     },
     /// Every consumer partition gets the same `Arc`'d batch.
-    Broadcast { first: usize, dop: usize },
+    Broadcast {
+        first: usize,
+        dop: usize,
+        /// Producing operator id for per-op ship attribution.
+        op: Option<usize>,
+    },
 }
 
 impl<'a> Router<'a> {
@@ -95,6 +103,7 @@ impl<'a> Router<'a> {
     pub(crate) fn partition(
         first: usize,
         dop: usize,
+        op: Option<usize>,
         key: &'a [AttrId],
         batch_size: usize,
         validate: bool,
@@ -102,6 +111,7 @@ impl<'a> Router<'a> {
         Router::Partition {
             first,
             dop,
+            op,
             key,
             key_idx: key.iter().map(|a| a.index()).collect(),
             builders: (0..dop).map(|_| Vec::new()).collect(),
@@ -115,8 +125,14 @@ impl<'a> Router<'a> {
         }
     }
 
-    pub(crate) fn broadcast(first: usize, dop: usize) -> Self {
-        Router::Broadcast { first, dop }
+    pub(crate) fn broadcast(first: usize, dop: usize, op: Option<usize>) -> Self {
+        Router::Broadcast { first, dop, op }
+    }
+
+    /// Whether this router actually moves data across partitions (the
+    /// tracing hook only records ship spans for non-Forward routers).
+    pub(crate) fn ships(&self) -> bool {
+        !matches!(self, Router::Forward { .. })
     }
 
     /// Routes one produced batch, charging shipping stats and appending the
@@ -134,6 +150,7 @@ impl<'a> Router<'a> {
             Router::Partition {
                 first,
                 dop,
+                op,
                 key,
                 key_idx,
                 builders,
@@ -223,6 +240,9 @@ impl<'a> Router<'a> {
                     }
                     stats.add_shipped(n as u64, bytes);
                     stats.add_scattered(n as u64);
+                    if let Some(op) = op {
+                        stats.add_op_shipped(*op, n as u64, bytes);
+                    }
                 } else {
                     let mut records = 0u64;
                     let mut bytes = 0u64;
@@ -248,9 +268,12 @@ impl<'a> Router<'a> {
                         }
                     }
                     stats.add_shipped(records, bytes);
+                    if let Some(op) = op {
+                        stats.add_op_shipped(*op, records, bytes);
+                    }
                 }
             }
-            Router::Broadcast { first, dop } => {
+            Router::Broadcast { first, dop, op } => {
                 // A columnar batch is materialized to rows **once** here so
                 // every consumer shares the same row allocation — joins
                 // borrow records from broadcast build sides zero-copy.
@@ -262,6 +285,13 @@ impl<'a> Router<'a> {
                     batch.len() as u64 * copies,
                     batch.encoded_len() as u64 * copies,
                 );
+                if let Some(op) = op {
+                    stats.add_op_shipped(
+                        *op,
+                        batch.len() as u64 * copies,
+                        batch.encoded_len() as u64 * copies,
+                    );
+                }
                 for p in 0..*dop {
                     out.push_back((*first + p, Arc::clone(&batch)));
                 }
@@ -349,7 +379,7 @@ mod tests {
         let stats = ExecStats::new();
         let key = [AttrId(0)];
         let mut out = Outbound::new();
-        let mut r = Router::partition(10, 4, &key, 1024, false);
+        let mut r = Router::partition(10, 4, Some(0), &key, 1024, false);
         r.route(batch(&[1, 2, 3]), &mut out, &stats).unwrap();
         r.route(batch(&[1, 4]), &mut out, &stats).unwrap();
         r.finish(&mut out);
@@ -377,7 +407,7 @@ mod tests {
         let key = [AttrId(0)];
         let mut out = Outbound::new();
         // Same key → same destination; batch_size 2 → flush every 2 records.
-        let mut r = Router::partition(0, 2, &key, 2, false);
+        let mut r = Router::partition(0, 2, Some(0), &key, 2, false);
         r.route(batch(&[7, 7, 7, 7, 7]), &mut out, &stats).unwrap();
         assert_eq!(out.len(), 2, "two full batches flushed eagerly");
         r.finish(&mut out);
@@ -390,7 +420,7 @@ mod tests {
         let stats = ExecStats::new();
         let b = batch(&[7, 8]);
         let mut out = Outbound::new();
-        let mut r = Router::broadcast(5, 3);
+        let mut r = Router::broadcast(5, 3, Some(0));
         r.route(Arc::clone(&b), &mut out, &stats).unwrap();
         r.finish(&mut out);
         assert_eq!(out.len(), 3);
@@ -408,7 +438,7 @@ mod tests {
     fn broadcast_dop1_ships_nothing() {
         let stats = ExecStats::new();
         let mut out = Outbound::new();
-        let mut r = Router::broadcast(0, 1);
+        let mut r = Router::broadcast(0, 1, None);
         r.route(batch(&[1]), &mut out, &stats).unwrap();
         assert_eq!(out.len(), 1, "still delivered to the one partition");
         assert_eq!(stats.snapshot().2, 0);
@@ -419,7 +449,7 @@ mod tests {
         let stats = ExecStats::new();
         let key = [AttrId(0)];
         let mut out = Outbound::new();
-        let mut r = Router::partition(0, 2, &key, 1024, true);
+        let mut r = Router::partition(0, 2, None, &key, 1024, true);
         r.route(
             Arc::new(
                 [Record::from_values([

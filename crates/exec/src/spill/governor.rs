@@ -208,6 +208,9 @@ pub struct MemoryGovernor {
     /// to the pool exactly when the governor drops; resident bytes mirror
     /// into the pool's gauges through it.
     grant: Option<MemoryGrant>,
+    /// Span recorder when the owning execution is traced: run writes and
+    /// k-way merges record spill spans here (`None` = tracing off).
+    trace: Option<Arc<crate::trace::TraceRecorder>>,
 }
 
 impl MemoryGovernor {
@@ -232,6 +235,7 @@ impl MemoryGovernor {
             base,
             run_seq: AtomicU64::new(0),
             grant: None,
+            trace: None,
         }
     }
 
@@ -250,7 +254,22 @@ impl MemoryGovernor {
             base,
             run_seq: AtomicU64::new(0),
             grant: Some(grant),
+            trace: None,
         }
+    }
+
+    /// Attaches (or detaches) the execution's span recorder — the
+    /// streaming runtime calls this right after constructing the governor
+    /// so spill-run and merge spans land in the query's trace.
+    pub fn set_trace(&mut self, trace: Option<Arc<crate::trace::TraceRecorder>>) {
+        self.trace = trace;
+    }
+
+    /// The execution's span recorder, if tracing is on (the merge
+    /// machinery records its spans through this).
+    #[inline]
+    pub(crate) fn trace(&self) -> Option<&Arc<crate::trace::TraceRecorder>> {
+        self.trace.as_ref()
     }
 
     /// Whether a budget is in force at all. Operators may skip byte
@@ -310,12 +329,22 @@ impl MemoryGovernor {
     /// Writes `records` — which the caller has already sorted — as one
     /// spill file, creating the scoped spill directory on first use.
     pub fn write_sorted_run(&self, records: &[Record]) -> Result<SortedRun, ExecError> {
+        let t0 = self.trace.as_ref().map(|tr| tr.now_ns());
         let path = self.new_run_path()?;
         let mut w = RunWriter::create(path).map_err(spill_err)?;
         for r in records {
             w.write(r).map_err(spill_err)?;
         }
-        w.finish().map_err(spill_err)
+        let run = w.finish().map_err(spill_err)?;
+        if let (Some(t0), Some(tr)) = (t0, &self.trace) {
+            tr.record(
+                "spill-run",
+                "spill",
+                t0,
+                vec![("records", run.records()), ("bytes", run.bytes())],
+            );
+        }
+        Ok(run)
     }
 
     /// A fresh, unique path for a run file inside the scoped directory.

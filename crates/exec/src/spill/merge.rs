@@ -182,6 +182,7 @@ where
     while runs.len() > fan_in {
         // Compact the oldest `fan_in` runs (oldest first keeps the pass
         // count logarithmic) into one larger run.
+        let t0 = gov.trace().map(|tr| tr.now_ns());
         let batch: Vec<SortedRun> = runs.drain(..fan_in).collect();
         let mut sources = Vec::with_capacity(batch.len());
         for r in &batch {
@@ -191,7 +192,20 @@ where
         for rec in LoserTree::new(sources, cmp)? {
             w.write(&rec?).map_err(spill_err)?;
         }
-        runs.push(w.finish().map_err(spill_err)?);
+        let compacted = w.finish().map_err(spill_err)?;
+        if let (Some(t0), Some(tr)) = (t0, gov.trace()) {
+            tr.record(
+                "merge-pass",
+                "merge",
+                t0,
+                vec![
+                    ("sources", fan_in as u64),
+                    ("records", compacted.records()),
+                    ("bytes", compacted.bytes()),
+                ],
+            );
+        }
+        runs.push(compacted);
     }
     let mut sources = Vec::with_capacity(runs.len() + 1);
     for r in &runs {
@@ -200,7 +214,41 @@ where
     if !tail.is_empty() {
         sources.push(RunSource::Mem(tail.into_iter()));
     }
-    LoserTree::new(sources, cmp)
+    let n_sources = sources.len();
+    Ok(TracedMerge {
+        span: gov
+            .trace()
+            .map(|tr| (std::sync::Arc::clone(tr), tr.now_ns(), n_sources)),
+        inner: LoserTree::new(sources, cmp)?,
+    })
+}
+
+/// The final streaming k-way merge, wrapped so a `kway-merge` span covers
+/// its whole lifetime. The merge streams interleaved with its consumer, so
+/// the span measures the drain window (creation to drop), not pure merge
+/// CPU — per-record clock reads on the merge hot path would violate the
+/// tracing overhead contract.
+struct TracedMerge<I> {
+    inner: I,
+    /// `(recorder, start, source count)` when the execution is traced.
+    span: Option<(std::sync::Arc<crate::trace::TraceRecorder>, u64, usize)>,
+}
+
+impl<I: Iterator<Item = Result<Record, ExecError>>> Iterator for TracedMerge<I> {
+    type Item = Result<Record, ExecError>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+impl<I> Drop for TracedMerge<I> {
+    fn drop(&mut self) {
+        if let Some((tr, t0, sources)) = self.span.take() {
+            tr.record("kway-merge", "merge", t0, vec![("sources", sources as u64)]);
+        }
+    }
 }
 
 /// The shared finish-path constructor of the spilling blocking operators:

@@ -39,6 +39,10 @@ struct OpSlot {
     spilled_bytes: AtomicU64,
     /// Sorted runs this operator wrote under memory pressure.
     spill_runs: AtomicU64,
+    /// Records this operator's output shipped across partition boundaries.
+    shipped_records: AtomicU64,
+    /// Serialized bytes of those shipped records.
+    shipped_bytes: AtomicU64,
 }
 
 /// Plain-integer snapshot of one operator's counters.
@@ -61,6 +65,11 @@ pub struct OpSnapshot {
     pub spilled_bytes: u64,
     /// Sorted runs this operator wrote under memory pressure.
     pub spill_runs: u64,
+    /// Records of this operator's output shipped by a Partition/Broadcast
+    /// router (same accounting rule as [`StatsSnapshot::records_shipped`]).
+    pub shipped_records: u64,
+    /// Serialized bytes of those shipped records.
+    pub shipped_bytes: u64,
 }
 
 /// Plain-integer snapshot of every global counter of an execution — the
@@ -234,6 +243,17 @@ impl ExecStats {
         self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Attributes shipped data to the producing operator's slot (same
+    /// accounting rule as [`ExecStats::add_shipped`], which still charges
+    /// the global counters; this adds the per-op breakdown the
+    /// `EXPLAIN ANALYZE` report prints).
+    pub(crate) fn add_op_shipped(&self, op: usize, records: u64, bytes: u64) {
+        if let Some(slot) = self.per_op.get(op) {
+            slot.shipped_records.fetch_add(records, Ordering::Relaxed);
+            slot.shipped_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
     /// Accounts records routed by the vectorized columnar scatter path of
     /// the Partition router. Called *in addition to* [`ExecStats::add_shipped`]
     /// for the same records; this counter only classifies how the routing
@@ -349,6 +369,8 @@ impl ExecStats {
                 records_spilled: s.records_spilled.load(Ordering::Relaxed),
                 spilled_bytes: s.spilled_bytes.load(Ordering::Relaxed),
                 spill_runs: s.spill_runs.load(Ordering::Relaxed),
+                shipped_records: s.shipped_records.load(Ordering::Relaxed),
+                shipped_bytes: s.shipped_bytes.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -423,6 +445,18 @@ mod tests {
     }
 
     #[test]
+    fn per_op_ship_attribution_is_separate_from_globals() {
+        let s = ExecStats::with_ops(2);
+        s.add_shipped(10, 640);
+        s.add_op_shipped(1, 10, 640);
+        let ops = s.op_snapshots();
+        assert_eq!((ops[0].shipped_records, ops[0].shipped_bytes), (0, 0));
+        assert_eq!((ops[1].shipped_records, ops[1].shipped_bytes), (10, 640));
+        let t = s.totals();
+        assert_eq!((t.records_shipped, t.bytes_shipped), (10, 640));
+    }
+
+    #[test]
     fn per_op_slots_track_by_operator() {
         let s = ExecStats::with_ops(2);
         s.add_call(0, 10, 1);
@@ -445,6 +479,7 @@ mod tests {
         s.add_op_nanos(7, 1);
         s.add_op_out_bytes(7, 1);
         s.add_op_distinct_keys(7, 1);
+        s.add_op_shipped(7, 1, 1);
         s.add_spill(7, 1, 1);
         assert!(s.op_snapshots().is_empty());
         assert_eq!(s.snapshot().0, 1);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! strato-serve [--addr HOST:PORT] [--max-concurrent N] [--queue-depth N]
-//!              [--workers N] [--mem-budget BYTES]
+//!              [--workers N] [--mem-budget BYTES] [--slow-query-ms N]
 //! ```
 //!
 //! `--workers` and `--mem-budget` size the **shared engine runtime**: one
@@ -43,14 +43,16 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-const USAGE: &str = "usage: strato-serve [--addr HOST:PORT] [--max-concurrent N] [--queue-depth N] [--workers N] [--mem-budget BYTES]
+const USAGE: &str = "usage: strato-serve [--addr HOST:PORT] [--max-concurrent N] [--queue-depth N] [--workers N] [--mem-budget BYTES] [--slow-query-ms N]
   --addr            listen address (default 127.0.0.1:8464; port 0 binds ephemerally)
   --max-concurrent  queries executing at once (default 4)
   --queue-depth     queries allowed to wait before 429 (default 16)
   --workers         threads in the shared engine pool all queries run on
                     (default: available parallelism)
   --mem-budget      machine-wide memory budget in bytes shared by all
-                    concurrent queries (default 384 MiB)";
+                    concurrent queries (default 384 MiB)
+  --slow-query-ms   log a one-line plan+stats summary to stderr for
+                    queries slower than N milliseconds (default: off)";
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<ServerConfig>, String> {
     let mut config = ServerConfig::default();
@@ -75,6 +77,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<ServerConfig>
             }
             "--mem-budget" => {
                 config.mem_budget = Some(parse_count(args.next(), "--mem-budget")? as u64);
+            }
+            "--slow-query-ms" => {
+                config.slow_query_ms = Some(parse_count(args.next(), "--slow-query-ms")? as u64);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

@@ -66,6 +66,9 @@ pub struct QueryRequest {
     pub dop: usize,
     /// Execution options with the request's overrides applied.
     pub exec: ExecOptions,
+    /// Record an end-to-end trace and return it with the response
+    /// (`"options": {"trace": true}`).
+    pub trace: bool,
 }
 
 /// Decodes a parsed `POST /v1/query` body.
@@ -87,12 +90,13 @@ pub fn decode_query(doc: &Json) -> Result<QueryRequest, DecodeError> {
         }
     }
 
-    let (dop, exec) = decode_options(doc.get("options"))?;
+    let (dop, exec, trace) = decode_options(doc.get("options"))?;
     Ok(QueryRequest {
         flow,
         inputs,
         dop,
         exec,
+        trace,
     })
 }
 
@@ -328,11 +332,12 @@ fn decode_rows(source: &str, rows: &Json) -> Result<DataSet, DecodeError> {
     Ok(records.into_iter().collect())
 }
 
-fn decode_options(options: Option<&Json>) -> Result<(usize, ExecOptions), DecodeError> {
+fn decode_options(options: Option<&Json>) -> Result<(usize, ExecOptions, bool), DecodeError> {
     let mut exec = ExecOptions::default();
     let mut dop = 1usize;
+    let mut trace = false;
     let Some(o) = options else {
-        return Ok((dop, exec));
+        return Ok((dop, exec, trace));
     };
     if !matches!(o, Json::Obj(_)) {
         return Err(bad("\"options\" must be an object"));
@@ -371,7 +376,12 @@ fn decode_options(options: Option<&Json>) -> Result<(usize, ExecOptions), Decode
                 .min(MAX_DOP as i64) as usize,
         );
     }
-    Ok((dop, exec))
+    if let Some(v) = o.get("trace") {
+        trace = v
+            .as_bool()
+            .ok_or_else(|| bad("\"trace\" must be a boolean"))?;
+    }
+    Ok((dop, exec, trace))
 }
 
 /// JSON scalar → record [`Value`]. Arrays/objects are not record values.
@@ -476,6 +486,7 @@ mod tests {
         assert_eq!(q.dop, 2);
         assert_eq!(q.exec.batch_size, 128);
         assert!(q.exec.combine);
+        assert!(!q.trace, "trace defaults to off");
         assert_eq!(q.exec.mem_budget, Some(1 << 20));
         assert_eq!(q.inputs["s"].len(), 3);
         // The spec compiles to a 2-operator plan.
@@ -505,6 +516,21 @@ mod tests {
                    {"source": {"name": "r", "fields": ["b"], "est_rows": 1}}]}}"#,
         );
         assert!(decode_query(&doc).unwrap().flow.build().is_ok());
+    }
+
+    #[test]
+    fn trace_option_decodes_and_rejects_non_booleans() {
+        let doc = parse(
+            r#"{"flow": {"source": {"name": "s", "fields": ["a"], "est_rows": 1}},
+                "options": {"trace": true}}"#,
+        );
+        assert!(decode_query(&doc).unwrap().trace);
+        let doc = parse(
+            r#"{"flow": {"source": {"name": "s", "fields": ["a"], "est_rows": 1}},
+                "options": {"trace": 1}}"#,
+        );
+        let err = decode_query(&doc).unwrap_err();
+        assert!(err.0.contains("trace"), "{err:?}");
     }
 
     #[test]

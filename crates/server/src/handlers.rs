@@ -20,6 +20,14 @@
 //!    chunked JSON body, closing with the execution statistics, and fold
 //!    those statistics into the server's `/metrics` registry.
 //!
+//! With `"options": {"trace": true}` the handler threads a
+//! [`TraceRecorder`] through every step — admission wait, plan compile,
+//! optimize, and the engine's task/ship/spill/memory spans — and the
+//! response gains `"query_id"`, a Chrome trace-event `"trace"` document
+//! (load it in Perfetto) and an estimate-vs-actual `"explain"` report.
+//! Traces of the last [`TRACE_HISTORY`] traced queries stay fetchable at
+//! `GET /v1/queries/<id>/trace`.
+//!
 //! `GET /metrics` renders the Prometheus registry; `GET /healthz` is a
 //! liveness probe.
 
@@ -30,15 +38,60 @@ use crate::http::{
 };
 use crate::json::Json;
 use crate::metrics::Metrics;
+use std::collections::VecDeque;
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use strato_core::Optimizer;
 use strato_dataflow::PropertyMode;
-use strato_exec::{EngineRuntime, ExecStats, RuntimeOptions};
+use strato_exec::{explain_analyze, EngineRuntime, ExecStats, RuntimeOptions, TraceRecorder};
 use strato_record::DataSet;
 
 /// Result rows per HTTP chunk of a query response.
 const ROWS_PER_CHUNK: usize = 1024;
+
+/// How many completed traced queries keep their Chrome trace fetchable
+/// at `GET /v1/queries/<id>/trace`.
+pub const TRACE_HISTORY: usize = 8;
+
+/// Query-id allocator plus a bounded ring of recently completed traced
+/// queries' Chrome trace documents.
+#[derive(Debug, Default)]
+struct TraceStore {
+    /// Last assigned query id; ids start at 1.
+    next_id: AtomicU64,
+    /// `(query_id, chrome_trace_json)`, oldest first, at most
+    /// [`TRACE_HISTORY`] entries.
+    recent: Mutex<VecDeque<(u64, String)>>,
+}
+
+impl TraceStore {
+    /// Allocates the next query id (every query gets one, traced or not,
+    /// so ids in logs and metrics line up with trace ids).
+    fn assign_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records a completed traced query, evicting the oldest past the cap.
+    fn push(&self, id: u64, chrome: String) {
+        let mut recent = self.recent.lock().unwrap();
+        if recent.len() >= TRACE_HISTORY {
+            recent.pop_front();
+        }
+        recent.push_back((id, chrome));
+    }
+
+    /// Fetches a retained trace by query id.
+    fn get(&self, id: u64) -> Option<String> {
+        self.recent
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(q, _)| *q == id)
+            .map(|(_, t)| t.clone())
+    }
+}
 
 /// Shared per-server state handed to every connection handler.
 #[derive(Debug, Clone)]
@@ -50,6 +103,11 @@ pub struct AppState {
     /// The shared engine runtime every admitted query executes on: one
     /// worker pool and one memory budget across all concurrent queries.
     pub runtime: Arc<EngineRuntime>,
+    /// Log a one-line plan+stats summary to stderr for queries slower
+    /// than this many milliseconds (`--slow-query-ms`); `None` disables.
+    pub slow_query_ms: Option<u64>,
+    /// Query-id allocator and recently-completed-trace history.
+    traces: Arc<TraceStore>,
 }
 
 impl AppState {
@@ -74,7 +132,16 @@ impl AppState {
             gate: AdmissionGate::new(max_concurrent, queue_depth),
             metrics: Arc::new(Metrics::new()),
             runtime,
+            slow_query_ms: None,
+            traces: Arc::new(TraceStore::default()),
         }
+    }
+
+    /// Enables the slow-query log: queries slower than `threshold_ms`
+    /// print a one-line plan+stats summary to stderr.
+    pub fn with_slow_query_log(mut self, threshold_ms: Option<u64>) -> Self {
+        self.slow_query_ms = threshold_ms;
+        self
     }
 }
 
@@ -109,6 +176,22 @@ fn dispatch(stream: &mut TcpStream, req: &Request, state: &AppState) -> std::io:
             write_response(stream, 200, "text/plain; version=0.0.4", body.as_bytes())
         }
         ("GET", "/healthz") => write_response(stream, 200, "text/plain", b"ok"),
+        (method, p) if p.starts_with("/v1/queries/") && p.ends_with("/trace") => {
+            if method != "GET" {
+                return error_response(stream, 405, "method not allowed");
+            }
+            let id = &p["/v1/queries/".len()..p.len() - "/trace".len()];
+            match id
+                .strip_prefix('q')
+                .unwrap_or(id)
+                .parse::<u64>()
+                .ok()
+                .and_then(|id| state.traces.get(id))
+            {
+                Some(chrome) => write_response(stream, 200, "application/json", chrome.as_bytes()),
+                None => error_response(stream, 404, "no retained trace for that query"),
+            }
+        }
         (_, "/v1/query") | (_, "/metrics") | (_, "/healthz") => {
             error_response(stream, 405, "method not allowed")
         }
@@ -118,6 +201,9 @@ fn dispatch(stream: &mut TcpStream, req: &Request, state: &AppState) -> std::io:
 
 /// `POST /v1/query`.
 fn handle_query(stream: &mut TcpStream, req: &Request, state: &AppState) -> std::io::Result<()> {
+    // Arrival time is both the latency-histogram epoch and, for traced
+    // queries, the timeline origin of the Chrome trace.
+    let t_start = Instant::now();
     // Admission first: saturated servers shed load before spending any
     // cycles on parsing.
     let _permit = match state.gate.admit() {
@@ -141,6 +227,8 @@ fn handle_query(stream: &mut TcpStream, req: &Request, state: &AppState) -> std:
             );
         }
     };
+    let admission_wait = t_start.elapsed();
+    state.metrics.observe_admission_wait(admission_wait);
 
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
@@ -163,6 +251,25 @@ fn handle_query(stream: &mut TcpStream, req: &Request, state: &AppState) -> std:
             return error_response(stream, 422, &e.to_string());
         }
     };
+    // Every query gets an id so slow-query log lines and per-query
+    // metrics line up with trace ids; the recorder itself only exists
+    // when the client opted in — untraced queries pay one `Option` check
+    // per instrumentation point and nothing else.
+    let query_id = state.traces.assign_id();
+    let recorder = query
+        .trace
+        .then(|| TraceRecorder::with_epoch(query_id, t_start));
+    if let Some(tr) = &recorder {
+        tr.record_span(
+            "admission-wait",
+            "server",
+            0,
+            admission_wait.as_nanos() as u64,
+            vec![],
+        );
+    }
+
+    let t0 = recorder.as_ref().map(|tr| tr.now_ns());
     let plan = match query.flow.build() {
         Ok(p) => p,
         Err(e) => {
@@ -170,37 +277,75 @@ fn handle_query(stream: &mut TcpStream, req: &Request, state: &AppState) -> std:
             return error_response(stream, 422, &e.to_string());
         }
     };
+    if let (Some(t0), Some(tr)) = (t0, &recorder) {
+        tr.record("plan-compile", "server", t0, vec![]);
+    }
 
+    let t0 = recorder.as_ref().map(|tr| tr.now_ns());
     let best = Optimizer::new(PropertyMode::Sca)
         .with_dop(query.dop)
         .best(&plan);
-    let (out, stats) = match state.runtime.execute_with(
-        &best.plan,
-        &best.phys,
-        &query.inputs,
-        query.dop,
-        &query.exec,
-    ) {
-        Ok(r) => r,
-        Err(e) => {
-            state.metrics.record_error();
-            return error_response(stream, 500, &e.to_string());
-        }
-    };
+    if let (Some(t0), Some(tr)) = (t0, &recorder) {
+        tr.record("optimize", "server", t0, vec![("dop", query.dop as u64)]);
+    }
+
+    let mut exec = query.exec.clone();
+    exec.trace = recorder.clone();
+    let (out, stats) =
+        match state
+            .runtime
+            .execute_with(&best.plan, &best.phys, &query.inputs, query.dop, &exec)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                state.metrics.record_error();
+                return error_response(stream, 500, &e.to_string());
+            }
+        };
 
     let op_names: Vec<String> = best.plan.ctx.ops.iter().map(|o| o.name.clone()).collect();
     state.metrics.record_query(&stats, &op_names);
-    stream_result(stream, &out, &stats, &op_names)
+    let elapsed = t_start.elapsed();
+    state.metrics.observe_query_latency(elapsed);
+
+    let trace_payload = recorder.as_ref().map(|tr| {
+        let chrome = tr.chrome_trace_json();
+        state.traces.push(query_id, chrome.clone());
+        (chrome, explain_analyze(&best.plan, &best.phys, &stats))
+    });
+    if let Some(threshold) = state.slow_query_ms {
+        if elapsed.as_millis() as u64 >= threshold {
+            let report = explain_analyze(&best.plan, &best.phys, &stats);
+            let flat: Vec<&str> = report.lines().map(str::trim).collect();
+            eprintln!(
+                "[strato] slow query q{query_id}: {}ms | {}",
+                elapsed.as_millis(),
+                flat.join(" | ")
+            );
+        }
+    }
+    stream_result(
+        stream,
+        &out,
+        &stats,
+        &op_names,
+        query_id,
+        trace_payload.as_ref(),
+    )
 }
 
-/// Streams `{"rows": [...], "stats": {...}}` as a chunked body, one chunk
-/// per [`ROWS_PER_CHUNK`] rows. Rows are emitted in canonical sorted
-/// order so equal result bags serialize identically.
+/// Streams `{"rows": [...], "stats": {...}, "query_id": N}` as a chunked
+/// body, one chunk per [`ROWS_PER_CHUNK`] rows, appending `"trace"`
+/// (Chrome trace-event document) and `"explain"` (estimate-vs-actual
+/// report) members for traced queries. Rows are emitted in canonical
+/// sorted order so equal result bags serialize identically.
 fn stream_result(
     stream: &mut TcpStream,
     out: &DataSet,
     stats: &ExecStats,
     op_names: &[String],
+    query_id: u64,
+    trace: Option<&(String, String)>,
 ) -> std::io::Result<()> {
     let mut w = ChunkedWriter::begin(stream, 200, "application/json")?;
     w.chunk(b"{\"rows\":[")?;
@@ -220,7 +365,17 @@ fn stream_result(
         }
         w.chunk(buf.as_bytes())?;
     }
-    let tail = format!("],\"stats\":{}}}", stats_json(stats, op_names));
+    let mut tail = format!(
+        "],\"stats\":{},\"query_id\":{query_id}",
+        stats_json(stats, op_names)
+    );
+    if let Some((chrome, explain)) = trace {
+        tail.push_str(",\"trace\":");
+        tail.push_str(chrome);
+        tail.push_str(",\"explain\":");
+        tail.push_str(&Json::Str(explain.clone()).to_string());
+    }
+    tail.push('}');
     w.chunk(tail.as_bytes())?;
     w.finish()
 }

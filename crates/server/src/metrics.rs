@@ -21,8 +21,10 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use strato_exec::{ExecStats, OpSnapshot, RuntimeSnapshot};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+use strato_exec::trace::LATENCY_BUCKETS_NS;
+use strato_exec::{ExecStats, HistoSnapshot, LatencyHisto, OpSnapshot, RuntimeSnapshot};
 
 /// Per-operator accumulation across queries, keyed by operator name.
 #[derive(Debug, Default, Clone, Copy)]
@@ -61,12 +63,33 @@ pub struct Metrics {
     total_cells: AtomicU64,
     /// Per-operator aggregates by operator name.
     per_op: Mutex<BTreeMap<String, OpAgg>>,
+    /// End-to-end latency of completed queries (admission to response).
+    query_latency: LatencyHisto,
+    /// Time queries spent waiting for an admission-gate token.
+    admission_wait: LatencyHisto,
+    /// When the registry was created ([`Metrics::new`]) — the epoch of
+    /// `strato_uptime_seconds`. Lazily set so `Default` stays derivable;
+    /// a registry that skips `new()` starts the clock at first scrape.
+    started: OnceLock<Instant>,
 }
 
 impl Metrics {
-    /// Fresh zeroed registry.
+    /// Fresh zeroed registry; starts the uptime clock.
     pub fn new() -> Self {
-        Metrics::default()
+        let m = Metrics::default();
+        let _ = m.started.set(Instant::now());
+        m
+    }
+
+    /// Observes one completed query's end-to-end latency (admission wait
+    /// through response streaming).
+    pub fn observe_query_latency(&self, elapsed: Duration) {
+        self.query_latency.observe_ns(elapsed.as_nanos() as u64);
+    }
+
+    /// Observes one query's admission-gate wait.
+    pub fn observe_admission_wait(&self, elapsed: Duration) {
+        self.admission_wait.observe_ns(elapsed.as_nanos() as u64);
     }
 
     /// Folds one completed query's statistics into the registry.
@@ -201,7 +224,18 @@ impl Metrics {
             "High-water mark of resident bytes across all queries.",
             rt.mem_peak_resident,
         );
-        if !rt.per_query_queued.is_empty() {
+        // Per-query series: in-flight queries at their live value, plus a
+        // bounded recently-completed window pinned at 0 so scrapers observe
+        // the series settle instead of vanish. Queries older than the window
+        // are pruned entirely — the per-query label set cannot grow without
+        // bound (it is capped at in-flight + `RECENT_QUERIES`).
+        let recent_done: Vec<u64> = rt
+            .recent_queries
+            .iter()
+            .copied()
+            .filter(|id| !rt.per_query_queued.iter().any(|(q, _)| q == id))
+            .collect();
+        if !rt.per_query_queued.is_empty() || !recent_done.is_empty() {
             out.push_str(
                 "# HELP strato_query_queued_tasks Ready task steps per registered query.\n\
                  # TYPE strato_query_queued_tasks gauge\n",
@@ -210,6 +244,9 @@ impl Metrics {
                 out.push_str(&format!(
                     "strato_query_queued_tasks{{query=\"q{id}\"}} {ready}\n"
                 ));
+            }
+            for id in recent_done {
+                out.push_str(&format!("strato_query_queued_tasks{{query=\"q{id}\"}} 0\n"));
             }
         }
         out.push_str(&format!(
@@ -353,8 +390,58 @@ impl Metrics {
                 ));
             }
         }
+        drop(per_op);
+
+        render_histo(
+            &mut out,
+            "strato_query_latency_seconds",
+            "End-to-end latency of completed queries (admission to response).",
+            &self.query_latency.snapshot(),
+        );
+        render_histo(
+            &mut out,
+            "strato_admission_wait_seconds",
+            "Time queries waited for an admission-gate token.",
+            &self.admission_wait.snapshot(),
+        );
+        render_histo(
+            &mut out,
+            "strato_grant_wait_seconds",
+            "Time queries waited to carve a memory grant from the shared budget.",
+            &rt.grant_wait,
+        );
+
+        out.push_str(&format!(
+            "# HELP strato_build_info Build metadata; the value is always 1.\n\
+             # TYPE strato_build_info gauge\n\
+             strato_build_info{{version=\"{}\"}} 1\n",
+            escape_label(env!("CARGO_PKG_VERSION"))
+        ));
+        out.push_str(&format!(
+            "# HELP strato_uptime_seconds Seconds since this server started.\n\
+             # TYPE strato_uptime_seconds gauge\nstrato_uptime_seconds {}\n",
+            self.started.get_or_init(Instant::now).elapsed().as_secs()
+        ));
         out
     }
+}
+
+/// Renders one [`HistoSnapshot`] as a Prometheus histogram: cumulative
+/// `_bucket{le="..."}` lines over [`LATENCY_BUCKETS_NS`] (bounds in
+/// seconds), the implicit `+Inf` bucket, `_sum` and `_count`.
+fn render_histo(out: &mut String, name: &str, help: &str, snap: &HistoSnapshot) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, bound_ns) in LATENCY_BUCKETS_NS.iter().enumerate() {
+        cumulative += snap.counts.get(i).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            *bound_ns as f64 / 1e9
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+    out.push_str(&format!("{name}_sum {}\n", snap.sum_ns as f64 / 1e9));
+    out.push_str(&format!("{name}_count {}\n", snap.count));
 }
 
 /// Escapes a Prometheus label value (backslash, quote, newline).
@@ -467,5 +554,83 @@ mod tests {
             !text.contains("strato_query_queued_tasks"),
             "no per-query series without registered queries: {text}"
         );
+    }
+
+    #[test]
+    fn recently_completed_queries_render_at_zero_then_age_out() {
+        let m = Metrics::new();
+        let rt = RuntimeSnapshot {
+            per_query_queued: vec![(7, 3)],
+            recent_queries: vec![5, 7],
+            ..RuntimeSnapshot::default()
+        };
+        let text = m.render(0, 0, &rt);
+        // In-flight query keeps its live value; the completed one settles
+        // to 0 instead of vanishing mid-scrape.
+        assert!(
+            text.contains("strato_query_queued_tasks{query=\"q7\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("strato_query_queued_tasks{query=\"q5\"} 0\n"),
+            "{text}"
+        );
+        // Once a query ages out of the recent window its series is pruned.
+        let aged = m.render(0, 0, &RuntimeSnapshot::default());
+        assert!(!aged.contains("query=\"q5\""), "{aged}");
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_and_build_info() {
+        let m = Metrics::new();
+        // One fast query (2µs) and one slow (100ms).
+        m.observe_query_latency(Duration::from_micros(2));
+        m.observe_query_latency(Duration::from_millis(100));
+        m.observe_admission_wait(Duration::from_nanos(500));
+        let text = m.render(0, 0, &RuntimeSnapshot::default());
+
+        // 2µs lands in the 4µs bucket; cumulative counts climb to 2.
+        assert!(
+            text.contains("strato_query_latency_seconds_bucket{le=\"0.000001\"} 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("strato_query_latency_seconds_bucket{le=\"0.000004\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("strato_query_latency_seconds_bucket{le=\"4.194304\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("strato_query_latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("strato_query_latency_seconds_count 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE strato_query_latency_seconds histogram\n"),
+            "{text}"
+        );
+        // 500ns lands in the very first (1µs) bucket.
+        assert!(
+            text.contains("strato_admission_wait_seconds_bucket{le=\"0.000001\"} 1\n"),
+            "{text}"
+        );
+        // Grant-wait histogram comes from the runtime snapshot (empty here).
+        assert!(
+            text.contains("strato_grant_wait_seconds_count 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "strato_build_info{{version=\"{}\"}} 1\n",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{text}"
+        );
+        assert!(text.contains("strato_uptime_seconds "), "{text}");
     }
 }

@@ -53,6 +53,9 @@ pub struct ServerConfig {
     /// Machine-wide memory budget in bytes shared by every concurrent
     /// query (`None` = the engine's default global budget).
     pub mem_budget: Option<u64>,
+    /// Log a one-line plan+stats summary to stderr for queries slower
+    /// than this many milliseconds (`None` disables the slow-query log).
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +66,7 @@ impl Default for ServerConfig {
             queue_depth: 16,
             workers: None,
             mem_budget: None,
+            slow_query_ms: None,
         }
     }
 }
@@ -90,7 +94,8 @@ impl Server {
                 config.max_concurrent,
                 config.queue_depth,
                 Arc::new(runtime),
-            ),
+            )
+            .with_slow_query_log(config.slow_query_ms),
         })
     }
 

@@ -333,3 +333,293 @@ fn protocol_errors_map_to_4xx() {
 
     handle.shutdown();
 }
+
+#[test]
+fn traced_query_returns_trace_explain_and_history() {
+    let handle = boot(2, 2);
+    let addr = handle.addr();
+    let body = r#"{
+      "flow": {"op": {"name": "sum", "kind": "reduce", "key": [0],
+                      "udf": {"fn": "fold", "op": "sum", "field": 1}},
+               "inputs": [{"source": {"name": "s", "fields": ["k", "v"], "est_rows": 4}}]},
+      "inputs": {"s": [[1, 10], [1, 5], [2, 7], [2, 1]]},
+      "options": {"dop": 2, "trace": true}
+    }"#;
+    let r = client::post_json(addr, "/v1/query", body).expect("query");
+    assert_eq!(r.status, 200, "{}", r.text());
+    let doc = Json::parse(&r.text()).expect("response is JSON");
+    assert_eq!(doc.get("rows").unwrap().to_string(), "[[1,15],[2,8]]");
+    let qid = doc
+        .get("query_id")
+        .and_then(Json::as_i64)
+        .expect("query_id member");
+    assert!(qid >= 1);
+
+    // The inline trace is a Chrome trace-event document whose complete
+    // events all carry this query's id, and it includes the server-side
+    // phases around the engine's task spans.
+    let trace = doc.get("trace").expect("trace member");
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents");
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .map(|e| {
+            assert_eq!(
+                e.get("pid").and_then(Json::as_i64),
+                Some(qid),
+                "pid = query id"
+            );
+            assert_eq!(
+                e.get("args")
+                    .and_then(|a| a.get("query_id"))
+                    .and_then(Json::as_i64),
+                Some(qid)
+            );
+            e.get("name").and_then(Json::as_str).expect("event name")
+        })
+        .collect();
+    for expected in ["admission-wait", "plan-compile", "optimize"] {
+        assert!(names.contains(&expected), "missing {expected:?}: {names:?}");
+    }
+    assert!(
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .any(|e| {
+                e.get("args").and_then(|a| a.get("stage")).is_some()
+                    && e.get("args").and_then(|a| a.get("partition")).is_some()
+            }),
+        "engine task spans with stage/partition attribution: {names:?}"
+    );
+
+    // The explain report pairs estimates with actuals.
+    let explain = doc
+        .get("explain")
+        .and_then(Json::as_str)
+        .expect("explain member");
+    assert!(explain.starts_with("EXPLAIN ANALYZE"), "{explain}");
+    assert!(explain.contains("est: rows="), "{explain}");
+    assert!(explain.contains("| act: rows="), "{explain}");
+
+    // The trace stays fetchable from the debug endpoint…
+    let fetched = client::get(addr, &format!("/v1/queries/{qid}/trace")).expect("fetch");
+    assert_eq!(fetched.status, 200, "{}", fetched.text());
+    assert_eq!(
+        &Json::parse(&fetched.text()).expect("fetched trace is JSON"),
+        trace,
+        "debug endpoint serves the same document the response carried"
+    );
+    // …unknown ids 404, wrong methods 405.
+    let missing = client::get(addr, "/v1/queries/999999/trace").expect("fetch");
+    assert_eq!(missing.status, 404);
+    let wrong = client::post_json(addr, &format!("/v1/queries/{qid}/trace"), "{}").expect("post");
+    assert_eq!(wrong.status, 405);
+
+    // An untraced query gets an id but no trace/explain members.
+    let untraced = body.replace("\"trace\": true", "\"trace\": false");
+    let r2 = client::post_json(addr, "/v1/query", &untraced).expect("query");
+    assert_eq!(r2.status, 200, "{}", r2.text());
+    let doc2 = Json::parse(&r2.text()).expect("response is JSON");
+    assert!(doc2.get("query_id").is_some());
+    assert!(doc2.get("trace").is_none(), "untraced responses stay lean");
+    assert!(doc2.get("explain").is_none());
+
+    handle.shutdown();
+}
+
+/// A tiny Prometheus text-format (0.0.4) validator: every sample must
+/// belong to a family announced by `# HELP` and `# TYPE`, label blocks
+/// must be well-formed `k="v"` lists with escaped values, histogram
+/// buckets must be cumulative with `le="+Inf"` equal to `_count`, and
+/// every value must parse.
+fn assert_valid_prometheus(scrape: &str) {
+    use std::collections::{HashMap, HashSet};
+    let mut helps: HashSet<&str> = HashSet::new();
+    let mut types: HashMap<&str, &str> = HashMap::new();
+    for line in scrape.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            helps.insert(rest.split_whitespace().next().expect("HELP name"));
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE name");
+            let kind = it.next().expect("TYPE kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown TYPE kind: {line}"
+            );
+            assert!(
+                types.insert(name, kind).is_none(),
+                "family {name} TYPE'd twice"
+            );
+        }
+    }
+    // Per histogram family: bucket cumulative counts in order, sum, count.
+    type HistoFacts = (Vec<u64>, Option<f64>, Option<u64>);
+    let mut histos: HashMap<String, HistoFacts> = HashMap::new();
+    let mut saw_inf: HashSet<String> = HashSet::new();
+    for line in scrape.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let name_end = line
+            .find(['{', ' '])
+            .unwrap_or_else(|| panic!("malformed sample: {line}"));
+        let name = &line[..name_end];
+        let value_str = line.rsplit(' ').next().unwrap();
+        let value = value_str
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("non-numeric value: {line}"));
+
+        // Validate the label block, if any.
+        let mut le_label: Option<String> = None;
+        if line.as_bytes()[name_end] == b'{' {
+            let close = line
+                .rfind('}')
+                .unwrap_or_else(|| panic!("unclosed labels: {line}"));
+            let mut rest = &line[name_end + 1..close];
+            while !rest.is_empty() {
+                let eq = rest
+                    .find("=\"")
+                    .unwrap_or_else(|| panic!("bad label: {line}"));
+                let key = &rest[..eq];
+                assert!(
+                    !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "bad label name {key:?}: {line}"
+                );
+                // Scan the value for the closing unescaped quote.
+                let mut val = String::new();
+                let mut chars = rest[eq + 2..].char_indices();
+                let mut end = None;
+                while let Some((i, c)) = chars.next() {
+                    match c {
+                        '\\' => {
+                            let (_, esc) = chars.next().expect("dangling escape");
+                            assert!(
+                                ['\\', '"', 'n'].contains(&esc),
+                                "unknown escape \\{esc} in {line}"
+                            );
+                            val.push(esc);
+                        }
+                        '"' => {
+                            end = Some(i);
+                            break;
+                        }
+                        _ => val.push(c),
+                    }
+                }
+                let end = end.unwrap_or_else(|| panic!("unterminated label value: {line}"));
+                assert!(
+                    !val.contains('\n'),
+                    "raw newline must be escaped in label values: {line}"
+                );
+                if key == "le" {
+                    le_label = Some(val);
+                }
+                rest = &rest[eq + 2 + end + 1..];
+                rest = rest.strip_prefix(',').unwrap_or(rest);
+            }
+        }
+
+        // Resolve the family: histogram children map to their base name.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                name.strip_suffix(suf)
+                    .filter(|base| types.get(base) == Some(&"histogram"))
+            })
+            .unwrap_or(name);
+        assert!(types.contains_key(family), "sample without TYPE: {line}");
+        assert!(helps.contains(family), "sample without HELP: {line}");
+
+        if types.get(family) == Some(&"histogram") {
+            let entry = histos.entry(family.to_string()).or_default();
+            if name.ends_with("_bucket") {
+                let le = le_label.unwrap_or_else(|| panic!("bucket without le: {line}"));
+                if le == "+Inf" {
+                    saw_inf.insert(family.to_string());
+                } else {
+                    le.parse::<f64>()
+                        .unwrap_or_else(|_| panic!("bad le bound: {line}"));
+                }
+                entry.0.push(value as u64);
+            } else if name.ends_with("_sum") {
+                entry.1 = Some(value);
+            } else if name.ends_with("_count") {
+                entry.2 = Some(value as u64);
+            }
+        }
+    }
+    assert!(!histos.is_empty(), "scrape must expose histograms");
+    for (family, (buckets, sum, count)) in histos {
+        let count = count.unwrap_or_else(|| panic!("{family}: missing _count"));
+        assert!(sum.is_some(), "{family}: missing _sum");
+        assert!(
+            saw_inf.contains(&family),
+            "{family}: missing le=\"+Inf\" bucket"
+        );
+        assert!(
+            buckets.windows(2).all(|w| w[0] <= w[1]),
+            "{family}: buckets must be cumulative: {buckets:?}"
+        );
+        assert_eq!(
+            buckets.last().copied(),
+            Some(count),
+            "{family}: le=\"+Inf\" must equal _count"
+        );
+    }
+}
+
+#[test]
+fn metrics_scrape_is_valid_prometheus() {
+    let handle = boot(2, 2);
+    let addr = handle.addr();
+    // Complete one query so histograms, per-op and per-query series are
+    // all live in the scrape.
+    let body = r#"{
+      "flow": {"op": {"name": "sum", "kind": "reduce", "key": [0],
+                      "udf": {"fn": "fold", "op": "sum", "field": 1}},
+               "inputs": [{"source": {"name": "s", "fields": ["k", "v"], "est_rows": 3}}]},
+      "inputs": {"s": [[1, 10], [1, 5], [2, 7]]}
+    }"#;
+    let r = client::post_json(addr, "/v1/query", body).expect("query");
+    assert_eq!(r.status, 200, "{}", r.text());
+
+    let scrape = client::get(addr, "/metrics").expect("scrape").text();
+    assert_valid_prometheus(&scrape);
+
+    // The latency histograms observed the query…
+    assert_eq!(
+        metric(&scrape, "strato_query_latency_seconds_count"),
+        Some(1)
+    );
+    assert_eq!(
+        metric(&scrape, "strato_admission_wait_seconds_count"),
+        Some(1)
+    );
+    assert_eq!(metric(&scrape, "strato_grant_wait_seconds_count"), Some(1));
+    // …build metadata and uptime are exported…
+    assert!(
+        scrape.contains(&format!(
+            "strato_build_info{{version=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION")
+        )),
+        "{scrape}"
+    );
+    assert!(
+        metric(&scrape, "strato_uptime_seconds").is_some(),
+        "{scrape}"
+    );
+    // …and the completed query's per-query gauge settled to 0 instead of
+    // leaking or vanishing.
+    assert!(
+        scrape
+            .lines()
+            .any(|l| l.starts_with("strato_query_queued_tasks{query=\"q") && l.ends_with(" 0")),
+        "recently completed query renders at 0: {scrape}"
+    );
+
+    handle.shutdown();
+}

@@ -1,0 +1,209 @@
+//! End-to-end tests of the query tracing subsystem: a traced execution
+//! of a plan with a known spill must produce a valid Chrome trace-event
+//! document, correctly nested spans with full task attribution, and an
+//! estimate-vs-actual EXPLAIN ANALYZE report — without perturbing
+//! results.
+
+use strato::core::cost::CostWeights;
+use strato::core::physical::best_physical;
+use strato::core::{PhysPlan, PropTable};
+use strato::dataflow::{CostHints, Plan, ProgramBuilder, PropertyMode, SourceDef};
+use strato::exec::{execute_with, explain_analyze, ExecOptions, Inputs, Span, TraceRecorder};
+use strato::record::{DataSet, Record, Value};
+use strato::server::json::Json;
+use strato::workloads::udfs;
+
+/// A grouped aggregation over `rows` (k, v) records — the workload every
+/// check below runs. With a tiny memory budget the grouping operator
+/// must spill sorted runs and finish through a k-way merge.
+fn grouped_sum(rows: i64) -> (Plan, PhysPlan, Inputs) {
+    let mut p = ProgramBuilder::new();
+    let s = p.source(SourceDef::new("s", &["k", "v"], rows as u64));
+    // The non-in-place sum is not combinable: the grouping operator must
+    // buffer whole groups, which is what makes the tiny budget spill.
+    let g = p.reduce(
+        "agg",
+        &[0],
+        udfs::sum_group(2, 1),
+        CostHints::default().with_distinct_keys(50),
+        s,
+    );
+    let plan = p.finish(g).unwrap().bind().unwrap();
+    let props = PropTable::build(&plan, PropertyMode::Sca);
+    let phys = best_physical(&plan, &props, &CostWeights::default(), 2);
+    let ds: DataSet = (0..rows)
+        .map(|i| Record::from_values([Value::Int(i % 50), Value::Int((i * 13) % 101 - 50)]))
+        .collect();
+    let mut inputs = Inputs::new();
+    inputs.insert("s".into(), ds);
+    (plan, phys, inputs)
+}
+
+/// Options that force the grouping operator out of core: a budget far
+/// below the working set, combining off so every input record reaches
+/// the blocking operator.
+fn spilling_opts() -> ExecOptions {
+    ExecOptions {
+        batch_size: 32,
+        combine: false,
+        mem_budget: Some(8 * 1024),
+        ..ExecOptions::default()
+    }
+}
+
+#[test]
+fn traced_spilling_query_produces_valid_chrome_trace() {
+    let (plan, phys, inputs) = grouped_sum(2_000);
+
+    // Reference: the identical run without a recorder.
+    let (untraced_out, _) =
+        execute_with(&plan, &phys, &inputs, 2, &spilling_opts()).expect("untraced run");
+
+    let recorder = TraceRecorder::new(42);
+    let opts = ExecOptions {
+        trace: Some(recorder.clone()),
+        ..spilling_opts()
+    };
+    let (out, stats) = execute_with(&plan, &phys, &inputs, 2, &opts).expect("traced run");
+    assert_eq!(
+        out.sorted(),
+        untraced_out.sorted(),
+        "tracing must not perturb results"
+    );
+    assert!(
+        stats.totals().spill_runs > 0,
+        "this plan must actually spill for the spill spans to mean anything"
+    );
+    assert_eq!(recorder.dropped(), 0, "ring capacity suffices here");
+
+    // --- The raw spans: attribution and nesting. ---
+    let spans = recorder.spans();
+    let tasks: Vec<&(usize, Span)> = spans.iter().filter(|(_, s)| s.cat == "task").collect();
+    assert!(!tasks.is_empty(), "task steps must be recorded");
+    for (_, s) in &tasks {
+        let arg = |k: &str| {
+            s.args
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("task span {:?} missing arg {k}", s.name))
+        };
+        assert!(arg("stage") < 8, "plausible stage id");
+        assert!(arg("partition") < 2, "dop=2 → partitions 0 and 1");
+    }
+    // Both partitions of the spilling stage actually ran.
+    let partitions: std::collections::BTreeSet<u64> = tasks
+        .iter()
+        .flat_map(|(_, s)| s.args.iter().filter(|(n, _)| *n == "partition"))
+        .map(|(_, v)| *v)
+        .collect();
+    assert_eq!(partitions.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+
+    for cat in ["ship", "spill", "merge"] {
+        assert!(
+            spans.iter().any(|(_, s)| s.cat == cat),
+            "a spilling dop-2 plan must record at least one {cat:?} span"
+        );
+    }
+
+    // Task spans on one lane (= one worker thread) never overlap, and
+    // every synchronous ship/spill span lies inside some task span on
+    // its own lane. (`kway-merge` spans measure a drain window that may
+    // straddle cooperative yields, so they are exempt from nesting.)
+    let lanes: std::collections::BTreeSet<usize> = spans.iter().map(|(l, _)| *l).collect();
+    for lane in lanes {
+        let mut lane_tasks: Vec<&Span> = spans
+            .iter()
+            .filter(|(l, s)| *l == lane && s.cat == "task")
+            .map(|(_, s)| s)
+            .collect();
+        lane_tasks.sort_by_key(|s| s.start_ns);
+        for w in lane_tasks.windows(2) {
+            assert!(
+                w[0].start_ns + w[0].dur_ns <= w[1].start_ns,
+                "task steps on one worker are sequential: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for (_, s) in spans
+            .iter()
+            .filter(|(l, s)| *l == lane && matches!(s.cat, "ship" | "spill"))
+        {
+            assert!(
+                lane_tasks.iter().any(|t| {
+                    t.start_ns <= s.start_ns && s.start_ns + s.dur_ns <= t.start_ns + t.dur_ns
+                }),
+                "span {:?} must nest inside a task step on its lane",
+                s.name
+            );
+        }
+    }
+
+    // --- The rendered document is valid Chrome trace-event JSON. ---
+    let chrome = recorder.chrome_trace_json();
+    let doc = Json::parse(&chrome).expect("chrome trace parses as JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let complete: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert_eq!(
+        complete.len(),
+        spans.len(),
+        "every recorded span renders as one complete event"
+    );
+    for e in &complete {
+        assert_eq!(e.get("pid").and_then(Json::as_i64), Some(42));
+        assert!(e.get("tid").and_then(Json::as_i64).is_some());
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        assert!(e.get("dur").and_then(Json::as_f64).is_some());
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("query_id"))
+                .and_then(Json::as_i64),
+            Some(42),
+            "every event carries the query id"
+        );
+    }
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("M")),
+        "worker lanes are named via metadata events"
+    );
+}
+
+#[test]
+fn explain_analyze_reports_estimates_against_actuals() {
+    let (plan, phys, inputs) = grouped_sum(2_000);
+    let (_, stats) = execute_with(&plan, &phys, &inputs, 2, &spilling_opts()).expect("run");
+    assert!(stats.totals().spill_runs > 0, "plan must spill");
+
+    let report = explain_analyze(&plan, &phys, &stats);
+    assert!(report.starts_with("EXPLAIN ANALYZE"), "{report}");
+    // Every operator line pairs an estimate with measurements and a
+    // cardinality-error factor; the scan line carries its estimate.
+    assert!(report.contains("agg"), "{report}");
+    assert!(report.contains("scan s"), "{report}");
+    assert!(report.contains("est: rows="), "{report}");
+    assert!(report.contains("| act: rows="), "{report}");
+    assert!(report.contains("Δrows="), "{report}");
+    // The known spill is attributed in the report.
+    assert!(report.contains("spilled="), "{report}");
+    let spill_line = report
+        .lines()
+        .find(|l| l.contains("act:") && !l.contains("spilled=0B (0 runs)"))
+        .unwrap_or_else(|| panic!("some operator line must show the spill:\n{report}"));
+    assert!(spill_line.contains("runs)"), "{spill_line}");
+    // The estimator knew the distinct-key count, so the aggregate's
+    // cardinality error is an honest finite factor.
+    assert!(!report.contains("Δrows=inf"), "{report}");
+}
